@@ -1,0 +1,222 @@
+package hique
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§VI). Each benchmark drives the corresponding experiment runner from
+// internal/bench at a reduced scale suitable for `go test -bench`; the
+// full paper-sized sweeps are produced by `cmd/hique-bench` (see
+// EXPERIMENTS.md for recorded paper-vs-measured results).
+
+import (
+	"testing"
+
+	"hique/internal/bench"
+	"hique/internal/codegen"
+	"hique/internal/core"
+	"hique/internal/hardcoded"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/tpch"
+	"hique/internal/volcano"
+)
+
+const (
+	benchScale = 0.02 // microbenchmark scale relative to the paper
+	benchSF    = 0.01 // TPC-H scale factor for -bench runs
+)
+
+// BenchmarkFig5JoinProfiling regenerates Figures 5a-5d (join query
+// profiling across the five code shapes).
+func BenchmarkFig5JoinProfiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5(benchScale)
+	}
+}
+
+// BenchmarkFig6AggProfiling regenerates Figures 6a-6d (aggregation
+// profiling across the five code shapes).
+func BenchmarkFig6AggProfiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6(benchScale)
+	}
+}
+
+// BenchmarkTab2OptimisationLevels regenerates Table II (the -O0 / -O2
+// response-time grid).
+func BenchmarkTab2OptimisationLevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Tab2(benchScale)
+	}
+}
+
+// BenchmarkFig7aJoinScalability regenerates Figure 7a.
+func BenchmarkFig7aJoinScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7a(benchScale)
+	}
+}
+
+// BenchmarkFig7bMultiwayJoins regenerates Figure 7b.
+func BenchmarkFig7bMultiwayJoins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7b(benchScale)
+	}
+}
+
+// BenchmarkFig7cJoinSelectivity regenerates Figure 7c.
+func BenchmarkFig7cJoinSelectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7c(benchScale / 10)
+	}
+}
+
+// BenchmarkFig7dGroupCardinality regenerates Figure 7d.
+func BenchmarkFig7dGroupCardinality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7d(benchScale)
+	}
+}
+
+// BenchmarkFig8TPCH regenerates Figure 8 (TPC-H Q1/Q3/Q10 across the four
+// engine design points).
+func BenchmarkFig8TPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8(benchSF)
+	}
+}
+
+// BenchmarkTab3PreparationCost regenerates Table III (query preparation
+// cost).
+func BenchmarkTab3PreparationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Tab3(benchSF)
+	}
+}
+
+// --- Focused micro-benchmarks -------------------------------------------------
+//
+// The following benchmarks time single building blocks so `-benchmem` can
+// attribute allocation behaviour per engine; they complement the
+// figure-level runners above.
+
+func benchCatalogAndPlan(b *testing.B, query string) *plan.Plan {
+	b.Helper()
+	cat := tpch.Generate(tpch.Config{ScaleFactor: benchSF, Seed: 42})
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkQ1Holistic times TPC-H Q1 on the holistic engine.
+func BenchmarkQ1Holistic(b *testing.B) {
+	p := benchCatalogAndPlan(b, tpch.Q1)
+	eng := core.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ1GenericIterators times TPC-H Q1 on the generic iterator
+// engine (the PostgreSQL-class baseline).
+func BenchmarkQ1GenericIterators(b *testing.B) {
+	p := benchCatalogAndPlan(b, tpch.Q1)
+	eng := volcano.NewGeneric()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ3Holistic times TPC-H Q3 on the holistic engine.
+func BenchmarkQ3Holistic(b *testing.B) {
+	p := benchCatalogAndPlan(b, tpch.Q3)
+	eng := core.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodeGeneration times template instantiation + compilation for
+// TPC-H Q3 (the per-query preparation cost the paper argues is small).
+func BenchmarkCodeGeneration(b *testing.B) {
+	p := benchCatalogAndPlan(b, tpch.Q3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Generate(p, codegen.OptO2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeJoinShapes times the §VI-A merge join across the five code
+// shapes (the real-time axis of Figure 5a).
+func BenchmarkMergeJoinShapes(b *testing.B) {
+	outer := hardcoded.BuildJoinInput("outer", 2000, 20)
+	inner := hardcoded.BuildJoinInput("inner", 2000, 20)
+	for _, shape := range hardcoded.Shapes() {
+		b.Run(shape.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hardcoded.RunMergeJoin(shape, outer, inner, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkMapAggShapes times §VI-A map aggregation across the five code
+// shapes (the real-time axis of Figure 6b).
+func BenchmarkMapAggShapes(b *testing.B) {
+	input := hardcoded.BuildAggInput(50000, 10)
+	for _, shape := range hardcoded.Shapes() {
+		b.Run(shape.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hardcoded.RunMapAgg(shape, input, 10, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelAblation compares the sequential holistic engine with
+// the multithreaded extension of §VII on a partitioned join + aggregation
+// workload (the ablation DESIGN.md calls out for the parallel feature).
+func BenchmarkParallelAblation(b *testing.B) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: benchSF, Seed: 42})
+	stmt, err := sql.Parse(tpch.Q10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		eng := core.NewEngine()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		eng := core.NewParallelEngine(workers)
+		b.Run(eng.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Command hique-bench regenerates the paper's evaluation: every table and
+// figure of §VI, printed as text tables.
+//
+// Usage:
+//
+//	hique-bench -experiment all                  # everything, default scales
+//	hique-bench -experiment fig8 -sf 1.0         # paper-sized TPC-H
+//	hique-bench -experiment fig5 -scale 1.0      # paper-sized microbenchmarks
+//
+// Experiments: tab1 fig5 fig6 tab2 fig7a fig7b fig7c fig7d fig8 tab3 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hique/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id ("+strings.Join(bench.Experiments(), ", ")+", or all)")
+	scale := flag.Float64("scale", 0.1, "microbenchmark scale relative to the paper's workloads (1.0 = paper size)")
+	sf := flag.Float64("sf", 0.1, "TPC-H scale factor (1.0 = paper size, ~6M lineitems)")
+	flag.Parse()
+
+	start := time.Now()
+	var results []bench.Result
+	if *experiment == "all" {
+		results = bench.All(*scale, *sf)
+	} else {
+		results = bench.Run(*experiment, *scale, *sf)
+	}
+	if results == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: %s, all\n",
+			*experiment, strings.Join(bench.Experiments(), ", "))
+		os.Exit(2)
+	}
+	fmt.Printf("HIQUE evaluation harness (scale=%.3f, sf=%.3f)\n\n", *scale, *sf)
+	for _, r := range results {
+		fmt.Println(r.Format())
+	}
+	fmt.Printf("total harness time: %s\n", time.Since(start).Round(time.Millisecond))
+}

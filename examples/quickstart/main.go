@@ -1,0 +1,59 @@
+// Quickstart: create tables through the public API, load rows, and run
+// filtered, joined, and aggregated queries on the holistic engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hique"
+)
+
+func main() {
+	db := hique.Open()
+
+	// A small order-processing schema.
+	must(db.CreateTable("customers",
+		hique.Int("cust_id"), hique.Char("cust_name", 16), hique.Char("segment", 10)))
+	must(db.CreateTable("purchases",
+		hique.Int("purchase_id"), hique.Int("customer"), hique.Float("amount"), hique.Date("day")))
+
+	segments := []string{"RETAIL", "WHOLESALE", "ONLINE"}
+	for i := 0; i < 100; i++ {
+		must(db.Insert("customers", i, fmt.Sprintf("Customer#%03d", i), segments[i%3]))
+	}
+	for i := 0; i < 5000; i++ {
+		must(db.Insert("purchases", i, i%100, float64(10+i%490), int64(19000+i%365)))
+	}
+
+	// 1. Selection + projection.
+	res, err := db.Query("SELECT purchase_id, amount FROM purchases WHERE amount > 450.0 ORDER BY amount DESC LIMIT 5")
+	must(err)
+	fmt.Println("Top purchases over 450:")
+	for _, row := range res.Rows {
+		fmt.Printf("  #%v  %.2f\n", row[0], row[1])
+	}
+
+	// 2. Join + aggregation: revenue per segment.
+	res, err = db.Query(`SELECT segment, SUM(amount) AS revenue, COUNT(*) AS n
+	                     FROM purchases, customers
+	                     WHERE purchases.customer = customers.cust_id
+	                     GROUP BY segment ORDER BY revenue DESC`)
+	must(err)
+	fmt.Println("\nRevenue by segment:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-10v %10.2f over %v purchases\n", row[0], row[1], row[2])
+	}
+	fmt.Printf("\nexecuted on %s in %s\n", db.EngineName(), res.Elapsed.Round(1000))
+
+	// 3. Peek at what the code generator produced for the join query.
+	src, err := db.GeneratedSource("SELECT segment, SUM(amount) AS revenue FROM purchases, customers WHERE purchases.customer = customers.cust_id GROUP BY segment")
+	must(err)
+	fmt.Printf("\ngenerated source: %d bytes (run examples/codegen_inspect to see it)\n", len(src))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

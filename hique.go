@@ -1,0 +1,355 @@
+// Package hique is the public API of HIQUE, the Holistic Integrated Query
+// Engine — a Go reproduction of "Generating code for holistic query
+// evaluation" (Krikellas, Viglas, Cintra; ICDE 2010).
+//
+// HIQUE evaluates SQL by generating query-specific code: the optimizer
+// emits a topologically sorted list of operator descriptors, and the code
+// generator instantiates staging / join / aggregation templates into
+// type- and offset-specialised executables (plus an inspectable source
+// rendering of exactly what was instantiated). See DESIGN.md for the
+// architecture and EXPERIMENTS.md for the reproduced evaluation.
+//
+// Quick start:
+//
+//	db := hique.Open()
+//	db.CreateTable("t", hique.Int("id"), hique.Float("price"))
+//	db.Insert("t", int64(1), 9.5)
+//	res, err := db.Query("SELECT id, price FROM t WHERE price > 5.0")
+package hique
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hique/internal/catalog"
+	"hique/internal/codegen"
+	"hique/internal/core"
+	"hique/internal/dsm"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+	"hique/internal/volcano"
+)
+
+// Column declares one attribute of a table.
+type Column struct {
+	Name string
+	kind types.Kind
+	size int
+}
+
+// Int declares a 64-bit integer column.
+func Int(name string) Column { return Column{Name: name, kind: types.Int, size: 8} }
+
+// Float declares a 64-bit float column.
+func Float(name string) Column { return Column{Name: name, kind: types.Float, size: 8} }
+
+// Date declares a date column (days since 1970-01-01).
+func Date(name string) Column { return Column{Name: name, kind: types.Date, size: 8} }
+
+// Char declares a fixed-width string column.
+func Char(name string, width int) Column { return Column{Name: name, kind: types.String, size: width} }
+
+// Engine selects the execution engine for a DB.
+type Engine int
+
+const (
+	// Holistic is the paper's engine: per-query generated code (default).
+	Holistic Engine = iota
+	// GenericIterators is the interpreted Volcano baseline.
+	GenericIterators
+	// OptimizedIterators is the type-specialised Volcano baseline.
+	OptimizedIterators
+	// ColumnStore is the DSM (MonetDB-style) comparator engine.
+	ColumnStore
+	// HolisticUnoptimized runs generated plans at the -O0 level (boxed
+	// templates); useful for studying the optimisation gap (Table II).
+	HolisticUnoptimized
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	return [...]string{"holistic", "generic-iterators", "optimized-iterators", "column-store", "holistic-O0"}[e]
+}
+
+type executor interface {
+	Name() string
+	Execute(p *plan.Plan) (*storage.Table, error)
+}
+
+// DB is an embedded HIQUE database: a catalogue of in-memory tables and a
+// query engine.
+type DB struct {
+	cat    *catalog.Catalog
+	engine Engine
+	exec   executor
+	opts   plan.Options
+	// stale marks tables whose statistics need recomputation before the
+	// next query.
+	stale map[string]bool
+}
+
+// Open creates an empty database using the holistic engine.
+func Open() *DB {
+	db := &DB{cat: catalog.New(), opts: plan.DefaultOptions(), stale: map[string]bool{}}
+	db.SetEngine(Holistic)
+	return db
+}
+
+// SetEngine switches the execution engine.
+func (db *DB) SetEngine(e Engine) {
+	db.engine = e
+	switch e {
+	case GenericIterators:
+		db.exec = volcano.NewGeneric()
+	case OptimizedIterators:
+		db.exec = volcano.NewOptimized()
+	case ColumnStore:
+		db.exec = dsm.NewEngine()
+	case HolisticUnoptimized:
+		db.exec = codegenExec{level: codegen.OptO0}
+	default:
+		db.exec = core.NewEngine()
+	}
+}
+
+// EngineName reports the active engine.
+func (db *DB) EngineName() string { return db.exec.Name() }
+
+type codegenExec struct{ level codegen.OptLevel }
+
+func (c codegenExec) Name() string { return "holistic" + c.level.String() }
+
+func (c codegenExec) Execute(p *plan.Plan) (*storage.Table, error) {
+	q, err := codegen.Generate(p, c.level)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run()
+}
+
+// CreateTable registers an empty table with the given columns.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	name = strings.ToLower(name)
+	if len(cols) == 0 {
+		return fmt.Errorf("hique: table %q needs at least one column", name)
+	}
+	if _, err := db.cat.Lookup(name); err == nil {
+		return fmt.Errorf("hique: table %q already exists", name)
+	}
+	tcols := make([]types.Column, len(cols))
+	for i, c := range cols {
+		tcols[i] = types.Column{Name: strings.ToLower(c.Name), Kind: c.kind, Size: c.size}
+	}
+	db.cat.Register(storage.NewTable(name, types.NewSchema(tcols...)))
+	return nil
+}
+
+// Insert appends one row; values must match the column types: int64 (or
+// int) for Int/Date, float64 for Float, string for Char.
+func (db *DB) Insert(table string, values ...any) error {
+	e, err := db.cat.Lookup(strings.ToLower(table))
+	if err != nil {
+		return err
+	}
+	s := e.Table.Schema()
+	if len(values) != s.NumColumns() {
+		return fmt.Errorf("hique: table %q has %d columns, got %d values", table, s.NumColumns(), len(values))
+	}
+	row := make([]types.Datum, len(values))
+	for i, v := range values {
+		d, err := toDatum(v, s.Column(i))
+		if err != nil {
+			return fmt.Errorf("hique: column %q: %w", s.Column(i).Name, err)
+		}
+		row[i] = d
+	}
+	e.Table.AppendRow(row...)
+	db.stale[e.Table.Name()] = true
+	return nil
+}
+
+func toDatum(v any, col types.Column) (types.Datum, error) {
+	switch col.Kind {
+	case types.Int, types.Date:
+		switch x := v.(type) {
+		case int64:
+			return types.Datum{Kind: col.Kind, I: x}, nil
+		case int:
+			return types.Datum{Kind: col.Kind, I: int64(x)}, nil
+		}
+	case types.Float:
+		if x, ok := v.(float64); ok {
+			return types.FloatDatum(x), nil
+		}
+	case types.String:
+		if x, ok := v.(string); ok {
+			return types.StringDatum(x), nil
+		}
+	}
+	return types.Datum{}, fmt.Errorf("value %v (%T) incompatible with %v column", v, v, col.Kind)
+}
+
+// refreshStats recomputes statistics for tables modified since the last
+// query (the optimizer's decisions depend on them).
+func (db *DB) refreshStats() {
+	for name := range db.stale {
+		if e, err := db.cat.Lookup(name); err == nil {
+			e.Stats = catalog.ComputeStats(e.Table)
+		}
+		delete(db.stale, name)
+	}
+}
+
+// Result is a materialised query result.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	// Elapsed is the execution wall time (preparation excluded).
+	Elapsed time.Duration
+}
+
+// Query parses, optimises, and executes a SELECT statement.
+func (db *DB) Query(query string) (*Result, error) {
+	p, err := db.plan(query)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out, err := db.exec.Execute(p)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{Columns: append([]string(nil), p.OutputNames...), Elapsed: elapsed}
+	s := out.Schema()
+	out.Scan(func(tuple []byte) bool {
+		row := make([]any, s.NumColumns())
+		for i := 0; i < s.NumColumns(); i++ {
+			d := s.GetDatum(tuple, i)
+			switch d.Kind {
+			case types.Float:
+				row[i] = d.F
+			case types.String:
+				row[i] = d.S
+			default:
+				row[i] = d.I
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		return true
+	})
+	return res, nil
+}
+
+func (db *DB) plan(query string) (*plan.Plan, error) {
+	db.refreshStats()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return plan.BuildWithOptions(stmt, db.cat, db.opts)
+}
+
+// Explain returns the optimizer's plan description.
+func (db *DB) Explain(query string) (string, error) {
+	p, err := db.plan(query)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// GeneratedSource returns the query-specific source code the holistic code
+// generator instantiates for the query (paper §V).
+func (db *DB) GeneratedSource(query string) (string, error) {
+	p, err := db.plan(query)
+	if err != nil {
+		return "", err
+	}
+	return codegen.EmitSource(p), nil
+}
+
+// Prepare generates and compiles a query without running it, returning
+// preparation timings (paper Table III).
+func (db *DB) Prepare(query string) (*Prepared, error) {
+	p, err := db.plan(query)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := codegen.Generate(p, codegen.OptO2)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, compiled: cq}, nil
+}
+
+// Prepared is a generated, compiled query ready for repeated execution.
+type Prepared struct {
+	db       *DB
+	compiled *codegen.CompiledQuery
+}
+
+// Source returns the generated source file.
+func (p *Prepared) Source() string { return p.compiled.Source }
+
+// GenerateTime reports how long template instantiation took.
+func (p *Prepared) GenerateTime() time.Duration { return p.compiled.Prep.Generate }
+
+// CompileTime reports how long compilation (syntax check + closure
+// construction) took.
+func (p *Prepared) CompileTime() time.Duration { return p.compiled.Prep.Compile }
+
+// Run executes the prepared query.
+func (p *Prepared) Run() (*Result, error) {
+	start := time.Now()
+	out, err := p.compiled.Run()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	res := &Result{Columns: append([]string(nil), p.compiled.Plan.OutputNames...), Elapsed: elapsed}
+	s := out.Schema()
+	out.Scan(func(tuple []byte) bool {
+		row := make([]any, s.NumColumns())
+		for i := 0; i < s.NumColumns(); i++ {
+			d := s.GetDatum(tuple, i)
+			switch d.Kind {
+			case types.Float:
+				row[i] = d.F
+			case types.String:
+				row[i] = d.S
+			default:
+				row[i] = d.I
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		return true
+	})
+	return res, nil
+}
+
+// Tables lists the catalogued table names.
+func (db *DB) Tables() []string { return db.cat.Names() }
+
+// RowCount returns a table's cardinality.
+func (db *DB) RowCount(table string) (int, error) {
+	e, err := db.cat.Lookup(strings.ToLower(table))
+	if err != nil {
+		return 0, err
+	}
+	return e.Table.NumRows(), nil
+}
+
+// BuildIndex creates a fractal B+-tree index on an integer column.
+func (db *DB) BuildIndex(table, column string) error {
+	_, err := db.cat.BuildIndex(strings.ToLower(table), strings.ToLower(column))
+	return err
+}
+
+// Catalog exposes the underlying catalogue for advanced embedding (the
+// bench harness and the CLI tools use this).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }

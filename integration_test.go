@@ -1,0 +1,160 @@
+package hique
+
+// End-to-end integration tests crossing package boundaries: TPC-H data
+// generated, persisted through the storage manager, reloaded into a fresh
+// catalogue, and queried — the full hique-gen -> hique shell flow.
+
+import (
+	"strings"
+	"testing"
+
+	"hique/internal/catalog"
+	"hique/internal/core"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/tpch"
+	"hique/internal/types"
+)
+
+func TestTPCHPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := storage.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generate and persist (cmd/hique-gen's job).
+	tables := tpch.GenerateTables(tpch.Config{ScaleFactor: 0.005, Seed: 9})
+	for _, tbl := range tables {
+		if err := mgr.Save(tbl); err != nil {
+			t.Fatalf("save %s: %v", tbl.Name(), err)
+		}
+	}
+
+	// Reload into a fresh catalogue (cmd/hique -dir's job).
+	names, err := mgr.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 8 {
+		t.Fatalf("persisted %d tables, want 8", len(names))
+	}
+	cat := catalog.New()
+	for _, n := range names {
+		tbl, err := mgr.Load(n)
+		if err != nil {
+			t.Fatalf("load %s: %v", n, err)
+		}
+		cat.Register(tbl)
+	}
+
+	// Run Q1 on both the original and the reloaded catalogue; results
+	// must match byte for byte.
+	run := func(c *catalog.Catalog) *storage.Table {
+		stmt, err := sql.Parse(tpch.Q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := plan.Build(stmt, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.NewEngine().Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	orig := tpch.Generate(tpch.Config{ScaleFactor: 0.005, Seed: 9})
+	a, b := run(orig), run(cat)
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("rows %d vs %d after reload", a.NumRows(), b.NumRows())
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		if string(a.Tuple(i)) != string(b.Tuple(i)) {
+			t.Fatalf("row %d differs after persistence round trip", i)
+		}
+	}
+}
+
+func TestFacadeOverTPCHCatalog(t *testing.T) {
+	// Drive the public facade against a catalogue populated via the
+	// internal generator, mimicking an embedding application.
+	db := Open()
+	for _, tbl := range tpch.GenerateTables(tpch.Config{ScaleFactor: 0.005, Seed: 5}) {
+		db.Catalog().Register(tbl)
+	}
+	res, err := db.Query("SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus ORDER BY o_orderstatus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Rows) > 3 {
+		t.Fatalf("order statuses = %d rows", len(res.Rows))
+	}
+	var total int64
+	for _, row := range res.Rows {
+		total += row[1].(int64)
+	}
+	n, _ := db.RowCount("orders")
+	if total != int64(n) {
+		t.Fatalf("status counts sum to %d, want %d", total, n)
+	}
+}
+
+func TestGeneratedSourceGoldenShape(t *testing.T) {
+	// The generated source for a fixed plan must contain the template
+	// landmarks in a stable order (a structural golden test: robust to
+	// cosmetic drift, strict about template structure).
+	db := Open()
+	if err := db.CreateTable("gt", Int("a"), Int("b"), Float("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Insert("gt", i, i%4, float64(i))
+	}
+	src, err := db.GeneratedSource("SELECT b, SUM(x) AS s FROM gt WHERE a > 10 GROUP BY b ORDER BY s DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	landmarks := []string{
+		"package query",
+		"evalAggregate",
+		"offset formula",
+		"evalOrderBy",
+		"func EvaluateQuery",
+		"return result",
+	}
+	pos := -1
+	for _, lm := range landmarks {
+		next := strings.Index(src, lm)
+		if next < 0 {
+			t.Fatalf("landmark %q missing from generated source", lm)
+		}
+		if next < pos {
+			t.Fatalf("landmark %q out of order", lm)
+		}
+		pos = next
+	}
+}
+
+func TestDateRoundTripThroughFacade(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable("dt", Int("id"), Date("d")); err != nil {
+		t.Fatal(err)
+	}
+	day, err := sql.ParseDate("2001-06-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Insert("dt", 1, day)
+	db.Insert("dt", 2, day+100)
+	res, err := db.Query("SELECT id FROM dt WHERE d > DATE '2001-07-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("date filter rows = %v", res.Rows)
+	}
+	_ = types.DateDatum(day)
+}

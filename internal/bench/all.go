@@ -1,0 +1,45 @@
+package bench
+
+// Experiments lists the available experiment IDs in paper order.
+func Experiments() []string {
+	return []string{"tab1", "fig5", "fig6", "tab2", "fig7a", "fig7b", "fig7c", "fig7d", "fig8", "tab3"}
+}
+
+// Run executes one experiment by ID. scale sizes the §VI-A/Fig-7
+// microbenchmarks relative to the paper's workloads; sf is the TPC-H scale
+// factor.
+func Run(id string, scale, sf float64) []Result {
+	switch id {
+	case "tab1":
+		return []Result{Tab1()}
+	case "fig5":
+		return Fig5(scale)
+	case "fig6":
+		return Fig6(scale)
+	case "tab2":
+		return []Result{Tab2(scale)}
+	case "fig7a":
+		return []Result{Fig7a(scale)}
+	case "fig7b":
+		return []Result{Fig7b(scale)}
+	case "fig7c":
+		return []Result{Fig7c(scale / 10)} // output is n x matches: cap size
+	case "fig7d":
+		return []Result{Fig7d(scale)}
+	case "fig8":
+		return []Result{Fig8(sf)}
+	case "tab3":
+		return []Result{Tab3(sf)}
+	default:
+		return nil
+	}
+}
+
+// All runs every experiment.
+func All(scale, sf float64) []Result {
+	var out []Result
+	for _, id := range Experiments() {
+		out = append(out, Run(id, scale, sf)...)
+	}
+	return out
+}

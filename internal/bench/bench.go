@@ -1,0 +1,89 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§VI), each producing the same rows/series the
+// paper reports. Workload sizes are scaled by a factor so the full
+// paper-sized runs (scale 1.0) and CI-sized smoke runs (scale 0.01) share
+// one code path.
+//
+// Response times are wall-clock measurements of the real implementations;
+// hardware-event tables (Figures 5 and 6) come from the trace-driven cache
+// and prefetcher simulator in internal/hwsim, parameterised with the
+// paper's own latency table (see DESIGN.md's substitution notes).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Result is one rendered table or figure data series.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// timeIt measures the best of reps wall-clock runs of fn.
+func timeIt(reps int, fn func()) time.Duration {
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+func pct(x, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", 100*x/base)
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smoke scale: tiny workloads, every experiment code path.
+const testScale = 0.004
+const testSF = 0.002
+
+func TestResultFormat(t *testing.T) {
+	r := Result{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n1"},
+	}
+	out := r.Format()
+	for _, want := range []string{"=== X: demo ===", "333", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentsAllRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs skipped in -short mode")
+	}
+	for _, id := range Experiments() {
+		results := Run(id, testScale, testSF)
+		if len(results) == 0 {
+			t.Fatalf("experiment %s produced no results", id)
+		}
+		for _, r := range results {
+			if len(r.Rows) == 0 {
+				t.Errorf("%s/%s has no rows", id, r.ID)
+			}
+			for _, row := range r.Rows {
+				if len(row) != len(r.Header) {
+					t.Errorf("%s/%s row width %d != header %d", id, r.ID, len(row), len(r.Header))
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if Run("nope", 1, 1) != nil {
+		t.Error("unknown experiment should return nil")
+	}
+}
+
+// TestFig5ShapeOrdering asserts the paper's §VI-A headline: the HIQUE
+// shape's simulated cycle total is below the generic iterator shape's.
+func TestFig5ShapeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	results := Fig5(0.02)
+	breakdown := results[0] // Fig5a
+	first := parseCell(t, breakdown.Rows[0][2])
+	last := parseCell(t, breakdown.Rows[len(breakdown.Rows)-1][2])
+	if last >= first {
+		t.Errorf("HIQUE simulated time %.4f not below generic iterators %.4f", last, first)
+	}
+}
+
+// TestFig8HiqueWinsQ1 asserts the paper's headline TPC-H result: HIQUE
+// beats the iterator engines on Query 1 by a large factor.
+func TestFig8HiqueWinsQ1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	r := Fig8(0.01)
+	generic := parseCell(t, r.Rows[0][1])
+	hique := parseCell(t, r.Rows[3][1])
+	if hique >= generic {
+		t.Errorf("HIQUE Q1 (%.3fs) not faster than generic iterators (%.3fs)", hique, generic)
+	}
+}
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number", s)
+	}
+	return v
+}

@@ -1,0 +1,372 @@
+// Package btree implements the memory-efficient index HIQUE uses: a fractal
+// B+-tree (Chen et al., SIGMOD 2002) in which each 4096-byte physical page
+// is divided into four 1024-byte tree nodes (paper §IV). Grouping nodes
+// into pages keeps parent and children physically close, improving both
+// cache and disk behaviour.
+//
+// Keys are int64 (the engine's join/index attributes are integers); values
+// are RIDs addressing a tuple in a heap table. Duplicate keys are allowed.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// NodeSize is the in-page node size: four nodes per 4096-byte page.
+	NodeSize = 1024
+	// NodesPerPage is the fractal grouping factor.
+	NodesPerPage = 4
+	// PageSize is the physical page size holding NodesPerPage nodes.
+	PageSize = NodeSize * NodesPerPage
+
+	nodeHeaderSize = 16
+	// Leaf entries are key (8) + RID (8).
+	leafCapacity = (NodeSize - nodeHeaderSize) / 16 // 63
+	// Internal nodes hold n keys (8 bytes) and n+1 children (4 bytes).
+	internalCapacity = (NodeSize - nodeHeaderSize - 4) / 12 // 83
+)
+
+// RID addresses a tuple: heap page number and slot within the page.
+type RID struct {
+	Page int32
+	Slot int32
+}
+
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// node header layout (within its 1024-byte slot):
+//
+//	[0]    flags (bit 0: leaf)
+//	[1:3]  reserved
+//	[4:8]  numKeys
+//	[8:12] next node id (leaves only; 0xFFFFFFFF = none)
+//	[12:16] reserved
+const invalidNode = ^uint32(0)
+
+// Tree is a fractal B+-tree. The zero value is not usable; call New.
+type Tree struct {
+	pages [][]byte // each PageSize bytes, holding NodesPerPage nodes
+	used  int      // number of allocated nodes
+	root  uint32
+	size  int // number of stored entries
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	t := &Tree{}
+	root := t.allocNode(true)
+	t.root = root
+	return t
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// NumPages returns the number of physical pages backing the tree.
+func (t *Tree) NumPages() int { return len(t.pages) }
+
+// allocNode reserves a node slot, growing the page list as needed, and
+// returns its id.
+func (t *Tree) allocNode(leaf bool) uint32 {
+	if t.used%NodesPerPage == 0 {
+		t.pages = append(t.pages, make([]byte, PageSize))
+	}
+	id := uint32(t.used)
+	t.used++
+	n := t.node(id)
+	if leaf {
+		n[0] = 1
+	} else {
+		n[0] = 0
+	}
+	binary.LittleEndian.PutUint32(n[4:8], 0)
+	binary.LittleEndian.PutUint32(n[8:12], invalidNode)
+	return id
+}
+
+// node returns the 1024-byte slice for node id.
+func (t *Tree) node(id uint32) []byte {
+	page := int(id) / NodesPerPage
+	slot := int(id) % NodesPerPage
+	return t.pages[page][slot*NodeSize : (slot+1)*NodeSize : (slot+1)*NodeSize]
+}
+
+func isLeaf(n []byte) bool { return n[0]&1 == 1 }
+
+func numKeys(n []byte) int { return int(binary.LittleEndian.Uint32(n[4:8])) }
+
+func setNumKeys(n []byte, k int) { binary.LittleEndian.PutUint32(n[4:8], uint32(k)) }
+
+func nextLeaf(n []byte) uint32 { return binary.LittleEndian.Uint32(n[8:12]) }
+
+func setNextLeaf(n []byte, id uint32) { binary.LittleEndian.PutUint32(n[8:12], id) }
+
+// Leaf layout: entries of (key int64, rid 8 bytes) starting at headerSize.
+func leafKey(n []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(n[nodeHeaderSize+i*16:]))
+}
+
+func leafRID(n []byte, i int) RID {
+	off := nodeHeaderSize + i*16 + 8
+	return RID{
+		Page: int32(binary.LittleEndian.Uint32(n[off:])),
+		Slot: int32(binary.LittleEndian.Uint32(n[off+4:])),
+	}
+}
+
+func setLeafEntry(n []byte, i int, key int64, rid RID) {
+	off := nodeHeaderSize + i*16
+	binary.LittleEndian.PutUint64(n[off:], uint64(key))
+	binary.LittleEndian.PutUint32(n[off+8:], uint32(rid.Page))
+	binary.LittleEndian.PutUint32(n[off+12:], uint32(rid.Slot))
+}
+
+func copyLeafEntries(dst []byte, dstIdx int, src []byte, srcIdx, count int) {
+	copy(dst[nodeHeaderSize+dstIdx*16:nodeHeaderSize+(dstIdx+count)*16],
+		src[nodeHeaderSize+srcIdx*16:nodeHeaderSize+(srcIdx+count)*16])
+}
+
+// Internal layout: keys at headerSize (8 bytes each, internalCapacity max),
+// children after the key area (4 bytes each, internalCapacity+1 max).
+const childArrayOffset = nodeHeaderSize + internalCapacity*8
+
+func internalKey(n []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(n[nodeHeaderSize+i*8:]))
+}
+
+func setInternalKey(n []byte, i int, key int64) {
+	binary.LittleEndian.PutUint64(n[nodeHeaderSize+i*8:], uint64(key))
+}
+
+func childID(n []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(n[childArrayOffset+i*4:])
+}
+
+func setChildID(n []byte, i int, id uint32) {
+	binary.LittleEndian.PutUint32(n[childArrayOffset+i*4:], id)
+}
+
+// Insert adds a key/RID pair. Duplicate keys are allowed and preserved.
+func (t *Tree) Insert(key int64, rid RID) {
+	midKey, newChild, split := t.insertInto(t.root, key, rid)
+	if split {
+		newRoot := t.allocNode(false)
+		n := t.node(newRoot)
+		setNumKeys(n, 1)
+		setInternalKey(n, 0, midKey)
+		setChildID(n, 0, t.root)
+		setChildID(n, 1, newChild)
+		t.root = newRoot
+	}
+	t.size++
+}
+
+// insertInto descends to the right leaf and inserts, propagating splits
+// upward. Returns (separator key, new right sibling id, true) when the
+// node split.
+func (t *Tree) insertInto(id uint32, key int64, rid RID) (int64, uint32, bool) {
+	n := t.node(id)
+	if isLeaf(n) {
+		return t.insertIntoLeaf(id, key, rid)
+	}
+	k := numKeys(n)
+	// Find child: first key greater than target descends left of it.
+	lo, hi := 0, k
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if internalKey(n, mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	midKey, newChild, split := t.insertInto(childID(n, lo), key, rid)
+	if !split {
+		return 0, 0, false
+	}
+	// Re-fetch: allocNode may have grown the page slice backing array,
+	// but pages themselves are stable; still, keep n fresh for clarity.
+	n = t.node(id)
+	k = numKeys(n)
+	// Shift keys and children right of position lo.
+	for i := k; i > lo; i-- {
+		setInternalKey(n, i, internalKey(n, i-1))
+	}
+	for i := k + 1; i > lo+1; i-- {
+		setChildID(n, i, childID(n, i-1))
+	}
+	setInternalKey(n, lo, midKey)
+	setChildID(n, lo+1, newChild)
+	setNumKeys(n, k+1)
+	if k+1 <= internalCapacity {
+		if k+1 < internalCapacity {
+			return 0, 0, false
+		}
+		// Node is exactly full: split eagerly to keep the shift
+		// logic simple.
+	}
+	return t.splitInternal(id)
+}
+
+func (t *Tree) insertIntoLeaf(id uint32, key int64, rid RID) (int64, uint32, bool) {
+	n := t.node(id)
+	k := numKeys(n)
+	// Binary search for insert position (after any duplicates).
+	lo, hi := 0, k
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(n, mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Shift right.
+	copyLeafEntries(n, lo+1, n, lo, k-lo)
+	setLeafEntry(n, lo, key, rid)
+	setNumKeys(n, k+1)
+	if k+1 < leafCapacity {
+		return 0, 0, false
+	}
+	return t.splitLeaf(id)
+}
+
+func (t *Tree) splitLeaf(id uint32) (int64, uint32, bool) {
+	rightID := t.allocNode(true)
+	left := t.node(id)
+	right := t.node(rightID)
+	k := numKeys(left)
+	half := k / 2
+	copyLeafEntries(right, 0, left, half, k-half)
+	setNumKeys(right, k-half)
+	setNumKeys(left, half)
+	setNextLeaf(right, nextLeaf(left))
+	setNextLeaf(left, rightID)
+	return leafKey(right, 0), rightID, true
+}
+
+func (t *Tree) splitInternal(id uint32) (int64, uint32, bool) {
+	rightID := t.allocNode(false)
+	left := t.node(id)
+	right := t.node(rightID)
+	k := numKeys(left)
+	half := k / 2
+	midKey := internalKey(left, half)
+	// Keys right of the separator move to the new node.
+	for i := half + 1; i < k; i++ {
+		setInternalKey(right, i-half-1, internalKey(left, i))
+	}
+	for i := half + 1; i <= k; i++ {
+		setChildID(right, i-half-1, childID(left, i))
+	}
+	setNumKeys(right, k-half-1)
+	setNumKeys(left, half)
+	return midKey, rightID, true
+}
+
+// findLeafLower descends to the leftmost leaf that can contain key.
+// Because duplicates may span several leaves, the descent treats a
+// separator equal to key as "go left": the first occurrence is always in
+// or after that leaf.
+func (t *Tree) findLeafLower(key int64) uint32 {
+	id := t.root
+	for {
+		n := t.node(id)
+		if isLeaf(n) {
+			return id
+		}
+		k := numKeys(n)
+		lo, hi := 0, k
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if internalKey(n, mid) < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		id = childID(n, lo)
+	}
+}
+
+// Search returns the RIDs of all entries with exactly the given key.
+func (t *Tree) Search(key int64) []RID {
+	var out []RID
+	t.Range(key, key, func(k int64, rid RID) bool {
+		out = append(out, rid)
+		return true
+	})
+	return out
+}
+
+// Contains reports whether any entry has the given key.
+func (t *Tree) Contains(key int64) bool {
+	found := false
+	t.Range(key, key, func(int64, RID) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Range visits all entries with lo <= key <= hi in key order. fn returning
+// false stops the scan. Duplicate keys are visited in insertion-shift order.
+func (t *Tree) Range(lo, hi int64, fn func(key int64, rid RID) bool) {
+	id := t.findLeafLower(lo)
+	for id != invalidNode {
+		n := t.node(id)
+		k := numKeys(n)
+		for i := 0; i < k; i++ {
+			key := leafKey(n, i)
+			if key < lo {
+				continue
+			}
+			if key > hi {
+				return
+			}
+			if !fn(key, leafRID(n, i)) {
+				return
+			}
+		}
+		id = nextLeaf(n)
+	}
+}
+
+// Ascend visits every entry in key order.
+func (t *Tree) Ascend(fn func(key int64, rid RID) bool) {
+	// Walk to the leftmost leaf.
+	id := t.root
+	for {
+		n := t.node(id)
+		if isLeaf(n) {
+			break
+		}
+		id = childID(n, 0)
+	}
+	for id != invalidNode {
+		n := t.node(id)
+		k := numKeys(n)
+		for i := 0; i < k; i++ {
+			if !fn(leafKey(n, i), leafRID(n, i)) {
+				return
+			}
+		}
+		id = nextLeaf(n)
+	}
+}
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int {
+	h := 1
+	id := t.root
+	for {
+		n := t.node(id)
+		if isLeaf(n) {
+			return h
+		}
+		id = childID(n, 0)
+		h++
+	}
+}

@@ -1,0 +1,199 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Contains(5) {
+		t.Error("empty tree Contains(5)")
+	}
+	if got := tr.Search(5); len(got) != 0 {
+		t.Errorf("Search on empty tree = %v", got)
+	}
+}
+
+func TestInsertAndSearch(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(i*3, RID{Page: int32(i), Slot: int32(i % 7)})
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		rids := tr.Search(i * 3)
+		if len(rids) != 1 {
+			t.Fatalf("Search(%d) = %v, want one entry", i*3, rids)
+		}
+		if rids[0].Page != int32(i) {
+			t.Fatalf("Search(%d) page = %d, want %d", i*3, rids[0].Page, i)
+		}
+	}
+	if tr.Contains(1) || tr.Contains(2) {
+		t.Error("Contains reports keys never inserted")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New()
+	for s := int32(0); s < 50; s++ {
+		tr.Insert(99, RID{Page: 1, Slot: s})
+	}
+	rids := tr.Search(99)
+	if len(rids) != 50 {
+		t.Fatalf("Search(99) found %d entries, want 50", len(rids))
+	}
+	slots := map[int32]bool{}
+	for _, r := range rids {
+		slots[r.Slot] = true
+	}
+	if len(slots) != 50 {
+		t.Errorf("duplicate entries lost slots: %d distinct", len(slots))
+	}
+}
+
+func TestRandomInsertOrderedIteration(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]int64, 20000)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+		tr.Insert(keys[i], RID{Page: int32(i), Slot: 0})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	i := 0
+	tr.Ascend(func(k int64, _ RID) bool {
+		if k != keys[i] {
+			t.Fatalf("Ascend position %d: key %d, want %d", i, k, keys[i])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("Ascend visited %d entries, want %d", i, len(keys))
+	}
+	if h := tr.Height(); h < 2 || h > 5 {
+		t.Errorf("unexpected height %d for 20k entries", h)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(i, RID{Page: int32(i)})
+	}
+	var got []int64
+	tr.Range(100, 199, func(k int64, _ RID) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 100 {
+		t.Fatalf("Range(100,199) visited %d keys", len(got))
+	}
+	if got[0] != 100 || got[99] != 199 {
+		t.Errorf("Range bounds wrong: first %d last %d", got[0], got[99])
+	}
+	// Early termination.
+	count := 0
+	tr.Range(0, 499, func(int64, RID) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early-stop Range visited %d", count)
+	}
+	// Empty range.
+	count = 0
+	tr.Range(1000, 2000, func(int64, RID) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("out-of-domain Range visited %d", count)
+	}
+}
+
+func TestDescendingInsert(t *testing.T) {
+	tr := New()
+	for i := int64(9999); i >= 0; i-- {
+		tr.Insert(i, RID{Page: int32(i)})
+	}
+	prev := int64(-1)
+	n := 0
+	tr.Ascend(func(k int64, rid RID) bool {
+		if k <= prev {
+			t.Fatalf("order violation: %d after %d", k, prev)
+		}
+		if int64(rid.Page) != k {
+			t.Fatalf("rid mismatch at key %d: %v", k, rid)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != 10000 {
+		t.Fatalf("visited %d entries", n)
+	}
+}
+
+func TestFractalPageGrouping(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(i, RID{})
+	}
+	// Nodes per page must be exactly 4: pages = ceil(nodes/4), and with
+	// 100k ascending inserts leaves are ~50% full (eager split at 63),
+	// so node count is roughly 100000/31.
+	nodes := tr.used
+	wantPages := (nodes + NodesPerPage - 1) / NodesPerPage
+	if tr.NumPages() != wantPages {
+		t.Errorf("NumPages = %d, want %d for %d nodes", tr.NumPages(), wantPages, nodes)
+	}
+}
+
+func TestOrderedIterationQuick(t *testing.T) {
+	f := func(keys []int64) bool {
+		tr := New()
+		for i, k := range keys {
+			tr.Insert(k, RID{Page: int32(i)})
+		}
+		if tr.Len() != len(keys) {
+			return false
+		}
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		i := 0
+		ok := true
+		tr.Ascend(func(k int64, _ RID) bool {
+			if i >= len(sorted) || k != sorted[i] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(sorted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchFindsAllDuplicatesQuick(t *testing.T) {
+	f := func(dups uint8, key int64) bool {
+		tr := New()
+		n := int(dups%200) + 1
+		for i := 0; i < n; i++ {
+			tr.Insert(key, RID{Slot: int32(i)})
+		}
+		// Surround with noise.
+		tr.Insert(key-1, RID{})
+		tr.Insert(key+1, RID{})
+		return len(tr.Search(key)) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package buffer implements HIQUE's buffer manager: a fixed pool of page
+// frames with LRU replacement and pin/unpin accounting (paper §IV: "A buffer
+// manager is responsible for buffering disk pages and providing concurrency
+// control; it uses the LRU replacement policy").
+//
+// In-memory tables bypass the pool (their pages are already resident);
+// file-backed tables are faulted in page by page through Pool.Pin. The pool
+// is also where staged intermediate results live (paper §V-C).
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"hique/internal/storage"
+)
+
+// PageKey identifies a page within the pool.
+type PageKey struct {
+	Table string
+	Page  int
+}
+
+// Fetcher loads a page of a table from its backing store on a pool miss.
+type Fetcher func(table string, page int) (*storage.Page, error)
+
+// frame is one pool slot.
+type frame struct {
+	key  PageKey
+	page *storage.Page
+	pins int
+	elem *list.Element // position in the LRU list; nil while pinned
+}
+
+// Pool is a buffer pool of page frames with LRU replacement.
+// It is safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	fetch    Fetcher
+	frames   map[PageKey]*frame
+	lru      *list.List // unpinned frames, front = most recently used
+
+	hits   int
+	misses int
+}
+
+// NewPool creates a pool holding up to capacity pages.
+func NewPool(capacity int, fetch Fetcher) *Pool {
+	if capacity <= 0 {
+		panic("buffer.NewPool: capacity must be positive")
+	}
+	return &Pool{
+		capacity: capacity,
+		fetch:    fetch,
+		frames:   make(map[PageKey]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats returns cumulative pool hits and misses.
+func (p *Pool) Stats() (hits, misses int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Pin returns the requested page, faulting it in if necessary, and pins it
+// in the pool. Every Pin must be paired with an Unpin.
+func (p *Pool) Pin(table string, page int) (*storage.Page, error) {
+	key := PageKey{Table: table, Page: page}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if f, ok := p.frames[key]; ok {
+		p.hits++
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		return f.page, nil
+	}
+
+	p.misses++
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	pg, err := p.fetch(table, page)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: fetch %s/%d: %w", table, page, err)
+	}
+	f := &frame{key: key, page: pg, pins: 1}
+	p.frames[key] = f
+	return pg, nil
+}
+
+// Unpin releases one pin on the page. Fully-unpinned pages become eligible
+// for LRU eviction.
+func (p *Pool) Unpin(table string, page int) {
+	key := PageKey{Table: table, Page: page}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[key]
+	if !ok {
+		panic(fmt.Sprintf("buffer.Unpin: page %s/%d not resident", table, page))
+	}
+	if f.pins == 0 {
+		panic(fmt.Sprintf("buffer.Unpin: page %s/%d not pinned", table, page))
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = p.lru.PushFront(f)
+	}
+}
+
+// evictLocked removes the least recently used unpinned frame.
+func (p *Pool) evictLocked() error {
+	back := p.lru.Back()
+	if back == nil {
+		return fmt.Errorf("buffer: pool full and all %d pages pinned", p.capacity)
+	}
+	f := back.Value.(*frame)
+	p.lru.Remove(back)
+	delete(p.frames, f.key)
+	return nil
+}
+
+// Resident reports whether the page currently occupies a frame.
+func (p *Pool) Resident(table string, page int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.frames[PageKey{Table: table, Page: page}]
+	return ok
+}
+
+// Len returns the number of occupied frames.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Flush drops all unpinned frames. It returns an error if any page remains
+// pinned, since that indicates a pin leak.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		delete(p.frames, e.Value.(*frame).key)
+	}
+	p.lru.Init()
+	if len(p.frames) > 0 {
+		return fmt.Errorf("buffer: %d pages still pinned at Flush", len(p.frames))
+	}
+	return nil
+}
+
+// ManagerFetcher adapts a storage manager into a page Fetcher: pool misses
+// read the page from the table's backing file. Tables are cached after the
+// first load; the pool still bounds how many of their pages are resident.
+func ManagerFetcher(m *storage.Manager) Fetcher {
+	var mu sync.Mutex
+	cache := map[string]*storage.Table{}
+	return func(table string, page int) (*storage.Page, error) {
+		mu.Lock()
+		t, ok := cache[table]
+		mu.Unlock()
+		if !ok {
+			var err error
+			t, err = m.Load(table)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			cache[table] = t
+			mu.Unlock()
+		}
+		if page < 0 || page >= t.NumPages() {
+			return nil, fmt.Errorf("buffer: table %q has no page %d", table, page)
+		}
+		return t.Page(page), nil
+	}
+}

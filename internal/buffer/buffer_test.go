@@ -1,0 +1,200 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// fakeFetcher synthesises pages on demand and counts fetches.
+func fakeFetcher(t *testing.T) (Fetcher, *int) {
+	t.Helper()
+	count := 0
+	schema := types.NewSchema(types.Col("id", types.Int))
+	return func(table string, page int) (*storage.Page, error) {
+		count++
+		p := storage.NewPage(schema.TupleSize())
+		p.Append(schema.EncodeRow(types.IntDatum(int64(page))))
+		return p, nil
+	}, &count
+}
+
+func TestPinMissThenHit(t *testing.T) {
+	fetch, fetches := fakeFetcher(t)
+	pool := NewPool(4, fetch)
+	pg, err := pool.Pin("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := types.GetInt(pg.Tuple(0), 0); got != 0 {
+		t.Errorf("page content = %d, want 0", got)
+	}
+	pool.Unpin("t", 0)
+	if _, err := pool.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin("t", 0)
+	if *fetches != 1 {
+		t.Errorf("fetches = %d, want 1 (second pin should hit)", *fetches)
+	}
+	hits, misses := pool.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("Stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	fetch, _ := fakeFetcher(t)
+	pool := NewPool(2, fetch)
+	for i := 0; i < 2; i++ {
+		if _, err := pool.Pin("t", i); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin("t", i)
+	}
+	// Touch page 0 so page 1 becomes LRU.
+	if _, err := pool.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin("t", 0)
+	// Faulting page 2 must evict page 1, not page 0.
+	if _, err := pool.Pin("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin("t", 2)
+	if !pool.Resident("t", 0) {
+		t.Error("recently-used page 0 was evicted")
+	}
+	if pool.Resident("t", 1) {
+		t.Error("LRU page 1 was not evicted")
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	fetch, _ := fakeFetcher(t)
+	pool := NewPool(2, fetch)
+	if _, err := pool.Pin("t", 0); err != nil { // stays pinned
+		t.Fatal(err)
+	}
+	if _, err := pool.Pin("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin("t", 1)
+	if _, err := pool.Pin("t", 2); err != nil { // must evict page 1
+		t.Fatal(err)
+	}
+	if !pool.Resident("t", 0) {
+		t.Error("pinned page was evicted")
+	}
+	// Pool now full with two pinned pages: next fault must fail.
+	if _, err := pool.Pin("t", 3); err == nil {
+		t.Error("Pin succeeded with all frames pinned")
+	}
+	pool.Unpin("t", 0)
+	pool.Unpin("t", 2)
+}
+
+func TestUnpinErrors(t *testing.T) {
+	fetch, _ := fakeFetcher(t)
+	pool := NewPool(2, fetch)
+	mustPanic(t, func() { pool.Unpin("t", 9) })
+	if _, err := pool.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin("t", 0)
+	mustPanic(t, func() { pool.Unpin("t", 0) })
+}
+
+func TestFlush(t *testing.T) {
+	fetch, _ := fakeFetcher(t)
+	pool := NewPool(4, fetch)
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Pin("t", i); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin("t", i)
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Len() != 0 {
+		t.Errorf("after Flush, Len = %d", pool.Len())
+	}
+	// A leaked pin must surface as an error.
+	if _, err := pool.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Flush(); err == nil {
+		t.Error("Flush with pinned page should error")
+	}
+	pool.Unpin("t", 0)
+}
+
+func TestConcurrentPins(t *testing.T) {
+	fetch, _ := fakeFetcher(t)
+	pool := NewPool(8, fetch)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				page := i % 4
+				if _, err := pool.Pin(fmt.Sprintf("t%d", g%2), page); err != nil {
+					errs <- err
+					return
+				}
+				pool.Unpin(fmt.Sprintf("t%d", g%2), page)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestManagerFetcher(t *testing.T) {
+	m, err := storage.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := types.NewSchema(types.Col("v", types.Int))
+	tbl := storage.NewTable("diskt", schema)
+	for i := 0; i < 2000; i++ {
+		tbl.AppendRow(types.IntDatum(int64(i)))
+	}
+	if err := m.Save(tbl); err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(4, ManagerFetcher(m))
+	pg, err := pool.Pin("diskt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumTuples() == 0 {
+		t.Error("fetched page empty")
+	}
+	pool.Unpin("diskt", 1)
+	if _, err := pool.Pin("diskt", 9999); err == nil {
+		t.Error("out-of-range page should fail")
+	}
+	if _, err := pool.Pin("missing", 0); err == nil {
+		t.Error("missing table should fail")
+	}
+}

@@ -1,0 +1,238 @@
+// Package catalog implements the system catalogue: the registry of tables,
+// their schemata, indexes, and the per-column statistics the optimizer uses
+// to order joins and to pick staging/aggregation algorithms (paper §IV).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hique/internal/btree"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// MaxDirectoryValues bounds how many distinct values the catalogue retains
+// per column. Columns at or below this cardinality can be fine-partitioned
+// or map-aggregated through value directories (paper §V-B); beyond it the
+// optimizer falls back to coarse (hash) algorithms.
+const MaxDirectoryValues = 131072
+
+// ColumnStats summarises one column for the optimizer.
+type ColumnStats struct {
+	DistinctValues int
+	// Min and Max are meaningful for Int/Date columns only; for others
+	// they are zero.
+	Min, Max int64
+	// IntValues holds the sorted distinct values of an Int/Date column
+	// when there are at most MaxDirectoryValues of them; nil otherwise.
+	IntValues []int64
+	// StrValues is the analogous directory for String columns.
+	StrValues []string
+}
+
+// TableStats summarises a table.
+type TableStats struct {
+	Rows    int
+	Columns []ColumnStats
+}
+
+// TableEntry is a catalogued table: heap, stats, and any indexes.
+type TableEntry struct {
+	Table   *storage.Table
+	Stats   TableStats
+	Indexes map[string]*btree.Tree // column name -> index
+}
+
+// Catalog is the system catalogue. It is safe for concurrent reads; DDL
+// (Register/Drop) must not race with queries on the same table.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*TableEntry
+}
+
+// New creates an empty catalogue.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*TableEntry)}
+}
+
+// Register adds a table and computes its statistics.
+func (c *Catalog) Register(t *storage.Table) *TableEntry {
+	entry := &TableEntry{
+		Table:   t,
+		Stats:   ComputeStats(t),
+		Indexes: make(map[string]*btree.Tree),
+	}
+	c.mu.Lock()
+	c.tables[t.Name()] = entry
+	c.mu.Unlock()
+	return entry
+}
+
+// RegisterWithoutStats adds a table with row count only (used for staged
+// intermediates where full stats are unnecessary).
+func (c *Catalog) RegisterWithoutStats(t *storage.Table) *TableEntry {
+	entry := &TableEntry{
+		Table:   t,
+		Stats:   TableStats{Rows: t.NumRows(), Columns: make([]ColumnStats, t.Schema().NumColumns())},
+		Indexes: make(map[string]*btree.Tree),
+	}
+	c.mu.Lock()
+	c.tables[t.Name()] = entry
+	c.mu.Unlock()
+	return entry
+}
+
+// Lookup returns the entry for a table name.
+func (c *Catalog) Lookup(name string) (*TableEntry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return e, nil
+}
+
+// Drop removes a table from the catalogue.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	delete(c.tables, name)
+	c.mu.Unlock()
+}
+
+// Names returns all catalogued table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildIndex constructs a fractal B+-tree index on an Int/Date column and
+// registers it under the column name.
+func (c *Catalog) BuildIndex(table, column string) (*btree.Tree, error) {
+	e, err := c.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	s := e.Table.Schema()
+	ci := s.ColumnIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("catalog: table %q has no column %q", table, column)
+	}
+	if k := s.Column(ci).Kind; k != types.Int && k != types.Date {
+		return nil, fmt.Errorf("catalog: cannot index %v column %q", k, column)
+	}
+	tree := btree.New()
+	off := s.Offset(ci)
+	for p := 0; p < e.Table.NumPages(); p++ {
+		page := e.Table.Page(p)
+		n := page.NumTuples()
+		for i := 0; i < n; i++ {
+			key := types.GetInt(page.Tuple(i), off)
+			tree.Insert(key, btree.RID{Page: int32(p), Slot: int32(i)})
+		}
+	}
+	c.mu.Lock()
+	e.Indexes[column] = tree
+	c.mu.Unlock()
+	return tree, nil
+}
+
+// Index returns the index on the given column, if any.
+func (e *TableEntry) Index(column string) *btree.Tree {
+	return e.Indexes[column]
+}
+
+// ComputeStats scans a table once and derives per-column statistics.
+// Distinct-value counts are exact for small cardinalities and cap out at
+// maxExactDistinct, beyond which the count is reported as the cap (the
+// optimizer only needs "small enough for a value directory" vs "large").
+func ComputeStats(t *storage.Table) TableStats {
+	const maxExactDistinct = 1 << 20
+	s := t.Schema()
+	n := s.NumColumns()
+	stats := TableStats{Rows: t.NumRows(), Columns: make([]ColumnStats, n)}
+
+	intSets := make([]map[int64]struct{}, n)
+	strSets := make([]map[string]struct{}, n)
+	floatSets := make([]map[float64]struct{}, n)
+	for i := 0; i < n; i++ {
+		switch s.Column(i).Kind {
+		case types.Int, types.Date:
+			intSets[i] = make(map[int64]struct{})
+			stats.Columns[i].Min = int64(^uint64(0) >> 1)
+			stats.Columns[i].Max = -stats.Columns[i].Min - 1
+		case types.Float:
+			floatSets[i] = make(map[float64]struct{})
+		case types.String:
+			strSets[i] = make(map[string]struct{})
+		}
+	}
+
+	t.Scan(func(tuple []byte) bool {
+		for i := 0; i < n; i++ {
+			col := s.Column(i)
+			off := s.Offset(i)
+			switch col.Kind {
+			case types.Int, types.Date:
+				v := types.GetInt(tuple, off)
+				if len(intSets[i]) < maxExactDistinct {
+					intSets[i][v] = struct{}{}
+				}
+				if v < stats.Columns[i].Min {
+					stats.Columns[i].Min = v
+				}
+				if v > stats.Columns[i].Max {
+					stats.Columns[i].Max = v
+				}
+			case types.Float:
+				if len(floatSets[i]) < maxExactDistinct {
+					floatSets[i][types.GetFloat(tuple, off)] = struct{}{}
+				}
+			case types.String:
+				if len(strSets[i]) < maxExactDistinct {
+					strSets[i][types.GetString(tuple, off, col.Size)] = struct{}{}
+				}
+			}
+		}
+		return true
+	})
+
+	for i := 0; i < n; i++ {
+		switch s.Column(i).Kind {
+		case types.Int, types.Date:
+			stats.Columns[i].DistinctValues = len(intSets[i])
+			if len(intSets[i]) > 0 && len(intSets[i]) <= MaxDirectoryValues {
+				vals := make([]int64, 0, len(intSets[i]))
+				for v := range intSets[i] {
+					vals = append(vals, v)
+				}
+				sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+				stats.Columns[i].IntValues = vals
+			}
+		case types.Float:
+			stats.Columns[i].DistinctValues = len(floatSets[i])
+		case types.String:
+			stats.Columns[i].DistinctValues = len(strSets[i])
+			if len(strSets[i]) > 0 && len(strSets[i]) <= MaxDirectoryValues {
+				vals := make([]string, 0, len(strSets[i]))
+				for v := range strSets[i] {
+					vals = append(vals, v)
+				}
+				sort.Strings(vals)
+				stats.Columns[i].StrValues = vals
+			}
+		}
+		if stats.Rows == 0 {
+			stats.Columns[i].Min, stats.Columns[i].Max = 0, 0
+		}
+	}
+	return stats
+}

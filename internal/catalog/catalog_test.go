@@ -1,0 +1,134 @@
+package catalog
+
+import (
+	"testing"
+
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+func sampleTable(name string, rows int) *storage.Table {
+	s := types.NewSchema(types.Col("id", types.Int), types.Col("grp", types.Int), types.CharCol("tag", 8))
+	t := storage.NewTable(name, s)
+	for i := 0; i < rows; i++ {
+		t.AppendRow(types.IntDatum(int64(i)), types.IntDatum(int64(i%10)), types.StringDatum([]string{"a", "b", "c"}[i%3]))
+	}
+	return t
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := New()
+	tbl := sampleTable("orders", 100)
+	c.Register(tbl)
+	e, err := c.Lookup("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Table != tbl {
+		t.Error("Lookup returned wrong table")
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown table should fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	e := c.Register(sampleTable("t", 100))
+	st := e.Stats
+	if st.Rows != 100 {
+		t.Errorf("Rows = %d", st.Rows)
+	}
+	if st.Columns[0].DistinctValues != 100 {
+		t.Errorf("id distinct = %d, want 100", st.Columns[0].DistinctValues)
+	}
+	if st.Columns[1].DistinctValues != 10 {
+		t.Errorf("grp distinct = %d, want 10", st.Columns[1].DistinctValues)
+	}
+	if st.Columns[2].DistinctValues != 3 {
+		t.Errorf("tag distinct = %d, want 3", st.Columns[2].DistinctValues)
+	}
+	if st.Columns[0].Min != 0 || st.Columns[0].Max != 99 {
+		t.Errorf("id min/max = %d/%d", st.Columns[0].Min, st.Columns[0].Max)
+	}
+}
+
+func TestStatsEmptyTable(t *testing.T) {
+	c := New()
+	e := c.Register(sampleTable("empty", 0))
+	if e.Stats.Rows != 0 {
+		t.Errorf("Rows = %d", e.Stats.Rows)
+	}
+	if e.Stats.Columns[0].Min != 0 || e.Stats.Columns[0].Max != 0 {
+		t.Error("empty table min/max should be zeroed")
+	}
+}
+
+func TestBuildIndexAndProbe(t *testing.T) {
+	c := New()
+	c.Register(sampleTable("t", 1000))
+	idx, err := c.BuildIndex("t", "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 1000 {
+		t.Fatalf("index Len = %d", idx.Len())
+	}
+	rids := idx.Search(7)
+	if len(rids) != 100 {
+		t.Errorf("Search(grp=7) found %d rids, want 100", len(rids))
+	}
+	e, _ := c.Lookup("t")
+	if e.Index("grp") != idx {
+		t.Error("index not registered on entry")
+	}
+	if e.Index("id") != nil {
+		t.Error("unexpected index on id")
+	}
+}
+
+func TestBuildIndexErrors(t *testing.T) {
+	c := New()
+	c.Register(sampleTable("t", 10))
+	if _, err := c.BuildIndex("missing", "id"); err == nil {
+		t.Error("index on missing table should fail")
+	}
+	if _, err := c.BuildIndex("t", "missing"); err == nil {
+		t.Error("index on missing column should fail")
+	}
+	if _, err := c.BuildIndex("t", "tag"); err == nil {
+		t.Error("index on CHAR column should fail")
+	}
+}
+
+func TestDropAndNames(t *testing.T) {
+	c := New()
+	c.Register(sampleTable("b", 1))
+	c.Register(sampleTable("a", 1))
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	c.Drop("a")
+	if _, err := c.Lookup("a"); err == nil {
+		t.Error("dropped table still resolvable")
+	}
+}
+
+func TestIndexRIDsResolveToMatchingTuples(t *testing.T) {
+	c := New()
+	tbl := sampleTable("t", 500)
+	c.Register(tbl)
+	idx, err := c.BuildIndex("t", "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Schema()
+	off := s.Offset(1)
+	for _, rid := range idx.Search(3) {
+		tuple := tbl.Page(int(rid.Page)).Tuple(int(rid.Slot))
+		if got := types.GetInt(tuple, off); got != 3 {
+			t.Fatalf("rid %v resolves to grp=%d, want 3", rid, got)
+		}
+	}
+}

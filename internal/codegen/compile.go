@@ -1,0 +1,87 @@
+package codegen
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"time"
+
+	"hique/internal/core"
+	"hique/internal/plan"
+	"hique/internal/storage"
+)
+
+// OptLevel is the post-generation optimisation level, the analogue of the
+// paper's gcc -O0 / -O2 axis (Table II).
+type OptLevel int
+
+const (
+	// OptO0 runs the generated algorithms with boxed values and
+	// per-step indirection (unoptimized object code).
+	OptO0 OptLevel = iota
+	// OptO2 runs the fused, type-specialised closures (optimized code).
+	OptO2
+)
+
+// String renders the flag spelling used in the paper.
+func (l OptLevel) String() string {
+	if l == OptO0 {
+		return "-O0"
+	}
+	return "-O2"
+}
+
+// Timings records the query-preparation cost breakdown reported in
+// Table III.
+type Timings struct {
+	Generate time.Duration // emitting the source file
+	Compile  time.Duration // syntax-checking + building the executable plan
+	// SourceBytes is the size of the generated source file.
+	SourceBytes int
+}
+
+// CompiledQuery is a generated, compiled, and linked query: the output of
+// the Figure 3 pipeline, ready for the executor to call.
+type CompiledQuery struct {
+	Plan   *plan.Plan
+	Source string
+	Level  OptLevel
+	Prep   Timings
+
+	run func() (*storage.Table, error)
+}
+
+// Generate instantiates the code templates for the plan (Figure 3), emits
+// the query-specific source file, "compiles" it (syntax check via
+// go/parser — the stand-in for the external compiler; see DESIGN.md), and
+// returns the executable query.
+func Generate(p *plan.Plan, level OptLevel) (*CompiledQuery, error) {
+	q := &CompiledQuery{Plan: p, Level: level}
+
+	start := time.Now()
+	q.Source = EmitSource(p)
+	q.Prep.Generate = time.Since(start)
+	q.Prep.SourceBytes = len(q.Source)
+
+	start = time.Now()
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "query.go", q.Source, parser.SkipObjectResolution); err != nil {
+		return nil, fmt.Errorf("codegen: generated source does not parse: %w", err)
+	}
+	switch level {
+	case OptO2:
+		eng := core.NewEngine()
+		q.run = func() (*storage.Table, error) { return eng.Execute(p) }
+	case OptO0:
+		q.run = func() (*storage.Table, error) { return runO0(p) }
+	default:
+		return nil, fmt.Errorf("codegen: unknown optimisation level %d", level)
+	}
+	q.Prep.Compile = time.Since(start)
+	return q, nil
+}
+
+// Run executes the compiled query and returns its result table.
+func (q *CompiledQuery) Run() (*storage.Table, error) {
+	return q.run()
+}

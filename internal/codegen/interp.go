@@ -1,0 +1,612 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// The O0 executor runs the same holistic algorithms as internal/core but
+// the way unoptimized object code would: every field access boxes its value
+// into a Datum, every predicate and comparison goes through a generic
+// comparison routine, every projection column is materialised by a separate
+// call, and rows travel as heap-allocated datum slices. This reproduces the
+// paper's -O0 compilation axis (Table II): same algorithm, indirection not
+// eliminated.
+
+type boxedStaged struct {
+	schema *types.Schema
+	parts  [][][]types.Datum
+	sorted bool
+}
+
+func runO0(p *plan.Plan) (*storage.Table, error) {
+	joinOut := make([]*boxedRows, len(p.Joins))
+	resolve := func(ref plan.InputRef) (*boxedRows, error) {
+		if ref.Base >= 0 {
+			return boxTable(p.Tables[ref.Base].Entry.Table), nil
+		}
+		if ref.Join < 0 || ref.Join >= len(joinOut) || joinOut[ref.Join] == nil {
+			return nil, fmt.Errorf("codegen: dangling input %v", ref)
+		}
+		return joinOut[ref.Join], nil
+	}
+
+	for ji, j := range p.Joins {
+		staged := make([]*boxedStaged, len(j.Inputs))
+		for i := range j.Inputs {
+			in, err := resolve(j.Inputs[i].Input)
+			if err != nil {
+				return nil, err
+			}
+			staged[i] = stageO0(&j.Inputs[i], in)
+		}
+		out, err := joinO0(j, staged)
+		if err != nil {
+			return nil, err
+		}
+		joinOut[ji] = out
+	}
+
+	var rows *boxedRows
+	switch {
+	case p.Agg != nil:
+		in, err := resolve(p.Agg.Input.Input)
+		if err != nil {
+			return nil, err
+		}
+		if p.Agg.Alg == plan.MapAggregation {
+			rows, err = mapAggO0(p.Agg, in)
+		} else {
+			staged := stageO0(&p.Agg.Input, in)
+			rows, err = sortedAggO0(p.Agg, staged)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case p.Final != nil:
+		staged := stageO0(p.Final, mustResolve(resolve, p.Final.Input))
+		rows = &boxedRows{schema: staged.schema, rows: staged.parts[0]}
+	default:
+		return nil, fmt.Errorf("codegen: empty plan")
+	}
+
+	if p.Sort != nil {
+		sortO0(rows, p.Sort.Keys)
+	}
+	if p.Limit >= 0 && len(rows.rows) > p.Limit {
+		rows.rows = rows.rows[:p.Limit]
+	}
+
+	// Encode the boxed result into a table.
+	out := storage.NewTable("result", rows.schema)
+	for _, r := range rows.rows {
+		out.AppendRow(r...)
+	}
+	return out, nil
+}
+
+type boxedRows struct {
+	schema *types.Schema
+	rows   [][]types.Datum
+}
+
+func mustResolve(resolve func(plan.InputRef) (*boxedRows, error), ref plan.InputRef) *boxedRows {
+	r, err := resolve(ref)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func boxTable(t *storage.Table) *boxedRows {
+	s := t.Schema()
+	rows := make([][]types.Datum, 0, t.NumRows())
+	t.Scan(func(tuple []byte) bool {
+		rows = append(rows, s.DecodeRow(tuple))
+		return true
+	})
+	return &boxedRows{schema: s, rows: rows}
+}
+
+// evalPredicateO0 is the generic, boxed predicate evaluation the iterator
+// model uses: a comparison function selected at run time.
+func evalPredicateO0(row []types.Datum, f *plan.Filter) bool {
+	c := types.Compare(row[f.Col], f.Val)
+	switch f.Op {
+	case sql.CmpEq:
+		return c == 0
+	case sql.CmpNe:
+		return c != 0
+	case sql.CmpLt:
+		return c < 0
+	case sql.CmpLe:
+		return c <= 0
+	case sql.CmpGt:
+		return c > 0
+	case sql.CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// evalExprO0 interprets a bound expression over a boxed row.
+func evalExprO0(e plan.Expr, row []types.Datum) types.Datum {
+	switch v := e.(type) {
+	case *plan.ColExpr:
+		return row[v.Col]
+	case *plan.ConstExpr:
+		return v.D
+	case *plan.ArithExpr:
+		l := evalExprO0(v.L, row)
+		r := evalExprO0(v.R, row)
+		if v.Kind() == types.Float {
+			lf, rf := datumFloat(l), datumFloat(r)
+			switch v.Op {
+			case sql.OpAdd:
+				return types.FloatDatum(lf + rf)
+			case sql.OpSub:
+				return types.FloatDatum(lf - rf)
+			case sql.OpMul:
+				return types.FloatDatum(lf * rf)
+			case sql.OpDiv:
+				return types.FloatDatum(lf / rf)
+			}
+		}
+		switch v.Op {
+		case sql.OpAdd:
+			return types.IntDatum(l.I + r.I)
+		case sql.OpSub:
+			return types.IntDatum(l.I - r.I)
+		case sql.OpMul:
+			return types.IntDatum(l.I * r.I)
+		case sql.OpDiv:
+			return types.IntDatum(l.I / r.I)
+		}
+	}
+	panic("codegen: bad expression")
+}
+
+func datumFloat(d types.Datum) float64 {
+	if d.Kind == types.Float {
+		return d.F
+	}
+	return float64(d.I)
+}
+
+func stageO0(st *plan.Stage, in *boxedRows) *boxedStaged {
+	nParts := 1
+	switch st.Action {
+	case plan.StagePartitionFine:
+		nParts = len(st.FineValues)
+	case plan.StagePartitionCoarse:
+		nParts = st.Partitions
+	}
+	out := &boxedStaged{schema: st.Schema, parts: make([][][]types.Datum, nParts)}
+
+	for _, row := range in.rows {
+		keep := true
+		for i := range st.Filters {
+			if !evalPredicateO0(row, &st.Filters[i]) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		projected := make([]types.Datum, len(st.Cols))
+		for i, c := range st.Cols {
+			if c.Compute != nil {
+				projected[i] = evalExprO0(c.Compute, row)
+			} else {
+				projected[i] = row[c.Source]
+			}
+		}
+		p := 0
+		switch st.Action {
+		case plan.StagePartitionFine:
+			p = fineLookupO0(st.FineValues, projected[st.PartitionKey])
+			if p < 0 {
+				continue
+			}
+		case plan.StagePartitionCoarse:
+			p = int(hashDatum(projected[st.PartitionKey]) & uint64(st.Partitions-1))
+		}
+		out.parts[p] = append(out.parts[p], projected)
+	}
+
+	if st.Action == plan.StageSort || (st.Action == plan.StagePartitionCoarse && st.SortPartitions) {
+		for _, part := range out.parts {
+			sortBoxed(part, st.SortKeys)
+		}
+		out.sorted = true
+	}
+	return out
+}
+
+func fineLookupO0(dir []types.Datum, v types.Datum) int {
+	lo, hi := 0, len(dir)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if types.Compare(dir[mid], v) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(dir) && types.Compare(dir[lo], v) == 0 {
+		return lo
+	}
+	return -1
+}
+
+func hashDatum(d types.Datum) uint64 {
+	switch d.Kind {
+	case types.String:
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(d.S); i++ {
+			h ^= uint64(d.S[i])
+			h *= 1099511628211
+		}
+		return h
+	default:
+		x := uint64(d.I) * 0x9E3779B97F4A7C15
+		return x ^ (x >> 29)
+	}
+}
+
+func sortBoxed(rows [][]types.Datum, keys []int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			if c := types.Compare(rows[i][k], rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+func joinO0(j *plan.Join, staged []*boxedStaged) (*boxedRows, error) {
+	out := &boxedRows{schema: j.Schema}
+	emit := func(tuples [][]types.Datum) {
+		row := make([]types.Datum, len(j.Out))
+		for pos, o := range j.Out {
+			row[pos] = tuples[o.Input][o.Col]
+		}
+		out.rows = append(out.rows, row)
+	}
+
+	switch j.Alg {
+	case plan.MergeJoin:
+		inputs := make([][][]types.Datum, len(staged))
+		for i, s := range staged {
+			if len(s.parts) != 1 {
+				return nil, fmt.Errorf("codegen: merge join over partitioned input")
+			}
+			inputs[i] = s.parts[0]
+			if !s.sorted {
+				sortBoxed(inputs[i], []int{j.Keys[i]})
+			}
+		}
+		mergeJoinO0(j, inputs, emit)
+	case plan.FinePartitionJoin:
+		m := len(staged[0].parts)
+		for p := 0; p < m; p++ {
+			parts := make([][][]types.Datum, len(staged))
+			empty := false
+			for i, s := range staged {
+				parts[i] = s.parts[p]
+				if len(parts[i]) == 0 {
+					empty = true
+					break
+				}
+			}
+			if !empty {
+				cartesianO0(parts, make([][]types.Datum, len(parts)), 0, emit)
+			}
+		}
+	case plan.HybridJoin:
+		m := len(staged[0].parts)
+		for p := 0; p < m; p++ {
+			inputs := make([][][]types.Datum, len(staged))
+			empty := false
+			for i, s := range staged {
+				inputs[i] = s.parts[p]
+				if len(inputs[i]) == 0 {
+					empty = true
+					break
+				}
+				if !s.sorted {
+					sortBoxed(inputs[i], []int{j.Keys[i]})
+				}
+			}
+			if !empty {
+				mergeJoinO0(j, inputs, emit)
+			}
+		}
+	}
+	return out, nil
+}
+
+func cartesianO0(parts [][][]types.Datum, cur [][]types.Datum, depth int, emit func([][]types.Datum)) {
+	if depth == len(parts) {
+		emit(cur)
+		return
+	}
+	for _, r := range parts[depth] {
+		cur[depth] = r
+		cartesianO0(parts, cur, depth+1, emit)
+	}
+}
+
+func mergeJoinO0(j *plan.Join, inputs [][][]types.Datum, emit func([][]types.Datum)) {
+	k := len(inputs)
+	pos := make([]int, k)
+	for i := 0; i < k; i++ {
+		if len(inputs[i]) == 0 {
+			return
+		}
+	}
+	key := func(i int) types.Datum { return inputs[i][pos[i]][j.Keys[i]] }
+	ends := make([]int, k)
+	groups := make([][][]types.Datum, k)
+	for {
+		aligned := false
+		for !aligned {
+			aligned = true
+			for i := 1; i < k; i++ {
+				c := types.Compare(key(i), key(0))
+				for c < 0 {
+					pos[i]++
+					if pos[i] >= len(inputs[i]) {
+						return
+					}
+					c = types.Compare(key(i), key(0))
+				}
+				if c > 0 {
+					pos[0]++
+					if pos[0] >= len(inputs[0]) {
+						return
+					}
+					aligned = false
+					break
+				}
+			}
+		}
+		for i := 0; i < k; i++ {
+			e := pos[i] + 1
+			head := inputs[i][pos[i]][j.Keys[i]]
+			for e < len(inputs[i]) && types.Compare(inputs[i][e][j.Keys[i]], head) == 0 {
+				e++
+			}
+			ends[i] = e
+			groups[i] = inputs[i][pos[i]:e]
+		}
+		cartesianO0(groups, make([][]types.Datum, k), 0, emit)
+		for i := 0; i < k; i++ {
+			pos[i] = ends[i]
+			if pos[i] >= len(inputs[i]) {
+				return
+			}
+		}
+	}
+}
+
+// boxedAccum is the O0 accumulator: datum arithmetic per update.
+type boxedAccum struct {
+	sum    []types.Datum
+	cnt    []int64
+	min    []types.Datum
+	max    []types.Datum
+	tuples int64
+}
+
+func newBoxedAccum(n int) *boxedAccum {
+	a := &boxedAccum{sum: make([]types.Datum, n), cnt: make([]int64, n),
+		min: make([]types.Datum, n), max: make([]types.Datum, n)}
+	a.reset()
+	return a
+}
+
+func (a *boxedAccum) reset() {
+	for i := range a.sum {
+		a.sum[i] = types.FloatDatum(0)
+		a.cnt[i] = 0
+		a.min[i] = types.Datum{Kind: types.Float, F: math.Inf(1)}
+		a.max[i] = types.Datum{Kind: types.Float, F: math.Inf(-1)}
+	}
+	a.tuples = 0
+}
+
+func (a *boxedAccum) update(agg *plan.Agg, row []types.Datum) {
+	a.tuples++
+	for i := range agg.Aggs {
+		spec := &agg.Aggs[i]
+		if spec.Star {
+			a.cnt[i]++
+			continue
+		}
+		v := datumFloat(row[spec.Col])
+		switch spec.Func {
+		case sql.AggSum, sql.AggAvg:
+			a.sum[i] = types.FloatDatum(a.sum[i].F + v)
+			a.cnt[i]++
+		case sql.AggCount:
+			a.cnt[i]++
+		case sql.AggMin:
+			if v < a.min[i].F {
+				a.min[i] = types.FloatDatum(v)
+			}
+		case sql.AggMax:
+			if v > a.max[i].F {
+				a.max[i] = types.FloatDatum(v)
+			}
+		}
+	}
+}
+
+func (a *boxedAccum) result(agg *plan.Agg, rep []types.Datum) []types.Datum {
+	out := make([]types.Datum, len(agg.Output))
+	for pos, ref := range agg.Output {
+		if !ref.IsAgg {
+			out[pos] = rep[agg.GroupCols[ref.Index]]
+			continue
+		}
+		spec := &agg.Aggs[ref.Index]
+		i := ref.Index
+		switch spec.Func {
+		case sql.AggSum:
+			if spec.Kind == types.Int {
+				out[pos] = types.IntDatum(int64(a.sum[i].F))
+			} else {
+				out[pos] = a.sum[i]
+			}
+		case sql.AggAvg:
+			if a.cnt[i] > 0 {
+				out[pos] = types.FloatDatum(a.sum[i].F / float64(a.cnt[i]))
+			} else {
+				out[pos] = types.FloatDatum(0)
+			}
+		case sql.AggCount:
+			if spec.Star {
+				out[pos] = types.IntDatum(a.tuples)
+			} else {
+				out[pos] = types.IntDatum(a.cnt[i])
+			}
+		case sql.AggMin:
+			if spec.Kind == types.Int {
+				out[pos] = types.IntDatum(int64(a.min[i].F))
+			} else {
+				out[pos] = a.min[i]
+			}
+		case sql.AggMax:
+			if spec.Kind == types.Int {
+				out[pos] = types.IntDatum(int64(a.max[i].F))
+			} else {
+				out[pos] = a.max[i]
+			}
+		}
+	}
+	return out
+}
+
+func sortedAggO0(a *plan.Agg, staged *boxedStaged) (*boxedRows, error) {
+	out := &boxedRows{schema: a.Schema}
+	acc := newBoxedAccum(len(a.Aggs))
+	sameGroup := func(x, y []types.Datum) bool {
+		for _, g := range a.GroupCols {
+			if types.Compare(x[g], y[g]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for _, part := range staged.parts {
+		var rep []types.Datum
+		for _, row := range part {
+			if rep == nil {
+				rep = row
+			} else if !sameGroup(rep, row) {
+				out.rows = append(out.rows, acc.result(a, rep))
+				acc.reset()
+				rep = row
+			}
+			acc.update(a, row)
+		}
+		if rep != nil {
+			out.rows = append(out.rows, acc.result(a, rep))
+			acc.reset()
+		}
+	}
+	return out, nil
+}
+
+func mapAggO0(a *plan.Agg, in *boxedRows) (*boxedRows, error) {
+	if len(a.Directories) != len(a.GroupCols) {
+		return nil, fmt.Errorf("codegen: map aggregation without directories")
+	}
+	st := &a.Input
+	nGroups := 1
+	strides := make([]int, len(a.GroupCols))
+	for i := len(a.GroupCols) - 1; i >= 0; i-- {
+		strides[i] = nGroups
+		nGroups *= len(a.Directories[i])
+	}
+	accs := make([]*boxedAccum, nGroups)
+
+	for _, row := range in.rows {
+		keep := true
+		for i := range st.Filters {
+			if !evalPredicateO0(row, &st.Filters[i]) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		projected := make([]types.Datum, len(st.Cols))
+		for i, c := range st.Cols {
+			if c.Compute != nil {
+				projected[i] = evalExprO0(c.Compute, row)
+			} else {
+				projected[i] = row[c.Source]
+			}
+		}
+		slot := 0
+		miss := false
+		for i := range a.GroupCols {
+			di := fineLookupO0(a.Directories[i], projected[a.GroupCols[i]])
+			if di < 0 {
+				miss = true
+				break
+			}
+			slot += di * strides[i]
+		}
+		if miss {
+			continue
+		}
+		if accs[slot] == nil {
+			accs[slot] = newBoxedAccum(len(a.Aggs))
+		}
+		accs[slot].update(a, projected)
+	}
+
+	out := &boxedRows{schema: a.Schema}
+	idxs := make([]int, len(a.GroupCols))
+	for g := 0; g < nGroups; g++ {
+		if accs[g] == nil {
+			continue
+		}
+		rem := g
+		rep := make([]types.Datum, len(a.Input.Cols))
+		for i := range idxs {
+			idxs[i] = rem / strides[i]
+			rem %= strides[i]
+			rep[a.GroupCols[i]] = a.Directories[i][idxs[i]]
+		}
+		out.rows = append(out.rows, accs[g].result(a, rep))
+	}
+	return out, nil
+}
+
+func sortO0(rows *boxedRows, keys []plan.SortKey) {
+	sort.SliceStable(rows.rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := types.Compare(rows.rows[i][k.Col], rows.rows[j][k.Col])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

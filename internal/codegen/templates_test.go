@@ -1,0 +1,127 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"hique/internal/plan"
+	"hique/internal/sql"
+)
+
+// Template-variant tests: the generated source must reflect the algorithm
+// the optimizer chose — the paper's point that one nested-loops template
+// specialises into every join variant through included/excluded segments
+// (§V-B, "for hash join, the segments corresponding to Lines 3 to 5 are
+// included and the ones for Lines 6 and 21 are excluded").
+
+func sourceFor(t *testing.T, q string, opts plan.Options) string {
+	t.Helper()
+	cat := testCatalog()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.BuildWithOptions(stmt, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return EmitSource(p)
+}
+
+const joinQ = "SELECT sale_id, cat FROM sales, prods WHERE sales.prod = prods.prod_id"
+
+func TestMergeJoinTemplateVariant(t *testing.T) {
+	opts := plan.DefaultOptions()
+	alg := plan.MergeJoin
+	opts.ForceJoinAlg = &alg
+	src := sourceFor(t, joinQ, opts)
+	if !strings.Contains(src, "merge join: single logical partition, M = 1") {
+		t.Error("merge variant missing M=1 comment")
+	}
+	if !strings.Contains(src, "UpdateMergeBounds") {
+		t.Error("merge variant missing bound updates (Listing 2 line 21)")
+	}
+	if strings.Contains(src, "SortPartition(") {
+		t.Error("merge variant must not sort partitions at join time")
+	}
+	if !strings.Contains(src, "sort on columns") {
+		t.Error("merge staging must sort inputs")
+	}
+}
+
+func TestHybridJoinTemplateVariant(t *testing.T) {
+	opts := plan.DefaultOptions()
+	alg := plan.HybridJoin
+	opts.ForceJoinAlg = &alg
+	src := sourceFor(t, joinQ, opts)
+	if !strings.Contains(src, "examine corresponding partitions together") {
+		t.Error("hybrid variant missing partition loop (Listing 2 lines 3-5)")
+	}
+	if !strings.Contains(src, "hybrid hash-sort-merge: sort just before joining") {
+		t.Error("hybrid variant missing at-join-time partition sort (Listing 2 line 6)")
+	}
+	if !strings.Contains(src, "hash-partition into") {
+		t.Error("hybrid staging must coarse-partition")
+	}
+}
+
+func TestFinePartitionTemplateVariant(t *testing.T) {
+	opts := plan.DefaultOptions()
+	alg := plan.FinePartitionJoin
+	opts.ForceJoinAlg = &alg
+	src := sourceFor(t, joinQ, opts)
+	if !strings.Contains(src, "fine-partition through a") {
+		t.Error("fine variant missing value-directory staging")
+	}
+	if strings.Contains(src, "SortPartition(") {
+		t.Error("fine variant must not sort partitions")
+	}
+}
+
+func TestSortedAggTemplateVariant(t *testing.T) {
+	opts := plan.DefaultOptions()
+	alg := plan.HybridAggregation
+	opts.ForceAggAlg = &alg
+	src := sourceFor(t, "SELECT prod, SUM(amount) AS s FROM sales GROUP BY prod", opts)
+	if !strings.Contains(src, "groups close on key change") {
+		t.Error("hybrid aggregation missing group-change scan")
+	}
+	if !strings.Contains(src, "groups never span hash partitions") {
+		t.Error("hybrid aggregation missing per-partition group close")
+	}
+}
+
+func TestStagingFilterInlined(t *testing.T) {
+	src := sourceFor(t, "SELECT sale_id FROM sales WHERE qty > 5 AND prod = 3", plan.DefaultOptions())
+	// Constants must be baked into the emitted predicates (Listing 1).
+	if !strings.Contains(src, "> 5") || !strings.Contains(src, "== 3") {
+		t.Errorf("filter constants not inlined:\n%.400s", src)
+	}
+	if !strings.Contains(src, "continue") {
+		t.Error("scan-select template missing continue on predicate failure")
+	}
+}
+
+func TestComposerCallsInDescriptorOrder(t *testing.T) {
+	opts := plan.DefaultOptions()
+	src := sourceFor(t, "SELECT cat, SUM(amount) AS s FROM sales, prods WHERE sales.prod = prods.prod_id GROUP BY cat ORDER BY s DESC LIMIT 3", opts)
+	// Fig. 3 order: stage inputs, join, stage agg input (or fused),
+	// aggregate, sort, limit.
+	landmarks := []string{"stageJoin0Input0(", "stageJoin0Input1(", "evalJoin0(", "evalAggregate(", "evalOrderBy(", "Truncate(3)"}
+	idx := strings.Index(src, "func EvaluateQuery")
+	if idx < 0 {
+		t.Fatal("missing composer")
+	}
+	body := src[idx:]
+	pos := -1
+	for _, lm := range landmarks {
+		next := strings.Index(body, lm)
+		if next < 0 {
+			t.Fatalf("composer missing %q", lm)
+		}
+		if next < pos {
+			t.Fatalf("composer calls %q out of descriptor order", lm)
+		}
+		pos = next
+	}
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// aggAccum holds one group's accumulator state; slices are indexed by
+// aggregate position.
+type aggAccum struct {
+	sumI   []int64
+	sumF   []float64
+	cnt    []int64
+	minI   []int64
+	maxI   []int64
+	minF   []float64
+	maxF   []float64
+	tuples int64
+}
+
+func newAggAccum(n int) *aggAccum {
+	a := &aggAccum{
+		sumI: make([]int64, n), sumF: make([]float64, n), cnt: make([]int64, n),
+		minI: make([]int64, n), maxI: make([]int64, n),
+		minF: make([]float64, n), maxF: make([]float64, n),
+	}
+	a.reset()
+	return a
+}
+
+func (a *aggAccum) reset() {
+	for i := range a.sumI {
+		a.sumI[i], a.sumF[i], a.cnt[i] = 0, 0, 0
+		a.minI[i], a.maxI[i] = math.MaxInt64, math.MinInt64
+		a.minF[i], a.maxF[i] = math.Inf(1), math.Inf(-1)
+	}
+	a.tuples = 0
+}
+
+// compileUpdates builds the per-tuple accumulator update for each aggregate
+// over the staged schema: inlined, type-specialised, no dispatch (the
+// paper stresses the importance of call-free aggregation inner loops).
+func compileUpdates(a *plan.Agg, schema *types.Schema, acc *aggAccum) func(t []byte) {
+	type update func(t []byte)
+	var ups []update
+	for i := range a.Aggs {
+		spec := &a.Aggs[i]
+		idx := i
+		if spec.Star {
+			continue // covered by acc.tuples
+		}
+		off := schema.Offset(spec.Col)
+		isFloat := schema.Column(spec.Col).Kind == types.Float
+		switch spec.Func {
+		case sql.AggSum:
+			if isFloat {
+				ups = append(ups, func(t []byte) { acc.sumF[idx] += types.GetFloat(t, off) })
+			} else {
+				ups = append(ups, func(t []byte) { acc.sumI[idx] += types.GetInt(t, off) })
+			}
+		case sql.AggAvg:
+			if isFloat {
+				ups = append(ups, func(t []byte) { acc.sumF[idx] += types.GetFloat(t, off); acc.cnt[idx]++ })
+			} else {
+				ups = append(ups, func(t []byte) { acc.sumF[idx] += float64(types.GetInt(t, off)); acc.cnt[idx]++ })
+			}
+		case sql.AggCount:
+			ups = append(ups, func(t []byte) { acc.cnt[idx]++ })
+		case sql.AggMin:
+			if isFloat {
+				ups = append(ups, func(t []byte) {
+					if v := types.GetFloat(t, off); v < acc.minF[idx] {
+						acc.minF[idx] = v
+					}
+				})
+			} else {
+				ups = append(ups, func(t []byte) {
+					if v := types.GetInt(t, off); v < acc.minI[idx] {
+						acc.minI[idx] = v
+					}
+				})
+			}
+		case sql.AggMax:
+			if isFloat {
+				ups = append(ups, func(t []byte) {
+					if v := types.GetFloat(t, off); v > acc.maxF[idx] {
+						acc.maxF[idx] = v
+					}
+				})
+			} else {
+				ups = append(ups, func(t []byte) {
+					if v := types.GetInt(t, off); v > acc.maxI[idx] {
+						acc.maxI[idx] = v
+					}
+				})
+			}
+		}
+	}
+	switch len(ups) {
+	case 0:
+		return func(t []byte) { acc.tuples++ }
+	case 1:
+		u := ups[0]
+		return func(t []byte) { acc.tuples++; u(t) }
+	case 2:
+		u0, u1 := ups[0], ups[1]
+		return func(t []byte) { acc.tuples++; u0(t); u1(t) }
+	default:
+		return func(t []byte) {
+			acc.tuples++
+			for _, u := range ups {
+				u(t)
+			}
+		}
+	}
+}
+
+// aggResult writes one aggregate's final value into the output tuple.
+func aggResult(spec *plan.AggSpec, idx int, acc *aggAccum, dst []byte, off int, argIsFloat bool) {
+	switch spec.Func {
+	case sql.AggSum:
+		if argIsFloat {
+			types.PutFloat(dst, off, acc.sumF[idx])
+		} else {
+			types.PutInt(dst, off, acc.sumI[idx])
+		}
+	case sql.AggAvg:
+		if acc.cnt[idx] > 0 {
+			types.PutFloat(dst, off, acc.sumF[idx]/float64(acc.cnt[idx]))
+		} else {
+			types.PutFloat(dst, off, 0)
+		}
+	case sql.AggCount:
+		if spec.Star {
+			types.PutInt(dst, off, acc.tuples)
+		} else {
+			types.PutInt(dst, off, acc.cnt[idx])
+		}
+	case sql.AggMin:
+		if argIsFloat {
+			types.PutFloat(dst, off, acc.minF[idx])
+		} else {
+			types.PutInt(dst, off, acc.minI[idx])
+		}
+	case sql.AggMax:
+		if argIsFloat {
+			types.PutFloat(dst, off, acc.maxF[idx])
+		} else {
+			types.PutInt(dst, off, acc.maxI[idx])
+		}
+	}
+}
+
+// groupWriter emits a finished group: group-column values come from a
+// representative staged tuple, aggregates from the accumulator.
+func makeGroupWriter(a *plan.Agg, staged *types.Schema, out *storage.Table) func(rep []byte, acc *aggAccum) {
+	outSchema := a.Schema
+	buf := make([]byte, outSchema.TupleSize())
+	type groupCopy struct{ srcOff, dstOff, size int }
+	var copies []groupCopy
+	type aggWrite struct {
+		spec    *plan.AggSpec
+		idx     int
+		dstOff  int
+		isFloat bool
+	}
+	var writes []aggWrite
+	for pos, ref := range a.Output {
+		dstOff := outSchema.Offset(pos)
+		if ref.IsAgg {
+			spec := &a.Aggs[ref.Index]
+			isFloat := false
+			if spec.Col >= 0 {
+				isFloat = staged.Column(spec.Col).Kind == types.Float
+			}
+			writes = append(writes, aggWrite{spec: spec, idx: ref.Index, dstOff: dstOff, isFloat: isFloat})
+		} else {
+			src := a.GroupCols[ref.Index]
+			copies = append(copies, groupCopy{staged.Offset(src), dstOff, staged.Column(src).Size})
+		}
+	}
+	return func(rep []byte, acc *aggAccum) {
+		for _, c := range copies {
+			copy(buf[c.dstOff:c.dstOff+c.size], rep[c.srcOff:c.srcOff+c.size])
+		}
+		for _, w := range writes {
+			aggResult(w.spec, w.idx, acc, buf, w.dstOff, w.isFloat)
+		}
+		out.Append(buf)
+	}
+}
+
+// RunSortedAgg evaluates sort or hybrid aggregation over a staged input
+// whose parts are sorted on the grouping attributes: one linear scan per
+// part, emitting each group as it closes (§V-B).
+func RunSortedAgg(a *plan.Agg, staged *Staged) (*storage.Table, error) {
+	out := storage.NewTable("agg", a.Schema)
+	acc := newAggAccum(len(a.Aggs))
+	update := compileUpdates(a, staged.Schema, acc)
+	write := makeGroupWriter(a, staged.Schema, out)
+	sameGroup := MakeKeyCompare(staged.Schema, a.GroupCols)
+
+	var rep []byte
+	for _, part := range staged.Parts {
+		part.Scan(func(t []byte) bool {
+			if rep == nil {
+				rep = append(rep[:0], t...)
+			} else if sameGroup(rep, t) != 0 {
+				write(rep, acc)
+				acc.reset()
+				rep = append(rep[:0], t...)
+			}
+			update(t)
+			return true
+		})
+		// Hash partitioning routes whole groups to one partition, so a
+		// group never spans parts: close the open group at part end.
+		if rep != nil {
+			write(rep, acc)
+			acc.reset()
+			rep = nil
+		}
+	}
+	return out, nil
+}
+
+// RunMapAgg evaluates map aggregation: a single pass over the raw input,
+// no staging, per-attribute value directories, and the offset formula of
+// Figure 4 mapping each grouping-value combination to a slot in flat
+// aggregate arrays.
+func RunMapAgg(a *plan.Agg, input *storage.Table) (*storage.Table, error) {
+	if len(a.Directories) != len(a.GroupCols) {
+		return nil, fmt.Errorf("core: map aggregation needs one directory per grouping attribute")
+	}
+	st := &a.Input
+	inSchema := input.Schema()
+	filter := MakeFilter(inSchema, st.Filters)
+	project := MakeProjector(inSchema, st.Cols, st.Schema)
+	staged := st.Schema
+	buf := make([]byte, staged.TupleSize())
+
+	// Build typed directories and strides: offset(v1..vn) = sum of
+	// directory indexes times the product of later directory sizes.
+	nGroups := 1
+	lookups := make([]func(t []byte) int, len(a.GroupCols))
+	for i, gc := range a.GroupCols {
+		dir := a.Directories[i]
+		nGroups *= len(dir)
+		lookups[i] = makeDirectoryLookup(staged, gc, dir)
+	}
+	strides := make([]int, len(a.GroupCols))
+	s := 1
+	for i := len(a.GroupCols) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= len(a.Directories[i])
+	}
+
+	// One flat array per aggregate function (paper Fig. 4), plus a tuple
+	// counter per group that doubles as the presence marker.
+	nAggs := len(a.Aggs)
+	sumI := make([]int64, nGroups*nAggs)
+	sumF := make([]float64, nGroups*nAggs)
+	cnt := make([]int64, nGroups*nAggs)
+	minI := make([]int64, nGroups*nAggs)
+	maxI := make([]int64, nGroups*nAggs)
+	minF := make([]float64, nGroups*nAggs)
+	maxF := make([]float64, nGroups*nAggs)
+	for i := range minI {
+		minI[i], maxI[i] = math.MaxInt64, math.MinInt64
+		minF[i], maxF[i] = math.Inf(1), math.Inf(-1)
+	}
+	tuples := make([]int64, nGroups)
+
+	// Compile the per-tuple update over the flat arrays.
+	type update func(t []byte, base int)
+	var ups []update
+	for i := range a.Aggs {
+		spec := &a.Aggs[i]
+		idx := i
+		if spec.Star {
+			continue
+		}
+		off := staged.Offset(spec.Col)
+		isFloat := staged.Column(spec.Col).Kind == types.Float
+		switch spec.Func {
+		case sql.AggSum:
+			if isFloat {
+				ups = append(ups, func(t []byte, base int) { sumF[base+idx] += types.GetFloat(t, off) })
+			} else {
+				ups = append(ups, func(t []byte, base int) { sumI[base+idx] += types.GetInt(t, off) })
+			}
+		case sql.AggAvg:
+			if isFloat {
+				ups = append(ups, func(t []byte, base int) { sumF[base+idx] += types.GetFloat(t, off); cnt[base+idx]++ })
+			} else {
+				ups = append(ups, func(t []byte, base int) { sumF[base+idx] += float64(types.GetInt(t, off)); cnt[base+idx]++ })
+			}
+		case sql.AggCount:
+			ups = append(ups, func(t []byte, base int) { cnt[base+idx]++ })
+		case sql.AggMin:
+			if isFloat {
+				ups = append(ups, func(t []byte, base int) {
+					if v := types.GetFloat(t, off); v < minF[base+idx] {
+						minF[base+idx] = v
+					}
+				})
+			} else {
+				ups = append(ups, func(t []byte, base int) {
+					if v := types.GetInt(t, off); v < minI[base+idx] {
+						minI[base+idx] = v
+					}
+				})
+			}
+		case sql.AggMax:
+			if isFloat {
+				ups = append(ups, func(t []byte, base int) {
+					if v := types.GetFloat(t, off); v > maxF[base+idx] {
+						maxF[base+idx] = v
+					}
+				})
+			} else {
+				ups = append(ups, func(t []byte, base int) {
+					if v := types.GetInt(t, off); v > maxI[base+idx] {
+						maxI[base+idx] = v
+					}
+				})
+			}
+		}
+	}
+
+	// The single scan: filter, project (computing aggregate arguments),
+	// locate the group slot, update the arrays.
+	input.Scan(func(raw []byte) bool {
+		if filter != nil && !filter(raw) {
+			return true
+		}
+		project(raw, buf)
+		g := 0
+		for i, lk := range lookups {
+			di := lk(buf)
+			if di < 0 {
+				return true // value outside directory: stale stats; skip
+			}
+			g += di * strides[i]
+		}
+		tuples[g]++
+		base := g * nAggs
+		for _, u := range ups {
+			u(buf, base)
+		}
+		return true
+	})
+
+	// Emit groups in directory order (which is sorted order, a useful
+	// interesting order for downstream ORDER BY).
+	out := storage.NewTable("agg", a.Schema)
+	outBuf := make([]byte, a.Schema.TupleSize())
+	idxs := make([]int, len(a.GroupCols))
+	for g := 0; g < nGroups; g++ {
+		if tuples[g] == 0 {
+			continue
+		}
+		rem := g
+		for i := range idxs {
+			idxs[i] = rem / strides[i]
+			rem %= strides[i]
+		}
+		base := g * nAggs
+		for pos, ref := range a.Output {
+			dstOff := a.Schema.Offset(pos)
+			if !ref.IsAgg {
+				d := a.Directories[ref.Index][idxs[ref.Index]]
+				col := a.Schema.Column(pos)
+				switch col.Kind {
+				case types.Int, types.Date:
+					types.PutInt(outBuf, dstOff, d.I)
+				case types.Float:
+					types.PutFloat(outBuf, dstOff, d.F)
+				case types.String:
+					types.PutString(outBuf, dstOff, col.Size, d.S)
+				}
+				continue
+			}
+			spec := &a.Aggs[ref.Index]
+			i := base + ref.Index
+			switch spec.Func {
+			case sql.AggSum:
+				if spec.Col >= 0 && staged.Column(spec.Col).Kind == types.Float {
+					types.PutFloat(outBuf, dstOff, sumF[i])
+				} else {
+					types.PutInt(outBuf, dstOff, sumI[i])
+				}
+			case sql.AggAvg:
+				if cnt[i] > 0 {
+					types.PutFloat(outBuf, dstOff, sumF[i]/float64(cnt[i]))
+				} else {
+					types.PutFloat(outBuf, dstOff, 0)
+				}
+			case sql.AggCount:
+				if spec.Star {
+					types.PutInt(outBuf, dstOff, tuples[g])
+				} else {
+					types.PutInt(outBuf, dstOff, cnt[i])
+				}
+			case sql.AggMin:
+				if spec.Col >= 0 && staged.Column(spec.Col).Kind == types.Float {
+					types.PutFloat(outBuf, dstOff, minF[i])
+				} else {
+					types.PutInt(outBuf, dstOff, minI[i])
+				}
+			case sql.AggMax:
+				if spec.Col >= 0 && staged.Column(spec.Col).Kind == types.Float {
+					types.PutFloat(outBuf, dstOff, maxF[i])
+				} else {
+					types.PutInt(outBuf, dstOff, maxI[i])
+				}
+			}
+		}
+		out.Append(outBuf)
+	}
+	return out, nil
+}
+
+// makeDirectoryLookup compiles a binary-search lookup into a sorted value
+// directory (the paper's value-partition map, §V-B).
+func makeDirectoryLookup(schema *types.Schema, col int, dir []types.Datum) func(t []byte) int {
+	c := schema.Column(col)
+	off := schema.Offset(col)
+	switch c.Kind {
+	case types.Int, types.Date:
+		vals := make([]int64, len(dir))
+		for i, d := range dir {
+			vals[i] = d.I
+		}
+		return func(t []byte) int {
+			v := types.GetInt(t, off)
+			lo, hi := 0, len(vals)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if vals[mid] < v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(vals) && vals[lo] == v {
+				return lo
+			}
+			return -1
+		}
+	case types.String:
+		vals := make([]string, len(dir))
+		for i, d := range dir {
+			vals[i] = d.S
+		}
+		size := c.Size
+		return func(t []byte) int {
+			v := types.GetString(t, off, size)
+			lo, hi := 0, len(vals)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if vals[mid] < v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(vals) && vals[lo] == v {
+				return lo
+			}
+			return -1
+		}
+	}
+	panic(fmt.Sprintf("core.makeDirectoryLookup: unsupported kind %v", c.Kind))
+}

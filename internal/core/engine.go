@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"hique/internal/plan"
+	"hique/internal/storage"
+)
+
+// Engine is the holistic query engine: it walks the optimizer's operator
+// descriptor list in order — joins first, then aggregation, then sorting
+// (§IV) — instantiating and running the specialised template for each
+// operator, and materialising intermediate results as temporary tables
+// between operators (§V-C).
+type Engine struct{}
+
+// NewEngine creates a holistic engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Name identifies the engine in experiment output.
+func (e *Engine) Name() string { return "HIQUE" }
+
+// Execute runs the plan to completion and returns the result table.
+func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
+	joinOut := make([]*storage.Table, len(p.Joins))
+	resolve := func(ref plan.InputRef) (*storage.Table, error) {
+		if ref.Base >= 0 {
+			return p.Tables[ref.Base].Entry.Table, nil
+		}
+		if ref.Join < 0 || ref.Join >= len(joinOut) || joinOut[ref.Join] == nil {
+			return nil, fmt.Errorf("core: dangling input reference %v", ref)
+		}
+		return joinOut[ref.Join], nil
+	}
+	// stageInput resolves a stage's input, fetching through the fractal
+	// B+-tree when the planner marked the stage for index access.
+	stageInput := func(st *plan.Stage) (*storage.Table, error) {
+		in, err := resolve(st.Input)
+		if err != nil {
+			return nil, err
+		}
+		return ApplyIndexScan(p, st, in)
+	}
+
+	for ji, j := range p.Joins {
+		staged := make([]*Staged, len(j.Inputs))
+		for i := range j.Inputs {
+			in, err := stageInput(&j.Inputs[i])
+			if err != nil {
+				return nil, err
+			}
+			s, err := RunStage(&j.Inputs[i], in)
+			if err != nil {
+				return nil, err
+			}
+			staged[i] = s
+		}
+		out, err := RunJoin(j, staged)
+		if err != nil {
+			return nil, err
+		}
+		joinOut[ji] = out
+	}
+
+	var result *storage.Table
+	switch {
+	case p.Agg != nil:
+		in, err := stageInput(&p.Agg.Input)
+		if err != nil {
+			return nil, err
+		}
+		if p.Agg.Alg == plan.MapAggregation {
+			result, err = RunMapAgg(p.Agg, in)
+		} else {
+			var staged *Staged
+			staged, err = RunStage(&p.Agg.Input, in)
+			if err != nil {
+				return nil, err
+			}
+			result, err = RunSortedAgg(p.Agg, staged)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case p.Final != nil:
+		in, err := stageInput(p.Final)
+		if err != nil {
+			return nil, err
+		}
+		staged, err := RunStage(p.Final, in)
+		if err != nil {
+			return nil, err
+		}
+		result = staged.Parts[0]
+	default:
+		return nil, fmt.Errorf("core: plan has neither aggregation nor final projection")
+	}
+
+	if p.Sort != nil {
+		cmp := MakeSortCompare(result.Schema(), p.Sort.Keys)
+		result = SortTable("result", result, cmp)
+	}
+	if p.Limit >= 0 && result.NumRows() > p.Limit {
+		truncated := storage.NewTable("result", result.Schema())
+		n := 0
+		result.Scan(func(t []byte) bool {
+			truncated.Append(t)
+			n++
+			return n < p.Limit
+		})
+		result = truncated
+	}
+	return result, nil
+}
+
+// ApplyIndexScan reduces a stage's input to the tuples matching its index
+// predicate, fetched through the fractal B+-tree (paper §IV). The matching
+// filter stays in the stage, so re-evaluation keeps the path safe even if
+// the index is stale; non-index engines simply scan.
+func ApplyIndexScan(p *plan.Plan, st *plan.Stage, in *storage.Table) (*storage.Table, error) {
+	if st.IndexScan == nil || st.Input.Base < 0 {
+		return in, nil
+	}
+	entry := p.Tables[st.Input.Base].Entry
+	idx := entry.Index(st.IndexScan.Column)
+	if idx == nil {
+		return in, nil // index dropped since planning: fall back to scan
+	}
+	out := storage.NewTable(in.Name()+"_idx", in.Schema())
+	for _, rid := range idx.Search(st.IndexScan.Value.I) {
+		if int(rid.Page) >= in.NumPages() {
+			continue
+		}
+		page := in.Page(int(rid.Page))
+		if int(rid.Slot) >= page.NumTuples() {
+			continue
+		}
+		out.Append(page.Tuple(int(rid.Slot)))
+	}
+	return out, nil
+}

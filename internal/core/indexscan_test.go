@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"hique/internal/catalog"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+	"hique/internal/volcano"
+)
+
+func indexedCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	tbl := storage.NewTable("events", types.NewSchema(
+		types.Col("ev_id", types.Int), types.Col("user_id", types.Int), types.Col("amount", types.Float)))
+	for i := 0; i < 10000; i++ {
+		tbl.AppendRow(types.IntDatum(int64(i)), types.IntDatum(int64(i%500)), types.FloatDatum(float64(i)))
+	}
+	cat.Register(tbl)
+	if _, err := cat.BuildIndex("events", "user_id"); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestPlannerAttachesIndexScan(t *testing.T) {
+	cat := indexedCatalog(t)
+	stmt, _ := sql.Parse("SELECT ev_id, amount FROM events WHERE user_id = 42")
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Final.IndexScan == nil {
+		t.Fatal("planner did not attach index scan for indexed equality predicate")
+	}
+	if p.Final.IndexScan.Column != "user_id" || p.Final.IndexScan.Value.I != 42 {
+		t.Errorf("index spec = %+v", p.Final.IndexScan)
+	}
+	// The equivalent filter must remain for index-unaware engines.
+	if len(p.Final.Filters) != 1 {
+		t.Errorf("filters = %v (must be retained)", p.Final.Filters)
+	}
+}
+
+func TestIndexScanMatchesFullScan(t *testing.T) {
+	cat := indexedCatalog(t)
+	stmt, _ := sql.Parse("SELECT ev_id, amount FROM events WHERE user_id = 42 ORDER BY ev_id")
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Final.IndexScan == nil {
+		t.Fatal("expected index scan")
+	}
+	indexed, err := NewEngine().Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := volcano.NewOptimized().Execute(p) // ignores IndexScan
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indexed.NumRows() != 20 || scanned.NumRows() != 20 {
+		t.Fatalf("rows = %d / %d, want 20", indexed.NumRows(), scanned.NumRows())
+	}
+	for i := 0; i < 20; i++ {
+		if string(indexed.Tuple(i)) != string(scanned.Tuple(i)) {
+			t.Fatalf("row %d differs between index and scan paths", i)
+		}
+	}
+}
+
+func TestNoIndexScanForRangePredicate(t *testing.T) {
+	cat := indexedCatalog(t)
+	stmt, _ := sql.Parse("SELECT ev_id FROM events WHERE user_id > 400")
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Final.IndexScan != nil {
+		t.Error("range predicates must not use the equality index path")
+	}
+}
+
+func TestNoIndexScanForLowCardinality(t *testing.T) {
+	cat := catalog.New()
+	tbl := storage.NewTable("lowc", types.NewSchema(
+		types.Col("id", types.Int), types.Col("flag", types.Int)))
+	for i := 0; i < 1000; i++ {
+		tbl.AppendRow(types.IntDatum(int64(i)), types.IntDatum(int64(i%2)))
+	}
+	cat.Register(tbl)
+	if _, err := cat.BuildIndex("lowc", "flag"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, _ := sql.Parse("SELECT id FROM lowc WHERE flag = 1")
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Final.IndexScan != nil {
+		t.Error("unselective predicate (2 distinct values) should scan, not probe")
+	}
+}
+
+func TestIndexScanFeedsJoin(t *testing.T) {
+	cat := indexedCatalog(t)
+	users := storage.NewTable("users", types.NewSchema(
+		types.Col("u_id", types.Int), types.CharCol("name", 8)))
+	for i := 0; i < 500; i++ {
+		users.AppendRow(types.IntDatum(int64(i)), types.StringDatum("u"))
+	}
+	cat.Register(users)
+	stmt, _ := sql.Parse("SELECT ev_id, name FROM events, users WHERE events.user_id = users.u_id AND user_id = 7")
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewEngine().Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 20 {
+		t.Fatalf("rows = %d, want 20", out.NumRows())
+	}
+}

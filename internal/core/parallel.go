@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// ParallelEngine is the paper's stated next step (§VII): "one can
+// accurately specify the code segments that can be executed in parallel,
+// thus reducing synchronization overhead". Code generation makes the
+// parallel decomposition explicit:
+//
+//   - Partitioned joins assign whole partition sets to workers — the
+//     partitions are disjoint by construction, so workers share nothing
+//     but the input.
+//   - Map aggregation gives each worker a private copy of the (small,
+//     cache-resident) aggregate arrays over a slice of input pages and
+//     merges the arrays at the end.
+//   - Sorting sorts runs in parallel before the single-threaded merge.
+//
+// Operators without a safe decomposition fall back to the sequential
+// templates, keeping results identical to Engine.
+type ParallelEngine struct {
+	workers int
+}
+
+// NewParallelEngine creates a holistic engine that evaluates partitioned
+// operators with up to workers goroutines (default: GOMAXPROCS).
+func NewParallelEngine(workers int) *ParallelEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelEngine{workers: workers}
+}
+
+// Name identifies the engine in experiment output.
+func (e *ParallelEngine) Name() string { return fmt.Sprintf("HIQUE-parallel(%d)", e.workers) }
+
+// Execute runs the plan, parallelising partitioned joins and map
+// aggregation.
+func (e *ParallelEngine) Execute(p *plan.Plan) (*storage.Table, error) {
+	joinOut := make([]*storage.Table, len(p.Joins))
+	resolve := func(ref plan.InputRef) (*storage.Table, error) {
+		if ref.Base >= 0 {
+			return p.Tables[ref.Base].Entry.Table, nil
+		}
+		if ref.Join < 0 || ref.Join >= len(joinOut) || joinOut[ref.Join] == nil {
+			return nil, fmt.Errorf("core: dangling input reference %v", ref)
+		}
+		return joinOut[ref.Join], nil
+	}
+
+	for ji, j := range p.Joins {
+		staged := make([]*Staged, len(j.Inputs))
+		for i := range j.Inputs {
+			in, err := resolve(j.Inputs[i].Input)
+			if err != nil {
+				return nil, err
+			}
+			s, err := RunStage(&j.Inputs[i], in)
+			if err != nil {
+				return nil, err
+			}
+			staged[i] = s
+		}
+		var out *storage.Table
+		var err error
+		if j.Alg == plan.HybridJoin || j.Alg == plan.FinePartitionJoin {
+			out, err = e.runJoinParallel(j, staged)
+		} else {
+			out, err = RunJoin(j, staged)
+		}
+		if err != nil {
+			return nil, err
+		}
+		joinOut[ji] = out
+	}
+
+	var result *storage.Table
+	switch {
+	case p.Agg != nil:
+		in, err := resolve(p.Agg.Input.Input)
+		if err != nil {
+			return nil, err
+		}
+		switch p.Agg.Alg {
+		case plan.MapAggregation:
+			result, err = e.runMapAggParallel(p.Agg, in)
+		case plan.HybridAggregation:
+			result, err = e.runHybridAggParallel(p.Agg, in)
+		default:
+			var staged *Staged
+			staged, err = RunStage(&p.Agg.Input, in)
+			if err != nil {
+				return nil, err
+			}
+			result, err = RunSortedAgg(p.Agg, staged)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case p.Final != nil:
+		in, err := resolve(p.Final.Input)
+		if err != nil {
+			return nil, err
+		}
+		staged, err := RunStage(p.Final, in)
+		if err != nil {
+			return nil, err
+		}
+		result = staged.Parts[0]
+	default:
+		return nil, fmt.Errorf("core: plan has neither aggregation nor final projection")
+	}
+
+	if p.Sort != nil {
+		cmp := MakeSortCompare(result.Schema(), p.Sort.Keys)
+		result = SortTable("result", result, cmp)
+	}
+	if p.Limit >= 0 && result.NumRows() > p.Limit {
+		truncated := storage.NewTable("result", result.Schema())
+		n := 0
+		result.Scan(func(t []byte) bool {
+			truncated.Append(t)
+			n++
+			return n < p.Limit
+		})
+		result = truncated
+	}
+	return result, nil
+}
+
+// runJoinParallel evaluates a partitioned join with partition sets spread
+// over workers; per-worker outputs are concatenated afterwards.
+func (e *ParallelEngine) runJoinParallel(j *plan.Join, staged []*Staged) (*storage.Table, error) {
+	m := len(staged[0].Parts)
+	for i, s := range staged {
+		if len(s.Parts) != m {
+			return nil, fmt.Errorf("core: parallel join input %d has %d partitions, want %d", i, len(s.Parts), m)
+		}
+	}
+	workers := e.workers
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		return RunJoin(j, staged)
+	}
+
+	outputs := make([]*storage.Table, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Build a sub-join over this worker's partition slice.
+			sub := make([]*Staged, len(staged))
+			for i, s := range staged {
+				parts := make([]*storage.Table, 0, m/workers+1)
+				for p := w; p < m; p += workers {
+					parts = append(parts, s.Parts[p])
+				}
+				sub[i] = &Staged{Parts: parts, Schema: s.Schema, Sorted: s.Sorted}
+			}
+			outputs[w], errs[w] = RunJoin(j, sub)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := storage.NewTable("joined", j.Schema)
+	for _, part := range outputs {
+		part.Scan(func(t []byte) bool {
+			out.Append(t)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// runHybridAggParallel stages sequentially (partitioning is a single
+// pass), then aggregates disjoint partitions on separate workers.
+func (e *ParallelEngine) runHybridAggParallel(a *plan.Agg, input *storage.Table) (*storage.Table, error) {
+	staged, err := RunStage(&a.Input, input)
+	if err != nil {
+		return nil, err
+	}
+	m := len(staged.Parts)
+	workers := e.workers
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		return RunSortedAgg(a, staged)
+	}
+	outputs := make([]*storage.Table, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parts := make([]*storage.Table, 0, m/workers+1)
+			for p := w; p < m; p += workers {
+				parts = append(parts, staged.Parts[p])
+			}
+			sub := &Staged{Parts: parts, Schema: staged.Schema, Sorted: staged.Sorted}
+			outputs[w], errs[w] = RunSortedAgg(a, sub)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := storage.NewTable("agg", a.Schema)
+	for _, part := range outputs {
+		part.Scan(func(t []byte) bool {
+			out.Append(t)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// runMapAggParallel shards the input pages across workers, each with a
+// private aggregate-array copy, and merges the per-worker group tables at
+// the end (group columns are equal keys, so merging re-aggregates).
+func (e *ParallelEngine) runMapAggParallel(a *plan.Agg, input *storage.Table) (*storage.Table, error) {
+	workers := e.workers
+	if workers <= 1 || input.NumPages() < workers*4 {
+		return RunMapAgg(a, input)
+	}
+	// AVG merges exactly only when COUNT(*) provides group weights; fall
+	// back to the sequential template otherwise.
+	hasStar := false
+	hasAvg := false
+	for _, spec := range a.Aggs {
+		if spec.Func == sql.AggCount && spec.Star {
+			hasStar = true
+		}
+		if spec.Func == sql.AggAvg {
+			hasAvg = true
+		}
+	}
+	if hasAvg && !hasStar {
+		return RunMapAgg(a, input)
+	}
+
+	// Each worker sees a page-range view of the input.
+	outputs := make([]*storage.Table, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	pagesPerWorker := (input.NumPages() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * pagesPerWorker
+			hi := lo + pagesPerWorker
+			if hi > input.NumPages() {
+				hi = input.NumPages()
+			}
+			if lo >= hi {
+				outputs[w] = storage.NewTable("empty", a.Schema)
+				return
+			}
+			view := storage.NewTable("view", input.Schema())
+			for p := lo; p < hi; p++ {
+				pg := input.Page(p)
+				n := pg.NumTuples()
+				for i := 0; i < n; i++ {
+					view.Append(pg.Tuple(i))
+				}
+			}
+			outputs[w], errs[w] = RunMapAgg(a, view)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeGroupTables(a, outputs)
+}
+
+// mergeGroupTables re-aggregates per-worker group tables: group rows with
+// equal keys combine slot-wise (SUM/COUNT add, MIN/MAX fold, AVG is
+// recomputed from merged SUM and COUNT — which map aggregation tracks
+// internally, so here AVG merges by weighted mean using the COUNT(*)
+// column when present, otherwise it falls back to sequential execution).
+func mergeGroupTables(a *plan.Agg, parts []*storage.Table) (*storage.Table, error) {
+	// AVG without an accompanying COUNT(*) cannot be merged exactly from
+	// finished averages; map aggregation outputs averages already
+	// divided. Detect and decline (callers fall back).
+	starIdx := -1
+	for pos, ref := range a.Output {
+		if ref.IsAgg && a.Aggs[ref.Index].Func == sql.AggCount && a.Aggs[ref.Index].Star {
+			starIdx = pos
+		}
+	}
+	for _, ref := range a.Output {
+		if ref.IsAgg && a.Aggs[ref.Index].Func == sql.AggAvg && starIdx < 0 {
+			return nil, fmt.Errorf("core: parallel map aggregation of AVG requires COUNT(*) in the select list")
+		}
+	}
+
+	type groupState struct {
+		row    []types.Datum
+		weight float64
+	}
+	schema := a.Schema
+	groups := map[string]*groupState{}
+	var order []string
+
+	keyOf := func(row []types.Datum) string {
+		k := ""
+		for pos, ref := range a.Output {
+			if !ref.IsAgg {
+				k += row[pos].String() + "\x00"
+			}
+		}
+		return k
+	}
+
+	for _, part := range parts {
+		rows := part.Rows()
+		for _, row := range rows {
+			k := keyOf(row)
+			w := 1.0
+			if starIdx >= 0 {
+				w = float64(row[starIdx].I)
+			}
+			g, ok := groups[k]
+			if !ok {
+				cp := append([]types.Datum(nil), row...)
+				groups[k] = &groupState{row: cp, weight: w}
+				order = append(order, k)
+				continue
+			}
+			for pos, ref := range a.Output {
+				if !ref.IsAgg {
+					continue
+				}
+				spec := &a.Aggs[ref.Index]
+				switch spec.Func {
+				case sql.AggSum, sql.AggCount:
+					if g.row[pos].Kind == types.Float {
+						g.row[pos].F += row[pos].F
+					} else {
+						g.row[pos].I += row[pos].I
+					}
+				case sql.AggMin:
+					if types.Compare(row[pos], g.row[pos]) < 0 {
+						g.row[pos] = row[pos]
+					}
+				case sql.AggMax:
+					if types.Compare(row[pos], g.row[pos]) > 0 {
+						g.row[pos] = row[pos]
+					}
+				case sql.AggAvg:
+					total := g.weight + w
+					if total > 0 {
+						g.row[pos].F = (g.row[pos].F*g.weight + row[pos].F*w) / total
+					}
+				}
+			}
+			g.weight += w
+		}
+	}
+
+	// Emit in sorted group order to match the sequential engine's
+	// directory-ordered output.
+	sortKeys := make([]plan.SortKey, 0, len(a.Output))
+	for pos, ref := range a.Output {
+		if !ref.IsAgg {
+			sortKeys = append(sortKeys, plan.SortKey{Col: pos})
+		}
+	}
+	out := storage.NewTable("agg", schema)
+	for _, k := range order {
+		out.AppendRow(groups[k].row...)
+	}
+	if len(sortKeys) > 0 {
+		out = SortTable("agg", out, MakeSortCompare(schema, sortKeys))
+	}
+	return out, nil
+}

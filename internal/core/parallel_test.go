@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"hique/internal/catalog"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+func parallelFixture(n int) *catalog.Catalog {
+	cat := catalog.New()
+	rng := rand.New(rand.NewSource(3))
+	t := storage.NewTable("pt", types.NewSchema(
+		types.Col("k", types.Int), types.Col("g", types.Int),
+		types.Col("x", types.Float), types.CharCol("s", 4)))
+	tags := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		t.AppendRow(types.IntDatum(int64(rng.Intn(n/4+1))), types.IntDatum(int64(i%9)),
+			types.FloatDatum(float64(rng.Intn(1000))), types.StringDatum(tags[i%3]))
+	}
+	cat.Register(t)
+
+	d := storage.NewTable("pd", types.NewSchema(
+		types.Col("dk", types.Int), types.Col("dv", types.Int)))
+	for i := 0; i < n/4+1; i++ {
+		d.AppendRow(types.IntDatum(int64(i)), types.IntDatum(int64(i*3)))
+	}
+	cat.Register(d)
+	return cat
+}
+
+func canonicalRows(t *storage.Table, ordered bool) []string {
+	s := t.Schema()
+	var rows []string
+	t.Scan(func(tp []byte) bool {
+		var parts []string
+		for i := 0; i < s.NumColumns(); i++ {
+			d := s.GetDatum(tp, i)
+			if d.Kind == types.Float {
+				parts = append(parts, fmt.Sprintf("%.5f", d.F))
+			} else {
+				parts = append(parts, d.String())
+			}
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+		return true
+	})
+	if !ordered {
+		sort.Strings(rows)
+	}
+	return rows
+}
+
+// TestParallelMatchesSequential is the correctness contract: the parallel
+// engine must return exactly what the sequential holistic engine returns.
+func TestParallelMatchesSequential(t *testing.T) {
+	cat := parallelFixture(8000)
+	queries := []string{
+		"SELECT k, dv FROM pt, pd WHERE pt.k = pd.dk",
+		"SELECT g, COUNT(*) AS n, SUM(x) AS sx FROM pt GROUP BY g ORDER BY g",
+		"SELECT s, COUNT(*) AS n, SUM(x) AS sx, MIN(k), MAX(k) FROM pt GROUP BY s ORDER BY s",
+		"SELECT g, AVG(x) AS m, COUNT(*) AS n FROM pt GROUP BY g ORDER BY g",
+		"SELECT g, AVG(x) AS m FROM pt GROUP BY g ORDER BY g", // AVG w/o COUNT(*): sequential fallback
+		"SELECT dv, SUM(x) AS sx FROM pt, pd WHERE pt.k = pd.dk GROUP BY dv ORDER BY sx DESC LIMIT 7",
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par := NewParallelEngine(workers)
+		seq := NewEngine()
+		for _, q := range queries {
+			for _, force := range []*plan.JoinAlgorithm{nil, algPtr(plan.HybridJoin), algPtr(plan.FinePartitionJoin)} {
+				opts := plan.DefaultOptions()
+				opts.ForceJoinAlg = force
+				stmt, err := sql.Parse(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := plan.BuildWithOptions(stmt, cat, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := seq.Execute(p)
+				if err != nil {
+					t.Fatalf("sequential %q: %v", q, err)
+				}
+				got, err := par.Execute(p)
+				if err != nil {
+					t.Fatalf("parallel(%d) %q: %v", workers, q, err)
+				}
+				ordered := p.Sort != nil
+				a := canonicalRows(want, ordered)
+				b := canonicalRows(got, ordered)
+				if len(a) != len(b) {
+					t.Fatalf("parallel(%d) %q: %d rows vs %d", workers, q, len(b), len(a))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("parallel(%d) %q row %d:\n  seq: %s\n  par: %s", workers, q, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func algPtr(a plan.JoinAlgorithm) *plan.JoinAlgorithm { return &a }
+
+func TestParallelEngineName(t *testing.T) {
+	if NewParallelEngine(3).Name() != "HIQUE-parallel(3)" {
+		t.Error("name format changed")
+	}
+	if NewParallelEngine(0).workers <= 0 {
+		t.Error("default workers not set")
+	}
+}
+
+func TestParallelMapAggMergesWeightedAvg(t *testing.T) {
+	// Construct skew so per-shard averages differ: correctness requires
+	// weighted merging.
+	cat := catalog.New()
+	tbl := storage.NewTable("sk", types.NewSchema(types.Col("g", types.Int), types.Col("v", types.Float)))
+	for i := 0; i < 20000; i++ {
+		// First half: group 0 has value 10; second half: value 20.
+		v := 10.0
+		if i >= 10000 {
+			v = 20.0
+		}
+		tbl.AppendRow(types.IntDatum(int64(i%2)), types.FloatDatum(v))
+	}
+	cat.Register(tbl)
+	stmt, _ := sql.Parse("SELECT g, AVG(v) AS m, COUNT(*) AS n FROM sk GROUP BY g ORDER BY g")
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewParallelEngine(4).Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Schema()
+	out.Scan(func(tp []byte) bool {
+		if got := types.GetFloat(tp, s.Offset(1)); got != 15.0 {
+			t.Errorf("avg = %g, want 15", got)
+		}
+		if got := types.GetInt(tp, s.Offset(2)); got != 10000 {
+			t.Errorf("count = %d, want 10000", got)
+		}
+		return true
+	})
+}

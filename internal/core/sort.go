@@ -1,0 +1,227 @@
+package core
+
+import (
+	"container/heap"
+
+	"hique/internal/storage"
+)
+
+// sortRunTuples is the run size used by the cache-conscious sort: quicksort
+// runs that fit in the L2 cache, then a k-way merge (paper §V-B: "Sorting
+// is performed by using an optimized version of quicksort over
+// L2-cache-fitting input partitions and then merging them").
+const l2CacheBytes = 2 << 20
+
+// Flatten gathers tuple references from a table into a slice; the slices
+// alias page memory.
+func Flatten(t *storage.Table) [][]byte {
+	out := make([][]byte, 0, t.NumRows())
+	for p := 0; p < t.NumPages(); p++ {
+		page := t.Page(p)
+		n := page.NumTuples()
+		ts := page.TupleSize()
+		data := page.Data()
+		for i := 0; i < n; i++ {
+			out = append(out, data[i*ts:i*ts+ts:i*ts+ts])
+		}
+	}
+	return out
+}
+
+// SortTuples sorts tuple references in place using quicksort over
+// cache-sized runs followed by a k-way merge.
+func SortTuples(tuples [][]byte, cmp Compare) {
+	n := len(tuples)
+	if n < 2 {
+		return
+	}
+	tupleSize := len(tuples[0])
+	runLen := l2CacheBytes / 2 / tupleSize
+	if runLen < 1024 {
+		runLen = 1024
+	}
+	if n <= runLen {
+		quicksort(tuples, cmp)
+		return
+	}
+
+	// Sort runs.
+	var runs [][2]int
+	for start := 0; start < n; start += runLen {
+		end := start + runLen
+		if end > n {
+			end = n
+		}
+		quicksort(tuples[start:end], cmp)
+		runs = append(runs, [2]int{start, end})
+	}
+
+	// K-way merge into a scratch slice.
+	out := make([][]byte, 0, n)
+	h := &mergeHeap{cmp: cmp, tuples: tuples}
+	for _, r := range runs {
+		h.items = append(h.items, mergeItem{pos: r[0], end: r[1]})
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := &h.items[0]
+		out = append(out, tuples[it.pos])
+		it.pos++
+		if it.pos >= it.end {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	copy(tuples, out)
+}
+
+type mergeItem struct{ pos, end int }
+
+type mergeHeap struct {
+	items  []mergeItem
+	tuples [][]byte
+	cmp    Compare
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.cmp(h.tuples[h.items[i].pos], h.tuples[h.items[j].pos]) < 0
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}
+
+// quicksort is an introsort: median-of-three (ninther for large slices)
+// quicksort with insertion sort below a small threshold and a heapsort
+// fallback when recursion degenerates (rotated or adversarial inputs would
+// otherwise go quadratic). It operates directly on tuple references with
+// no interface dispatch in the hot loop, unlike sort.Slice.
+func quicksort(a [][]byte, cmp Compare) {
+	depth := 0
+	for n := len(a); n > 1; n >>= 1 {
+		depth += 2
+	}
+	quicksortDepth(a, cmp, depth)
+}
+
+func quicksortDepth(a [][]byte, cmp Compare, depth int) {
+	for len(a) > 12 {
+		if depth == 0 {
+			heapsortTuples(a, cmp)
+			return
+		}
+		depth--
+		m := choosePivot(a, cmp)
+		a[0], a[m] = a[m], a[0]
+		pivot := a[0]
+		i, j := 1, len(a)-1
+		for {
+			for i <= j && cmp(a[i], pivot) < 0 {
+				i++
+			}
+			for i <= j && cmp(a[j], pivot) > 0 {
+				j--
+			}
+			if i > j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+		}
+		a[0], a[j] = a[j], a[0]
+		// Recurse into the smaller side, loop on the larger.
+		if j < len(a)-j {
+			quicksortDepth(a[:j], cmp, depth)
+			a = a[j+1:]
+		} else {
+			quicksortDepth(a[j+1:], cmp, depth)
+			a = a[:j]
+		}
+	}
+	// Insertion sort for small slices.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && cmp(a[j], a[j-1]) < 0; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// choosePivot picks a pivot index: median of three for moderate sizes, the
+// ninther (median of three medians) for large slices, which defeats the
+// rotated/organ-pipe patterns cyclic keys produce in staged runs.
+func choosePivot(a [][]byte, cmp Compare) int {
+	n := len(a)
+	if n > 256 {
+		s := n / 8
+		m1 := medianOfThreeIdx(a, cmp, 0, s, 2*s)
+		m2 := medianOfThreeIdx(a, cmp, n/2-s, n/2, n/2+s)
+		m3 := medianOfThreeIdx(a, cmp, n-1-2*s, n-1-s, n-1)
+		return medianOfThreeIdx(a, cmp, m1, m2, m3)
+	}
+	return medianOfThreeIdx(a, cmp, 0, n/2, n-1)
+}
+
+func medianOfThreeIdx(a [][]byte, cmp Compare, i, j, k int) int {
+	if cmp(a[j], a[i]) < 0 {
+		i, j = j, i
+	}
+	if cmp(a[k], a[j]) < 0 {
+		j = k
+		if cmp(a[j], a[i]) < 0 {
+			j = i
+		}
+	}
+	return j
+}
+
+// heapsortTuples is the introsort fallback: guaranteed O(n log n).
+func heapsortTuples(a [][]byte, cmp Compare) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, cmp, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, cmp, 0, end)
+	}
+}
+
+func siftDown(a [][]byte, cmp Compare, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && cmp(a[child+1], a[child]) > 0 {
+			child++
+		}
+		if cmp(a[child], a[root]) <= 0 {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// MaterializeSorted writes sorted tuple references into a fresh table.
+func MaterializeSorted(name string, tuples [][]byte, like *storage.Table) *storage.Table {
+	out := storage.NewTable(name, like.Schema())
+	for _, t := range tuples {
+		out.Append(t)
+	}
+	return out
+}
+
+// SortTable returns a new table with the rows of t ordered by cmp.
+func SortTable(name string, t *storage.Table, cmp Compare) *storage.Table {
+	tuples := Flatten(t)
+	SortTuples(tuples, cmp)
+	return MaterializeSorted(name, tuples, t)
+}

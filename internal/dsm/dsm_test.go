@@ -1,0 +1,153 @@
+package dsm
+
+import (
+	"testing"
+
+	"hique/internal/catalog"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+func fixture(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	f := storage.NewTable("facts", types.NewSchema(
+		types.Col("fk", types.Int), types.Col("amount", types.Float), types.CharCol("cat", 4)))
+	cats := []string{"x", "y", "z"}
+	for i := 0; i < 1200; i++ {
+		f.AppendRow(types.IntDatum(int64(i%40)), types.FloatDatum(float64(i)), types.StringDatum(cats[i%3]))
+	}
+	cat.Register(f)
+	d := storage.NewTable("dims", types.NewSchema(
+		types.Col("dk", types.Int), types.Col("w", types.Int)))
+	for i := 0; i < 40; i++ {
+		d.AppendRow(types.IntDatum(int64(i)), types.IntDatum(int64(i*2)))
+	}
+	cat.Register(d)
+	return cat
+}
+
+func run(t *testing.T, cat *catalog.Catalog, q string) *storage.Table {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewEngine().Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDecomposeCaching(t *testing.T) {
+	cat := fixture(t)
+	e := NewEngine()
+	entry, _ := cat.Lookup("facts")
+	a := e.decompose(entry.Table)
+	b := e.decompose(entry.Table)
+	if a != b {
+		t.Error("decompose should cache column tables")
+	}
+	if a.rows != 1200 || len(a.cols) != 3 {
+		t.Errorf("decomposed shape: %d rows, %d cols", a.rows, len(a.cols))
+	}
+	if a.cols[1].kind != types.Float || len(a.cols[1].fls) != 1200 {
+		t.Error("float column not vectorised")
+	}
+}
+
+func TestSelectVectorIntersection(t *testing.T) {
+	col := &column{kind: types.Int, ints: []int64{5, 1, 7, 3, 9, 1}}
+	sel := selectVector(col, sql.CmpGt, types.IntDatum(2), nil)
+	if len(sel) != 4 { // 5, 7, 3, 9
+		t.Fatalf("sel = %v", sel)
+	}
+	sel2 := selectVector(col, sql.CmpLt, types.IntDatum(8), sel)
+	if len(sel2) != 3 { // 5, 7, 3
+		t.Fatalf("sel2 = %v", sel2)
+	}
+}
+
+func TestSelectionAndProjection(t *testing.T) {
+	cat := fixture(t)
+	out := run(t, cat, "SELECT amount FROM facts WHERE cat = 'x' AND amount < 30.0")
+	// cat='x' -> i%3==0; amount=i<30 -> i in {0,3,...,27} -> 10 rows.
+	if out.NumRows() != 10 {
+		t.Fatalf("rows = %d, want 10", out.NumRows())
+	}
+}
+
+func TestHashJoinCorrectness(t *testing.T) {
+	cat := fixture(t)
+	out := run(t, cat, "SELECT fk, w FROM facts, dims WHERE facts.fk = dims.dk")
+	if out.NumRows() != 1200 {
+		t.Fatalf("rows = %d, want 1200", out.NumRows())
+	}
+	s := out.Schema()
+	out.Scan(func(tp []byte) bool {
+		fk := types.GetInt(tp, s.Offset(0))
+		w := types.GetInt(tp, s.Offset(1))
+		if w != fk*2 {
+			t.Fatalf("fk %d paired with w %d", fk, w)
+		}
+		return true
+	})
+}
+
+func TestAggregationArrayPasses(t *testing.T) {
+	cat := fixture(t)
+	out := run(t, cat, "SELECT cat, COUNT(*) AS n, SUM(amount) AS s, AVG(amount) AS m, MIN(fk), MAX(fk) FROM facts GROUP BY cat ORDER BY cat")
+	if out.NumRows() != 3 {
+		t.Fatalf("groups = %d", out.NumRows())
+	}
+	s := out.Schema()
+	out.Scan(func(tp []byte) bool {
+		if types.GetInt(tp, s.Offset(1)) != 400 {
+			t.Errorf("group count = %d, want 400", types.GetInt(tp, s.Offset(1)))
+		}
+		sum := types.GetFloat(tp, s.Offset(2))
+		avg := types.GetFloat(tp, s.Offset(3))
+		if diff := sum/400 - avg; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("avg %g inconsistent with sum %g", avg, sum)
+		}
+		return true
+	})
+}
+
+func TestOrderAndLimit(t *testing.T) {
+	cat := fixture(t)
+	out := run(t, cat, "SELECT fk, amount FROM facts ORDER BY amount DESC LIMIT 3")
+	if out.NumRows() != 3 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	s := out.Schema()
+	if got := types.GetFloat(out.Tuple(0), s.Offset(1)); got != 1199 {
+		t.Errorf("top amount = %g, want 1199", got)
+	}
+}
+
+func TestComputeColumnArithmetic(t *testing.T) {
+	ct := &colTable{rows: 3, cols: []*column{
+		{kind: types.Int, ints: []int64{1, 2, 3}},
+		{kind: types.Float, fls: []float64{0.5, 1.5, 2.5}},
+	}}
+	expr := &plan.ArithExpr{
+		Op: sql.OpMul,
+		L:  &plan.ColExpr{Col: 0, K: types.Int},
+		R:  &plan.ArithExpr{Op: sql.OpAdd, L: &plan.ColExpr{Col: 1, K: types.Float}, R: &plan.ConstExpr{D: types.FloatDatum(1)}},
+	}
+	out := computeColumn(expr, ct)
+	want := []float64{1.5, 5, 10.5}
+	for i, w := range want {
+		if out.fls[i] != w {
+			t.Errorf("row %d = %g, want %g", i, out.fls[i], w)
+		}
+	}
+}

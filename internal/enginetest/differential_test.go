@@ -1,0 +1,231 @@
+// Package enginetest cross-checks every query engine in the repository
+// against every other on a shared query corpus: the correctness
+// verification the paper calls out as a main engineering challenge of code
+// generation (§V-C). All engines must return identical row multisets.
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"hique/internal/catalog"
+	"hique/internal/codegen"
+	"hique/internal/core"
+	"hique/internal/dsm"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+	"hique/internal/volcano"
+)
+
+// engine abstracts the executors under test.
+type engine interface {
+	Name() string
+	Execute(p *plan.Plan) (*storage.Table, error)
+}
+
+// codegenEngine adapts a codegen optimisation level to the engine surface.
+type codegenEngine struct {
+	level codegen.OptLevel
+}
+
+func (c codegenEngine) Name() string { return "codegen" + c.level.String() }
+
+func (c codegenEngine) Execute(p *plan.Plan) (*storage.Table, error) {
+	q, err := codegen.Generate(p, c.level)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run()
+}
+
+func engines() []engine {
+	return []engine{
+		core.NewEngine(),
+		codegenEngine{level: codegen.OptO0},
+		codegenEngine{level: codegen.OptO2},
+		volcano.NewGeneric(),
+		volcano.NewOptimized(),
+		dsm.NewEngine(),
+		core.NewParallelEngine(3),
+	}
+}
+
+// fixture builds a three-table schema exercising every algorithm:
+//
+//	ev(id INT, k INT, grp INT, price FLOAT, tag CHAR(4), day DATE)
+//	dm(k2 INT, bucket INT)
+//	xt(k3 INT, weight FLOAT)
+func fixture(seed int64, nEv, nDm, nXt int) *catalog.Catalog {
+	cat := catalog.New()
+	rng := rand.New(rand.NewSource(seed))
+	tags := []string{"aa", "bb", "cc", "dd"}
+
+	ev := storage.NewTable("ev", types.NewSchema(
+		types.Col("id", types.Int), types.Col("k", types.Int),
+		types.Col("grp", types.Int), types.Col("price", types.Float),
+		types.CharCol("tag", 4), types.Col("day", types.Date)))
+	for i := 0; i < nEv; i++ {
+		ev.AppendRow(
+			types.IntDatum(int64(i)),
+			types.IntDatum(int64(rng.Intn(nDm))),
+			types.IntDatum(int64(rng.Intn(13))),
+			types.FloatDatum(float64(rng.Intn(10000))/100),
+			types.StringDatum(tags[rng.Intn(len(tags))]),
+			types.DateDatum(int64(10000+rng.Intn(300))))
+	}
+	cat.Register(ev)
+
+	dm := storage.NewTable("dm", types.NewSchema(
+		types.Col("k2", types.Int), types.Col("bucket", types.Int)))
+	for i := 0; i < nDm; i++ {
+		dm.AppendRow(types.IntDatum(int64(i)), types.IntDatum(int64(i%11)))
+	}
+	cat.Register(dm)
+
+	xt := storage.NewTable("xt", types.NewSchema(
+		types.Col("k3", types.Int), types.Col("weight", types.Float)))
+	for i := 0; i < nXt; i++ {
+		xt.AppendRow(types.IntDatum(int64(rng.Intn(nDm))), types.FloatDatum(float64(i)))
+	}
+	cat.Register(xt)
+	return cat
+}
+
+var corpus = []string{
+	// Scan / select / project.
+	"SELECT id, price FROM ev",
+	"SELECT id FROM ev WHERE grp = 5",
+	"SELECT id, price FROM ev WHERE price > 50.0 AND tag = 'aa'",
+	"SELECT id, price * 2 AS p2, price * (1 + price) AS poly FROM ev WHERE day >= 10100",
+	"SELECT id FROM ev WHERE tag <> 'bb' AND grp >= 4 AND grp <= 9",
+	// Sorting and limits.
+	"SELECT id, price FROM ev ORDER BY price DESC, id LIMIT 25",
+	"SELECT id FROM ev WHERE grp = 3 ORDER BY id",
+	// Aggregation on base tables.
+	"SELECT grp, COUNT(*) AS n FROM ev GROUP BY grp ORDER BY grp",
+	"SELECT tag, SUM(price) AS total, AVG(price) AS mean FROM ev GROUP BY tag ORDER BY tag",
+	"SELECT grp, tag, COUNT(*) AS n, MIN(id), MAX(id) FROM ev GROUP BY grp, tag ORDER BY grp, tag",
+	"SELECT tag, SUM(price * (1 - price)) AS adj FROM ev WHERE grp < 8 GROUP BY tag ORDER BY tag",
+	// Joins.
+	"SELECT id, bucket FROM ev, dm WHERE ev.k = dm.k2",
+	"SELECT id, bucket FROM ev, dm WHERE ev.k = dm.k2 AND grp = 2 ORDER BY id",
+	"SELECT bucket, COUNT(*) AS n, SUM(price) AS tot FROM ev, dm WHERE ev.k = dm.k2 GROUP BY bucket ORDER BY bucket",
+	// Three-way join team on a shared key class.
+	"SELECT id, bucket, weight FROM ev, dm, xt WHERE ev.k = dm.k2 AND dm.k2 = xt.k3 ORDER BY id, weight LIMIT 500",
+	"SELECT bucket, SUM(weight) AS w FROM ev, dm, xt WHERE ev.k = dm.k2 AND dm.k2 = xt.k3 GROUP BY bucket ORDER BY w DESC",
+}
+
+// canonical renders a result as a sorted multiset of row strings.
+func canonical(t *storage.Table, ordered bool) []string {
+	s := t.Schema()
+	var rows []string
+	t.Scan(func(tp []byte) bool {
+		var parts []string
+		for i := 0; i < s.NumColumns(); i++ {
+			d := s.GetDatum(tp, i)
+			if d.Kind == types.Float {
+				parts = append(parts, fmt.Sprintf("%.6f", d.F))
+			} else {
+				parts = append(parts, d.String())
+			}
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+		return true
+	})
+	if !ordered {
+		sort.Strings(rows)
+	}
+	return rows
+}
+
+func runCorpus(t *testing.T, cat *catalog.Catalog, opts plan.Options) {
+	t.Helper()
+	for _, q := range corpus {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		p, err := plan.BuildWithOptions(stmt, cat, opts)
+		if err != nil {
+			t.Fatalf("plan %q: %v", q, err)
+		}
+		ordered := p.Sort != nil
+		var ref []string
+		var refName string
+		for _, e := range engines() {
+			out, err := e.Execute(p)
+			if err != nil {
+				t.Fatalf("%s: %q: %v", e.Name(), q, err)
+			}
+			got := canonical(out, ordered)
+			if ref == nil {
+				ref, refName = got, e.Name()
+				continue
+			}
+			if len(got) != len(ref) {
+				t.Errorf("%q: %s returned %d rows, %s returned %d",
+					q, e.Name(), len(got), refName, len(ref))
+				continue
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("%q: row %d differs between %s and %s:\n  %s\n  %s",
+						q, i, refName, e.Name(), ref[i], got[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestAllEnginesAgreeDefaultPlans(t *testing.T) {
+	cat := fixture(7, 5000, 200, 800)
+	runCorpus(t, cat, plan.DefaultOptions())
+}
+
+func TestAllEnginesAgreeForcedMerge(t *testing.T) {
+	cat := fixture(8, 3000, 150, 500)
+	opts := plan.DefaultOptions()
+	alg := plan.MergeJoin
+	opts.ForceJoinAlg = &alg
+	runCorpus(t, cat, opts)
+}
+
+func TestAllEnginesAgreeForcedHybrid(t *testing.T) {
+	cat := fixture(9, 3000, 150, 500)
+	opts := plan.DefaultOptions()
+	alg := plan.HybridJoin
+	opts.ForceJoinAlg = &alg
+	runCorpus(t, cat, opts)
+}
+
+func TestAllEnginesAgreeForcedAggAlgorithms(t *testing.T) {
+	cat := fixture(10, 4000, 100, 200)
+	for _, alg := range []plan.AggAlgorithm{plan.SortAggregation, plan.HybridAggregation} {
+		opts := plan.DefaultOptions()
+		opts.ForceAggAlg = &alg
+		runCorpus(t, cat, opts)
+	}
+}
+
+func TestAllEnginesAgreeNoTeams(t *testing.T) {
+	cat := fixture(11, 3000, 120, 400)
+	opts := plan.DefaultOptions()
+	opts.EnableJoinTeams = false
+	runCorpus(t, cat, opts)
+}
+
+func TestAllEnginesAgreeRandomisedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised differential testing skipped in -short mode")
+	}
+	for seed := int64(20); seed < 26; seed++ {
+		cat := fixture(seed, 1000+int(seed)*137, 50+int(seed), 100)
+		runCorpus(t, cat, plan.DefaultOptions())
+	}
+}

@@ -1,0 +1,338 @@
+package hardcoded
+
+import (
+	"hique/internal/hwsim"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// RunHybridAgg evaluates Aggregation Query #1 of §VI-A: hybrid hash-sort
+// aggregation of two SUMs grouped by field 0, in the given code shape.
+// Returns the number of groups.
+func RunHybridAgg(shape Shape, input *storage.Table, partitions int, probe *hwsim.Probe) int {
+	parts := stagePartitioned(input, partitions, probe)
+	out := newEmitBuffer(probe, 24) // group key + two sums
+	groups := 0
+	for p := range parts {
+		if len(parts[p].tuples) == 0 {
+			continue
+		}
+		groups += evalSortedAgg(shape, parts[p], out, probe)
+	}
+	return groups
+}
+
+// RunMapAgg evaluates Aggregation Query #2: map aggregation through a value
+// directory, single pass, no staging.
+func RunMapAgg(shape Shape, input *storage.Table, distinct int, probe *hwsim.Probe) int {
+	// The value directory: sorted keys 0..distinct-1 (built from
+	// catalogue statistics in the full engine).
+	dir := make([]int64, distinct)
+	for i := range dir {
+		dir[i] = int64(i)
+	}
+	sums1 := make([]int64, distinct)
+	sums2 := make([]int64, distinct)
+	seen := make([]int64, distinct)
+	var dirBase, arrBase int64
+	if probe != nil {
+		dirBase = probe.AllocBase(int64(distinct) * 8)
+		arrBase = probe.AllocBase(int64(distinct) * 24)
+	}
+
+	in := staged{tuples: nil}
+	if probe != nil {
+		in.base = probe.AllocBase(int64(input.NumRows()) * TupleWidth)
+	}
+	tuples := flattenWithProbe(input, &in)
+
+	switch shape {
+	case GenericIterators:
+		it := newBoxedIter(staged{tuples: tuples, base: in.base}, probe)
+		lookup := func(v types.Datum) int {
+			probe.Call()
+			return dirSearch(dir, v.I, probe, dirBase)
+		}
+		for {
+			row, _, ok := it.next()
+			if !ok {
+				break
+			}
+			g := lookup(row[0])
+			probe.Call() // boxed accumulate
+			probe.Write(arrBase+int64(g)*24, 24)
+			probe.Op(8)
+			sums1[g] += row[1].I
+			sums2[g] += row[2].I
+			seen[g]++
+		}
+	case OptimizedIterators:
+		it := newByteIter(staged{tuples: tuples, base: in.base}, probe)
+		for {
+			t, _, ok := it.next()
+			if !ok {
+				break
+			}
+			g := dirSearch(dir, types.GetInt(t, 0), probe, dirBase)
+			probe.Write(arrBase+int64(g)*24, 24)
+			probe.Op(6)
+			sums1[g] += types.GetInt(t, 8)
+			sums2[g] += types.GetInt(t, 16)
+			seen[g]++
+		}
+	case GenericHardcoded:
+		getField := func(t []byte, off int, addr int64) int64 {
+			probe.Call()
+			probe.Read(addr+int64(off), 8)
+			probe.Op(2)
+			return types.GetInt(t, off)
+		}
+		for i, t := range tuples {
+			addr := in.base + int64(i)*TupleWidth
+			g := dirSearch(dir, getField(t, 0, addr), probe, dirBase)
+			probe.Write(arrBase+int64(g)*24, 24)
+			probe.Op(6)
+			sums1[g] += getField(t, 8, addr)
+			sums2[g] += getField(t, 16, addr)
+			seen[g]++
+		}
+	case OptimizedHardcoded:
+		for i, t := range tuples {
+			addr := in.base + int64(i)*TupleWidth
+			probe.Read(addr, 24)
+			g := dirSearch(dir, types.GetInt(t, 0), probe, dirBase)
+			probe.Write(arrBase+int64(g)*24, 24)
+			probe.Op(6)
+			sums1[g] += types.GetInt(t, 8)
+			sums2[g] += types.GetInt(t, 16)
+			seen[g]++
+		}
+		probe.Call() // emit-groups helper, once per pass
+	default: // Hique: everything inlined in one succinct block (§VI-C).
+		for i, t := range tuples {
+			probe.Read(in.base+int64(i)*TupleWidth, 24)
+			g := dirSearch(dir, types.GetInt(t, 0), probe, dirBase)
+			probe.Write(arrBase+int64(g)*24, 24)
+			probe.Op(5)
+			sums1[g] += types.GetInt(t, 8)
+			sums2[g] += types.GetInt(t, 16)
+			seen[g]++
+		}
+	}
+
+	groups := 0
+	for _, n := range seen {
+		if n > 0 {
+			groups++
+		}
+	}
+	return groups
+}
+
+func flattenWithProbe(t *storage.Table, s *staged) [][]byte {
+	out := make([][]byte, 0, t.NumRows())
+	t.Scan(func(tuple []byte) bool {
+		out = append(out, tuple)
+		return true
+	})
+	return out
+}
+
+// dirSearch is the binary search in a sorted value directory (§V-B).
+func dirSearch(dir []int64, v int64, probe *hwsim.Probe, base int64) int {
+	lo, hi := 0, len(dir)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		probe.Read(base+int64(mid)*8, 8)
+		probe.Op(2)
+		if dir[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(dir) && dir[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// evalSortedAgg scans one sorted partition, closing groups on key change
+// and summing fields 1 and 2 (Aggregation Query #1's two SUMs).
+func evalSortedAgg(shape Shape, part staged, out *emitBuffer, probe *hwsim.Probe) int {
+	switch shape {
+	case GenericIterators:
+		return sortedAggGenericIterators(part, out, probe)
+	case OptimizedIterators:
+		return sortedAggOptimizedIterators(part, out, probe)
+	case GenericHardcoded:
+		return sortedAggGenericHardcoded(part, out, probe)
+	case OptimizedHardcoded:
+		return sortedAggOptimizedHardcoded(part, out, probe)
+	default:
+		return sortedAggHique(part, out, probe)
+	}
+}
+
+func sortedAggHique(part staged, out *emitBuffer, probe *hwsim.Probe) int {
+	groups := 0
+	var cur int64
+	var s1, s2 int64
+	first := true
+	for i, t := range part.tuples {
+		k := types.GetInt(t, 0)
+		probe.Read(part.addr(i), 24)
+		probe.Op(5)
+		if first || k != cur {
+			if !first {
+				probe.Write(out.base, 24)
+				probe.Op(3)
+				groups++
+			}
+			cur, s1, s2 = k, 0, 0
+			first = false
+		}
+		s1 += types.GetInt(t, 8)
+		s2 += types.GetInt(t, 16)
+	}
+	if !first {
+		groups++
+	}
+	_ = s1
+	_ = s2
+	return groups
+}
+
+//go:noinline
+func hcCloseGroup(out *emitBuffer, probe *hwsim.Probe, k, s1, s2 int64) {
+	probe.Call()
+	probe.Write(out.base, 24)
+	probe.Op(3)
+	types.PutInt(out.buf, 0, k)
+	types.PutInt(out.buf, 8, s1)
+	types.PutInt(out.buf, 16, s2)
+}
+
+func sortedAggOptimizedHardcoded(part staged, out *emitBuffer, probe *hwsim.Probe) int {
+	groups := 0
+	var cur, s1, s2 int64
+	first := true
+	for i, t := range part.tuples {
+		k := types.GetInt(t, 0)
+		probe.Read(part.addr(i), 24)
+		probe.Op(5)
+		if first || k != cur {
+			if !first {
+				hcCloseGroup(out, probe, cur, s1, s2)
+				groups++
+			}
+			cur, s1, s2 = k, 0, 0
+			first = false
+		}
+		s1 += types.GetInt(t, 8)
+		s2 += types.GetInt(t, 16)
+	}
+	if !first {
+		hcCloseGroup(out, probe, cur, s1, s2)
+		groups++
+	}
+	return groups
+}
+
+func sortedAggGenericHardcoded(part staged, out *emitBuffer, probe *hwsim.Probe) int {
+	getField := func(t []byte, off int, addr int64) int64 {
+		probe.Call()
+		probe.Read(addr+int64(off), 8)
+		probe.Op(2)
+		return types.GetInt(t, off)
+	}
+	groups := 0
+	var cur, s1, s2 int64
+	first := true
+	for i, t := range part.tuples {
+		addr := part.addr(i)
+		k := getField(t, 0, addr)
+		probe.Op(3)
+		if first || k != cur {
+			if !first {
+				hcCloseGroup(out, probe, cur, s1, s2)
+				groups++
+			}
+			cur, s1, s2 = k, 0, 0
+			first = false
+		}
+		s1 += getField(t, 8, addr)
+		s2 += getField(t, 16, addr)
+	}
+	if !first {
+		hcCloseGroup(out, probe, cur, s1, s2)
+		groups++
+	}
+	return groups
+}
+
+func sortedAggOptimizedIterators(part staged, out *emitBuffer, probe *hwsim.Probe) int {
+	it := newByteIter(part, probe)
+	groups := 0
+	var cur, s1, s2 int64
+	first := true
+	for {
+		t, _, ok := it.next()
+		if !ok {
+			break
+		}
+		k := types.GetInt(t, 0)
+		probe.Op(5)
+		if first || k != cur {
+			if !first {
+				hcCloseGroup(out, probe, cur, s1, s2)
+				groups++
+			}
+			cur, s1, s2 = k, 0, 0
+			first = false
+		}
+		s1 += types.GetInt(t, 8)
+		s2 += types.GetInt(t, 16)
+	}
+	if !first {
+		hcCloseGroup(out, probe, cur, s1, s2)
+		groups++
+	}
+	return groups
+}
+
+func sortedAggGenericIterators(part staged, out *emitBuffer, probe *hwsim.Probe) int {
+	it := newBoxedIter(part, probe)
+	groups := 0
+	var cur types.Datum
+	var s1, s2 int64
+	first := true
+	cmp := func(a, b types.Datum) int {
+		probe.Call()
+		probe.Op(3)
+		return types.Compare(a, b)
+	}
+	for {
+		row, _, ok := it.next()
+		if !ok {
+			break
+		}
+		if first || cmp(row[0], cur) != 0 {
+			if !first {
+				hcCloseGroup(out, probe, cur.I, s1, s2)
+				groups++
+			}
+			cur, s1, s2 = row[0], 0, 0
+			first = false
+		}
+		probe.Call() // boxed accumulate
+		probe.Op(4)
+		s1 += row[1].I
+		s2 += row[2].I
+	}
+	if !first {
+		hcCloseGroup(out, probe, cur.I, s1, s2)
+		groups++
+	}
+	return groups
+}

@@ -1,0 +1,110 @@
+package hardcoded
+
+import (
+	"testing"
+
+	"hique/internal/hwsim"
+)
+
+func TestMergeJoinAllShapesAgree(t *testing.T) {
+	// 1000 outer tuples with 10 distinct keys; 1000 inner with the same
+	// 10 keys: each outer matches 100 inner -> 100,000 results.
+	outer := BuildJoinInput("outer", 1000, 10)
+	inner := BuildJoinInput("inner", 1000, 10)
+	want := 100000
+	for _, shape := range Shapes() {
+		got := RunMergeJoin(shape, outer, inner, nil)
+		if got != want {
+			t.Errorf("%v: merge join count = %d, want %d", shape, got, want)
+		}
+	}
+}
+
+func TestHybridJoinAllShapesAgree(t *testing.T) {
+	// 10k outer with 1000 distinct keys; 10k inner with 1000 keys: each
+	// key pairs 10x10 -> 100 results per key -> 100,000 total.
+	outer := BuildJoinInput("outer", 10000, 1000)
+	inner := BuildJoinInput("inner", 10000, 1000)
+	want := 100000
+	for _, shape := range Shapes() {
+		got := RunHybridJoin(shape, outer, inner, 16, nil)
+		if got != want {
+			t.Errorf("%v: hybrid join count = %d, want %d", shape, got, want)
+		}
+	}
+}
+
+func TestHybridAggAllShapesAgree(t *testing.T) {
+	input := BuildAggInput(20000, 500)
+	for _, shape := range Shapes() {
+		got := RunHybridAgg(shape, input, 8, nil)
+		if got != 500 {
+			t.Errorf("%v: hybrid agg groups = %d, want 500", shape, got)
+		}
+	}
+}
+
+func TestMapAggAllShapesAgree(t *testing.T) {
+	input := BuildAggInput(20000, 10)
+	for _, shape := range Shapes() {
+		got := RunMapAgg(shape, input, 10, nil)
+		if got != 10 {
+			t.Errorf("%v: map agg groups = %d, want 10", shape, got)
+		}
+	}
+}
+
+func TestProbeCountersOrdering(t *testing.T) {
+	// The paper's central §VI-A observation: function calls and retired
+	// instructions decrease monotonically from generic iterators to the
+	// HIQUE shape.
+	outer := BuildJoinInput("outer", 2000, 20)
+	inner := BuildJoinInput("inner", 2000, 20)
+	var calls, instr []uint64
+	for _, shape := range Shapes() {
+		probe := hwsim.NewProbe(hwsim.Core2Duo6300())
+		RunMergeJoin(shape, outer, inner, probe)
+		calls = append(calls, probe.C.FunctionCalls)
+		instr = append(instr, probe.C.Instructions)
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i] > calls[i-1] {
+			t.Errorf("function calls increased from %v (%d) to %v (%d)",
+				Shapes()[i-1], calls[i-1], Shapes()[i], calls[i])
+		}
+	}
+	if instr[len(instr)-1] >= instr[0] {
+		t.Errorf("HIQUE retired instructions (%d) not below generic iterators (%d)",
+			instr[len(instr)-1], instr[0])
+	}
+}
+
+func TestProbeAggCountersOrdering(t *testing.T) {
+	input := BuildAggInput(20000, 10)
+	var calls []uint64
+	for _, shape := range Shapes() {
+		probe := hwsim.NewProbe(hwsim.Core2Duo6300())
+		RunMapAgg(shape, input, 10, probe)
+		calls = append(calls, probe.C.FunctionCalls)
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i] > calls[i-1] {
+			t.Errorf("map agg function calls increased from %v (%d) to %v (%d)",
+				Shapes()[i-1], calls[i-1], Shapes()[i], calls[i])
+		}
+	}
+}
+
+func TestBuildInputsShape(t *testing.T) {
+	tbl := BuildJoinInput("t", 500, 50)
+	if tbl.NumRows() != 500 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.Schema().TupleSize() != TupleWidth {
+		t.Fatalf("tuple size = %d, want %d", tbl.Schema().TupleSize(), TupleWidth)
+	}
+	agg := BuildAggInput(100, 7)
+	if agg.NumRows() != 100 || agg.Schema().TupleSize() != TupleWidth {
+		t.Fatal("agg input malformed")
+	}
+}

@@ -1,0 +1,413 @@
+package hardcoded
+
+import (
+	"hique/internal/hwsim"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// RunMergeJoin stages both inputs sorted and evaluates the merge join in
+// the given code shape, returning the output cardinality (Join Query #1 of
+// §VI-A). Output tuples are propagated, not materialised.
+func RunMergeJoin(shape Shape, outer, inner *storage.Table, probe *hwsim.Probe) int {
+	a := stageSorted(outer, probe)
+	b := stageSorted(inner, probe)
+	out := newEmitBuffer(probe, 2*TupleWidth)
+	return evalMerge(shape, a, b, out, probe)
+}
+
+// RunHybridJoin stages both inputs hash-partitioned and sorted, then
+// merge-joins corresponding partitions (Join Query #2: hybrid
+// hash-sort-merge join).
+func RunHybridJoin(shape Shape, outer, inner *storage.Table, partitions int, probe *hwsim.Probe) int {
+	pa := stagePartitioned(outer, partitions, probe)
+	pb := stagePartitioned(inner, partitions, probe)
+	out := newEmitBuffer(probe, 2*TupleWidth)
+	total := 0
+	for p := range pa {
+		if len(pa[p].tuples) == 0 || len(pb[p].tuples) == 0 {
+			continue
+		}
+		total += evalMerge(shape, pa[p], pb[p], out, probe)
+	}
+	return total
+}
+
+func evalMerge(shape Shape, a, b staged, out *emitBuffer, probe *hwsim.Probe) int {
+	switch shape {
+	case GenericIterators:
+		return mergeGenericIterators(a, b, out, probe)
+	case OptimizedIterators:
+		return mergeOptimizedIterators(a, b, out, probe)
+	case GenericHardcoded:
+		return mergeGenericHardcoded(a, b, out, probe)
+	case OptimizedHardcoded:
+		return mergeOptimizedHardcoded(a, b, out, probe)
+	default:
+		return mergeHique(a, b, out, probe)
+	}
+}
+
+// --- HIQUE shape: the generated code — fused loops, everything inlined. ----
+
+func mergeHique(a, b staged, out *emitBuffer, probe *hwsim.Probe) int {
+	count := 0
+	i, j := 0, 0
+	na, nb := len(a.tuples), len(b.tuples)
+	for i < na && j < nb {
+		ka := types.GetInt(a.tuples[i], 0)
+		kb := types.GetInt(b.tuples[j], 0)
+		probe.Read(a.addr(i), 8)
+		probe.Read(b.addr(j), 8)
+		probe.Op(3)
+		if ka < kb {
+			i++
+			continue
+		}
+		if ka > kb {
+			j++
+			continue
+		}
+		ea := i + 1
+		for ea < na && types.GetInt(a.tuples[ea], 0) == ka {
+			probe.Read(a.addr(ea), 8)
+			probe.Op(2)
+			ea++
+		}
+		eb := j + 1
+		for eb < nb && types.GetInt(b.tuples[eb], 0) == kb {
+			probe.Read(b.addr(eb), 8)
+			probe.Op(2)
+			eb++
+		}
+		for x := i; x < ea; x++ {
+			ta := a.tuples[x]
+			for y := j; y < eb; y++ {
+				copy(out.buf, ta)
+				copy(out.buf[TupleWidth:], b.tuples[y])
+				probe.Read(a.addr(x), TupleWidth)
+				probe.Read(b.addr(y), TupleWidth)
+				probe.Write(out.base, 2*TupleWidth)
+				probe.Op(4)
+				count++
+			}
+		}
+		i, j = ea, eb
+	}
+	out.rows = count
+	return count
+}
+
+// --- Optimized hard-coded: pointer arithmetic, but result emission is a
+// separate (non-inlined) function call. -------------------------------------
+
+type hcEmitter struct {
+	out   *emitBuffer
+	probe *hwsim.Probe
+	count int
+}
+
+//go:noinline
+func (e *hcEmitter) emit(ta, tb []byte, addrA, addrB int64) {
+	copy(e.out.buf, ta)
+	copy(e.out.buf[TupleWidth:], tb)
+	e.probe.Call()
+	e.probe.Read(addrA, TupleWidth)
+	e.probe.Read(addrB, TupleWidth)
+	e.probe.Write(e.out.base, 2*TupleWidth)
+	e.probe.Op(4)
+	e.count++
+}
+
+func mergeOptimizedHardcoded(a, b staged, out *emitBuffer, probe *hwsim.Probe) int {
+	em := &hcEmitter{out: out, probe: probe}
+	i, j := 0, 0
+	na, nb := len(a.tuples), len(b.tuples)
+	for i < na && j < nb {
+		ka := types.GetInt(a.tuples[i], 0)
+		kb := types.GetInt(b.tuples[j], 0)
+		probe.Read(a.addr(i), 8)
+		probe.Read(b.addr(j), 8)
+		probe.Op(3)
+		if ka < kb {
+			i++
+			continue
+		}
+		if ka > kb {
+			j++
+			continue
+		}
+		ea := i + 1
+		for ea < na && types.GetInt(a.tuples[ea], 0) == ka {
+			probe.Read(a.addr(ea), 8)
+			probe.Op(2)
+			ea++
+		}
+		eb := j + 1
+		for eb < nb && types.GetInt(b.tuples[eb], 0) == kb {
+			probe.Read(b.addr(eb), 8)
+			probe.Op(2)
+			eb++
+		}
+		probe.Call() // update_bounds: one helper call per matching group
+		for x := i; x < ea; x++ {
+			ta := a.tuples[x]
+			for y := j; y < eb; y++ {
+				copy(out.buf, ta)
+				copy(out.buf[TupleWidth:], b.tuples[y])
+				probe.Read(a.addr(x), TupleWidth)
+				probe.Read(b.addr(y), TupleWidth)
+				probe.Write(out.base, 2*TupleWidth)
+				probe.Op(4)
+				em.count++
+			}
+		}
+		i, j = ea, eb
+	}
+	out.rows = em.count
+	return em.count
+}
+
+// --- Generic hard-coded: plain loops, but field access and comparison go
+// through function variables (generic access routines). ----------------------
+
+func mergeGenericHardcoded(a, b staged, out *emitBuffer, probe *hwsim.Probe) int {
+	getField := func(t []byte, off int, addr int64) int64 {
+		probe.Call()
+		probe.Read(addr+int64(off), 8)
+		probe.Op(2)
+		return types.GetInt(t, off)
+	}
+	compare := func(x, y int64) int {
+		probe.Call()
+		probe.Op(2)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	em := &hcEmitter{out: out, probe: probe}
+
+	count := 0
+	i, j := 0, 0
+	na, nb := len(a.tuples), len(b.tuples)
+	for i < na && j < nb {
+		c := compare(getField(a.tuples[i], 0, a.addr(i)), getField(b.tuples[j], 0, b.addr(j)))
+		if c < 0 {
+			i++
+			continue
+		}
+		if c > 0 {
+			j++
+			continue
+		}
+		ka := getField(a.tuples[i], 0, a.addr(i))
+		ea := i + 1
+		for ea < na && compare(getField(a.tuples[ea], 0, a.addr(ea)), ka) == 0 {
+			ea++
+		}
+		kb := getField(b.tuples[j], 0, b.addr(j))
+		eb := j + 1
+		for eb < nb && compare(getField(b.tuples[eb], 0, b.addr(eb)), kb) == 0 {
+			eb++
+		}
+		for x := i; x < ea; x++ {
+			for y := j; y < eb; y++ {
+				em.emit(a.tuples[x], b.tuples[y], a.addr(x), b.addr(y))
+				count++
+			}
+		}
+		i, j = ea, eb
+	}
+	out.rows = count
+	return count
+}
+
+// --- Iterator shapes ---------------------------------------------------------
+
+// byteIter streams staged tuples through per-tuple next() calls (the
+// optimized-iterator configuration: raw bytes, specialised comparisons,
+// but the call-per-tuple discipline of the iterator model).
+type byteIter struct {
+	s         staged
+	pos       int
+	probe     *hwsim.Probe
+	stateAddr int64
+}
+
+func newByteIter(s staged, probe *hwsim.Probe) *byteIter {
+	it := &byteIter{s: s, probe: probe}
+	if probe != nil {
+		it.stateAddr = probe.AllocBase(64)
+	}
+	return it
+}
+
+//go:noinline
+func (it *byteIter) next() ([]byte, int64, bool) {
+	// Caller request + callee propagation through the operator chain
+	// (scan -> staged replay -> consumer): at least two calls per edge
+	// per in-flight tuple (§II-B), plus iterator-state manipulation.
+	it.probe.Call()
+	it.probe.Call()
+	it.probe.Call()
+	it.probe.Call()
+	it.probe.Read(it.stateAddr, 16)
+	it.probe.Op(4)
+	if it.pos >= len(it.s.tuples) {
+		return nil, 0, false
+	}
+	t := it.s.tuples[it.pos]
+	addr := it.s.addr(it.pos)
+	it.probe.Read(addr, TupleWidth)
+	it.pos++
+	return t, addr, true
+}
+
+func mergeOptimizedIterators(a, b staged, out *emitBuffer, probe *hwsim.Probe) int {
+	ia, ib := newByteIter(a, probe), newByteIter(b, probe)
+	em := &hcEmitter{out: out, probe: probe}
+	count := 0
+
+	ta, aAddr, okA := ia.next()
+	tb, bAddr, okB := ib.next()
+	type buffered struct {
+		t    []byte
+		addr int64
+	}
+	var group []buffered
+	for okA && okB {
+		ka := types.GetInt(ta, 0)
+		kb := types.GetInt(tb, 0)
+		probe.Op(3)
+		switch {
+		case ka < kb:
+			ta, aAddr, okA = ia.next()
+		case ka > kb:
+			tb, bAddr, okB = ib.next()
+		default:
+			group = group[:0]
+			for okB && types.GetInt(tb, 0) == ka {
+				group = append(group, buffered{tb, bAddr})
+				tb, bAddr, okB = ib.next()
+			}
+			for okA && types.GetInt(ta, 0) == ka {
+				for _, g := range group {
+					em.emit(ta, g.t, aAddr, g.addr)
+					count++
+				}
+				ta, aAddr, okA = ia.next()
+			}
+		}
+	}
+	out.rows = count
+	return count
+}
+
+// boxedIter decodes every tuple into datums through generic per-field
+// accessors: the fully generic iterator configuration.
+type boxedIter struct {
+	s         staged
+	schema    *types.Schema
+	pos       int
+	probe     *hwsim.Probe
+	stateAddr int64
+}
+
+func newBoxedIter(s staged, probe *hwsim.Probe) *boxedIter {
+	it := &boxedIter{s: s, schema: joinSchema(), probe: probe}
+	if probe != nil {
+		it.stateAddr = probe.AllocBase(64)
+	}
+	return it
+}
+
+//go:noinline
+func (it *boxedIter) next() ([]types.Datum, int64, bool) {
+	it.probe.Call()
+	it.probe.Call()
+	it.probe.Call()
+	it.probe.Call()
+	it.probe.Read(it.stateAddr, 16)
+	it.probe.Op(4)
+	if it.pos >= len(it.s.tuples) {
+		return nil, 0, false
+	}
+	t := it.s.tuples[it.pos]
+	addr := it.s.addr(it.pos)
+	row := make([]types.Datum, it.schema.NumColumns())
+	for i := 0; i < it.schema.NumColumns(); i++ {
+		// Each field access is a virtual accessor call in the generic
+		// configuration.
+		it.probe.Call()
+		it.probe.Read(addr+int64(it.schema.Offset(i)), 8)
+		it.probe.Op(2)
+		row[i] = it.schema.GetDatum(t, i)
+	}
+	it.pos++
+	return row, addr, true
+}
+
+func mergeGenericIterators(a, b staged, out *emitBuffer, probe *hwsim.Probe) int {
+	ia, ib := newBoxedIter(a, probe), newBoxedIter(b, probe)
+	schema := joinSchema()
+	count := 0
+
+	cmp := func(x, y types.Datum) int {
+		probe.Call()
+		probe.Op(3)
+		return types.Compare(x, y)
+	}
+	emit := func(l, r []types.Datum, lAddr, rAddr int64) {
+		probe.Call()
+		probe.Call()
+		for i := range l {
+			schema.PutDatum(out.buf[:TupleWidth], i, l[i])
+		}
+		for i := range r {
+			schema.PutDatum(out.buf[TupleWidth:], i, r[i])
+		}
+		// The boxed copies are re-read field by field while building
+		// the result, on top of the output write.
+		probe.Read(lAddr, TupleWidth)
+		probe.Read(rAddr, TupleWidth)
+		probe.Write(out.base, 2*TupleWidth)
+		probe.Op(20)
+		count++
+	}
+
+	type boxed struct {
+		row  []types.Datum
+		addr int64
+	}
+	ra, aAddr, okA := ia.next()
+	rb, bAddr, okB := ib.next()
+	var group []boxed
+	for okA && okB {
+		c := cmp(ra[0], rb[0])
+		switch {
+		case c < 0:
+			ra, aAddr, okA = ia.next()
+		case c > 0:
+			rb, bAddr, okB = ib.next()
+		default:
+			key := ra[0]
+			group = group[:0]
+			for okB && cmp(rb[0], key) == 0 {
+				group = append(group, boxed{rb, bAddr})
+				rb, bAddr, okB = ib.next()
+			}
+			for okA && cmp(ra[0], key) == 0 {
+				for _, g := range group {
+					emit(ra, g.row, aAddr, g.addr)
+				}
+				ra, aAddr, okA = ia.next()
+			}
+		}
+	}
+	out.rows = count
+	return count
+}

@@ -1,0 +1,118 @@
+// Package hardcoded implements the five code shapes of the paper's
+// microbenchmark study (§VI-A) over the four benchmark queries (two joins,
+// two aggregations), with optional hardware-simulation probes:
+//
+//	Generic iterators    — boxed rows, open/next/close per tuple, generic
+//	                       comparison functions (dynamic dispatch).
+//	Optimized iterators  — iterator calls per tuple, but type-specialised
+//	                       predicates and raw-byte rows.
+//	Generic hard-coded   — plain loops, but every field access and
+//	                       predicate goes through a function variable.
+//	Optimized hard-coded — plain loops with pointer-arithmetic access;
+//	                       result emission still a function call.
+//	HIQUE                — the fully generated shape: fused loops, inlined
+//	                       predicates and emission (Listings 1 and 2).
+//
+// All shapes share the same staging implementation (partitioning and the
+// type-specific quicksort), exactly as in the paper: "Since all versions
+// implement the same algorithm [and] use the same type-specific
+// implementation of quicksort ... the differences in execution times are
+// narrowed" (§VI-A). Differences show in the evaluation loops.
+package hardcoded
+
+import (
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// TupleWidth is the microbenchmark tuple size: 72 bytes = 9 int64 fields
+// (key + 8 payload), matching the paper's 72-byte tuples.
+const TupleWidth = 72
+
+// joinSchema is key + 8 payload ints.
+func joinSchema() *types.Schema {
+	cols := make([]types.Column, 9)
+	cols[0] = types.Col("key", types.Int)
+	names := []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8"}
+	for i, n := range names {
+		cols[i+1] = types.Col(n, types.Int)
+	}
+	return types.NewSchema(cols...)
+}
+
+// BuildJoinInput builds a table of n 72-byte tuples whose key column has
+// n/matches distinct values, each appearing `matches` times, scattered so
+// the input is not pre-sorted.
+func BuildJoinInput(name string, n, distinct int) *storage.Table {
+	t := storage.NewTable(name, joinSchema())
+	s := t.Schema()
+	buf := make([]byte, s.TupleSize())
+	x := uint64(0x853c49e6748fea9b)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		key := int64(i % distinct)
+		types.PutInt(buf, 0, key)
+		for f := 1; f < 9; f++ {
+			types.PutInt(buf, f*8, int64(x)+int64(f))
+		}
+		t.Append(buf)
+	}
+	return t
+}
+
+// BuildAggInput builds the aggregation input: n 72-byte tuples with the
+// grouping attribute in field 0 taking `distinct` values and two summable
+// payload fields.
+func BuildAggInput(n, distinct int) *storage.Table {
+	t := storage.NewTable("agginput", joinSchema())
+	s := t.Schema()
+	buf := make([]byte, s.TupleSize())
+	x := uint64(0x2545F4914F6CDD1D)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		types.PutInt(buf, 0, int64(x%uint64(distinct)))
+		types.PutInt(buf, 8, int64(i))
+		types.PutInt(buf, 16, int64(i%1000))
+		for f := 3; f < 9; f++ {
+			types.PutInt(buf, f*8, int64(f))
+		}
+		t.Append(buf)
+	}
+	return t
+}
+
+// Shape enumerates the five §VI-A code shapes.
+type Shape int
+
+const (
+	// GenericIterators is the fully generic Volcano configuration.
+	GenericIterators Shape = iota
+	// OptimizedIterators specialises predicates but keeps iterator calls.
+	OptimizedIterators
+	// GenericHardcoded is a hand-written plan with generic access functions.
+	GenericHardcoded
+	// OptimizedHardcoded adds pointer-arithmetic field access.
+	OptimizedHardcoded
+	// Hique is the generated-code shape.
+	Hique
+)
+
+// String names the shape as in the paper's figures.
+func (s Shape) String() string {
+	return [...]string{
+		"Generic iterators",
+		"Optimized iterators",
+		"Generic hard-coded",
+		"Optimized hard-coded",
+		"HIQUE",
+	}[s]
+}
+
+// Shapes lists all five shapes in figure order.
+func Shapes() []Shape {
+	return []Shape{GenericIterators, OptimizedIterators, GenericHardcoded, OptimizedHardcoded, Hique}
+}

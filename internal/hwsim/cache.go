@@ -1,0 +1,174 @@
+package hwsim
+
+// cache is a set-associative cache with per-set LRU replacement. Lines are
+// identified by line number (address / line size); tags therefore carry the
+// full line number.
+type cache struct {
+	sets       int
+	ways       int
+	tags       []int64 // sets*ways entries; -1 = invalid
+	prefetched []bool  // parallel to tags: line was filled by the prefetcher
+	// lru holds per-set recency counters; higher = more recent.
+	lru   []uint64
+	clock uint64
+}
+
+func newCache(sizeBytes, lineSize, ways int) *cache {
+	lines := sizeBytes / lineSize
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+		ways = lines
+	}
+	c := &cache{
+		sets:       sets,
+		ways:       ways,
+		tags:       make([]int64, sets*ways),
+		prefetched: make([]bool, sets*ways),
+		lru:        make([]uint64, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// lookup probes for the line. On a hit it refreshes recency and returns
+// whether this is the first demand touch of a prefetched line (the flag is
+// cleared so later touches count as plain hits).
+func (c *cache) lookup(line int64) (hit, firstTouchOfPrefetch bool) {
+	set := int(uint64(line) % uint64(c.sets))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.clock++
+			c.lru[base+w] = c.clock
+			pf := c.prefetched[base+w]
+			c.prefetched[base+w] = false
+			return true, pf
+		}
+	}
+	return false, false
+}
+
+// insert places the line, evicting the per-set LRU victim if needed.
+func (c *cache) insert(line int64, prefetched bool) {
+	set := int(uint64(line) % uint64(c.sets))
+	base := set * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			// Already present (e.g. prefetch raced a demand fill).
+			if !prefetched {
+				c.prefetched[i] = false
+			}
+			return
+		}
+		if c.tags[i] == -1 {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.clock++
+	c.tags[victim] = line
+	c.prefetched[victim] = prefetched
+	c.lru[victim] = c.clock
+}
+
+// contains probes without touching recency (used by prefetch issue).
+func (c *cache) contains(line int64) bool {
+	set := int(uint64(line) % uint64(c.sets))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// prefetcher is a stride-stream prefetcher of the kind described in §II-A:
+// it tracks a small table of recent access streams, detects constant
+// strides, and once confident prefetches ahead of the stream.
+type prefetcher struct {
+	streams [16]stream
+	// degree is how many lines ahead the unit prefetches once a stream
+	// is established.
+	degree int
+}
+
+type stream struct {
+	valid      bool
+	lastLine   int64
+	stride     int64
+	confidence int
+	lastUsed   uint64
+}
+
+// observe feeds an access into the stream table and returns the lines the
+// unit decides to prefetch (possibly none).
+func (p *prefetcher) observe(line int64, clock uint64) []int64 {
+	// Find the stream this access extends: nearest lastLine within a
+	// 16-line window.
+	best := -1
+	var bestDist int64 = 1 << 62
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		d := line - s.lastLine
+		if d < 0 {
+			d = -d
+		}
+		if d <= 16 && d < bestDist {
+			best = i
+			bestDist = d
+		}
+	}
+	if best == -1 {
+		// Allocate the least recently used slot.
+		victim := 0
+		for i := range p.streams {
+			if !p.streams[i].valid {
+				victim = i
+				break
+			}
+			if p.streams[i].lastUsed < p.streams[victim].lastUsed {
+				victim = i
+			}
+		}
+		p.streams[victim] = stream{valid: true, lastLine: line, lastUsed: clock}
+		return nil
+	}
+
+	s := &p.streams[best]
+	s.lastUsed = clock
+	d := line - s.lastLine
+	if d == 0 {
+		return nil
+	}
+	if d == s.stride {
+		if s.confidence < 4 {
+			s.confidence++
+		}
+	} else {
+		s.stride = d
+		s.confidence = 1
+	}
+	s.lastLine = line
+	if s.confidence < 2 {
+		return nil
+	}
+	out := make([]int64, 0, p.degree)
+	next := line
+	for i := 0; i < p.degree; i++ {
+		next += s.stride
+		out = append(out, next)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMachineConstants(t *testing.T) {
+	m := Core2Duo6300()
+	if m.D1Lines() != 512 {
+		t.Errorf("D1Lines = %d, want 512", m.D1Lines())
+	}
+	if m.L2Lines() != 32768 {
+		t.Errorf("L2Lines = %d, want 32768", m.L2Lines())
+	}
+	sec := m.CyclesToSeconds(1.86e9)
+	if sec < 0.99 || sec > 1.01 {
+		t.Errorf("1.86G cycles = %gs, want ~1s", sec)
+	}
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := newCache(1<<10, 64, 4)
+	if hit, _ := c.lookup(42); hit {
+		t.Fatal("empty cache reported hit")
+	}
+	c.insert(42, false)
+	if hit, _ := c.lookup(42); !hit {
+		t.Fatal("inserted line missed")
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	// 4 lines total, 2 ways, 2 sets: lines with the same parity share a set.
+	c := newCache(4*64, 64, 2)
+	c.insert(0, false)
+	c.insert(2, false)
+	c.lookup(0)        // line 0 is now MRU in set 0
+	c.insert(4, false) // evicts line 2
+	if hit, _ := c.lookup(2); hit {
+		t.Error("LRU victim (line 2) still resident")
+	}
+	if hit, _ := c.lookup(0); !hit {
+		t.Error("MRU line 0 was evicted")
+	}
+	if hit, _ := c.lookup(4); !hit {
+		t.Error("inserted line 4 missing")
+	}
+}
+
+func TestPrefetchedFlagClearsOnFirstTouch(t *testing.T) {
+	c := newCache(1<<10, 64, 4)
+	c.insert(7, true)
+	hit, pf := c.lookup(7)
+	if !hit || !pf {
+		t.Fatalf("first touch: hit=%v pf=%v, want true,true", hit, pf)
+	}
+	hit, pf = c.lookup(7)
+	if !hit || pf {
+		t.Fatalf("second touch: hit=%v pf=%v, want true,false", hit, pf)
+	}
+}
+
+func TestSequentialScanHasHighPrefetchEfficiency(t *testing.T) {
+	p := NewProbe(Core2Duo6300())
+	base := p.AllocBase(1 << 22) // 4 MiB: exceeds L2, so misses must occur
+	for off := int64(0); off < 1<<22; off += 8 {
+		p.Read(base+off, 8)
+	}
+	eff := p.C.L2PrefetchEfficiency()
+	if eff < 0.5 {
+		t.Errorf("sequential scan L2 prefetch efficiency = %.2f, want >= 0.5", eff)
+	}
+	if p.C.D1Misses() == 0 {
+		t.Error("4 MiB scan produced no D1 misses")
+	}
+}
+
+func TestRandomAccessHasLowPrefetchEfficiency(t *testing.T) {
+	p := NewProbe(Core2Duo6300())
+	base := p.AllocBase(1 << 24)
+	// Deterministic pseudo-random walk over 16 MiB.
+	x := uint64(88172645463325252)
+	for i := 0; i < 1<<16; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		off := int64(x % (1 << 24))
+		p.Read(base+off, 8)
+	}
+	seqEff := func() float64 {
+		q := NewProbe(Core2Duo6300())
+		b := q.AllocBase(1 << 24)
+		for off := int64(0); off < 1<<22; off += 8 {
+			q.Read(b+off, 8)
+		}
+		return q.C.L2PrefetchEfficiency()
+	}()
+	if got := p.C.L2PrefetchEfficiency(); got >= seqEff {
+		t.Errorf("random-walk efficiency %.2f should be below sequential %.2f", got, seqEff)
+	}
+}
+
+func TestSmallWorkingSetStaysInD1(t *testing.T) {
+	p := NewProbe(Core2Duo6300())
+	base := p.AllocBase(16 << 10) // 16 KiB < 32 KiB D1
+	// Two passes: second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for off := int64(0); off < 16<<10; off += 8 {
+			p.Read(base+off, 8)
+		}
+	}
+	// First pass: at most one miss per line (256 lines). Second: none.
+	if p.C.D1Misses() > 300 {
+		t.Errorf("D1 misses = %d for cache-resident working set", p.C.D1Misses())
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	var c Counters
+	c.D1Prefetched, c.D1Demand = 30, 70
+	if got := c.D1PrefetchEfficiency(); got != 0.3 {
+		t.Errorf("D1 efficiency = %g, want 0.3", got)
+	}
+	c.Instructions = 100
+	c.InstrCycles, c.ResourceCycles, c.D1StallCycles, c.L2StallCycles = 25, 5, 10, 10
+	if got := c.CPI(); got != 0.5 {
+		t.Errorf("CPI = %g, want 0.5", got)
+	}
+}
+
+func TestProbeNilSafety(t *testing.T) {
+	var p *Probe
+	p.Op(5)
+	p.Call()
+	p.Stall(3)
+	p.Read(0, 8)
+	p.Write(0, 8)
+	if p.AllocBase(100) != 0 {
+		t.Error("nil probe AllocBase should return 0")
+	}
+}
+
+func TestOpAndCallCounting(t *testing.T) {
+	p := NewProbe(Core2Duo6300())
+	p.Op(10)
+	p.Call()
+	if p.C.FunctionCalls != 1 {
+		t.Errorf("FunctionCalls = %d", p.C.FunctionCalls)
+	}
+	if p.C.Instructions != 10+uint64(p.M.CallOverheadCycles) {
+		t.Errorf("Instructions = %d", p.C.Instructions)
+	}
+	if p.C.TotalCycles() <= 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestAllocBaseDistinct(t *testing.T) {
+	p := NewProbe(Core2Duo6300())
+	f := func(a, b uint16) bool {
+		x := p.AllocBase(int64(a) + 1)
+		y := p.AllocBase(int64(b) + 1)
+		return x != y && y > x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeatedAccessIsCached(t *testing.T) {
+	p := NewProbe(Core2Duo6300())
+	base := p.AllocBase(4096)
+	p.Read(base, 8)
+	missesAfterFirst := p.C.D1Misses()
+	for i := 0; i < 100; i++ {
+		p.Read(base, 8)
+	}
+	if p.C.D1Misses() != missesAfterFirst {
+		t.Errorf("repeated access to one line missed: %d -> %d", missesAfterFirst, p.C.D1Misses())
+	}
+	if p.C.D1Hits < 100 {
+		t.Errorf("D1Hits = %d, want >= 100", p.C.D1Hits)
+	}
+}

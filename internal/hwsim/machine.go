@@ -1,0 +1,69 @@
+// Package hwsim models the memory hierarchy of the paper's evaluation
+// machine (an Intel Core 2 Duo 6300, Table I) and provides the event
+// counters the paper obtains from OProfile: retired instructions, function
+// calls, data-cache accesses, cache misses split by level and by whether the
+// hardware prefetcher covered them, and an execution-time breakdown.
+//
+// The paper's figures compare *relative* counter values across five code
+// shapes running identical workloads. A trace-driven cache and prefetcher
+// simulator parameterised with the paper's own latency measurements
+// reproduces those relative shapes without access to the original hardware
+// (see DESIGN.md, substitution table).
+package hwsim
+
+// Machine captures the hardware constants of the simulated platform.
+// Values come straight from Table I of the paper.
+type Machine struct {
+	Cores         int
+	FrequencyMHz  int
+	CacheLineSize int
+
+	I1Size int // per-core instruction cache
+	D1Size int // per-core data cache
+	L2Size int // shared second-level cache
+
+	// Latencies in CPU cycles (RightMark measurements reported in §II-A
+	// and Table I).
+	D1HitCycles        int // any D1 access
+	L1MissSeqCycles    int // D1 miss served by L2, sequential pattern
+	L1MissRandCycles   int // D1 miss served by L2, random pattern
+	L2MissSeqCycles    int // L2 miss served by memory, sequential
+	L2MissRandCycles   int // L2 miss served by memory, random
+	AssociativityD1    int
+	AssociativityL2    int
+	MinCPI             float64 // 4-wide issue => 0.25 cycles/instruction
+	CallOverheadCycles int     // stack save/restore cost per function call
+}
+
+// Core2Duo6300 is the paper's evaluation machine (Table I).
+func Core2Duo6300() Machine {
+	return Machine{
+		Cores:              2,
+		FrequencyMHz:       1860,
+		CacheLineSize:      64,
+		I1Size:             32 << 10,
+		D1Size:             32 << 10,
+		L2Size:             2 << 20,
+		D1HitCycles:        3,
+		L1MissSeqCycles:    9,
+		L1MissRandCycles:   14,
+		L2MissSeqCycles:    28,
+		L2MissRandCycles:   77,
+		AssociativityD1:    8,
+		AssociativityL2:    16,
+		MinCPI:             0.25,
+		CallOverheadCycles: 20,
+	}
+}
+
+// D1Lines returns the number of cache lines in the D1 cache.
+func (m Machine) D1Lines() int { return m.D1Size / m.CacheLineSize }
+
+// L2Lines returns the number of cache lines in the L2 cache.
+func (m Machine) L2Lines() int { return m.L2Size / m.CacheLineSize }
+
+// CyclesToSeconds converts simulated cycles to seconds at the machine's
+// clock frequency.
+func (m Machine) CyclesToSeconds(cycles float64) float64 {
+	return cycles / (float64(m.FrequencyMHz) * 1e6)
+}

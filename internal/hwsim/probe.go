@@ -1,0 +1,214 @@
+package hwsim
+
+// Counters aggregates the simulated hardware events the paper reports in
+// Figures 5(c), 5(d), 6(c), 6(d) and the time breakdowns of 5(a)–6(b).
+type Counters struct {
+	Instructions  uint64 // retired instructions (engine-estimated ops)
+	FunctionCalls uint64
+	DataAccesses  uint64 // D1 references
+
+	D1Hits       uint64
+	D1Prefetched uint64 // D1 misses covered by the D1 prefetcher
+	D1Demand     uint64 // D1 misses the prefetcher did not cover
+	L2Hits       uint64
+	L2Prefetched uint64 // L2 misses covered by the L2 prefetcher
+	L2Demand     uint64 // L2 misses that went to memory uncovered
+
+	// Cycle breakdown (simulated).
+	InstrCycles    float64
+	ResourceCycles float64
+	D1StallCycles  float64
+	L2StallCycles  float64
+}
+
+// D1Misses returns all first-level misses (prefetched or not).
+func (c *Counters) D1Misses() uint64 { return c.D1Prefetched + c.D1Demand }
+
+// L2Misses returns all second-level misses.
+func (c *Counters) L2Misses() uint64 { return c.L2Prefetched + c.L2Demand }
+
+// D1PrefetchEfficiency is the paper's metric: prefetched lines over total
+// missed lines, at the first level.
+func (c *Counters) D1PrefetchEfficiency() float64 {
+	if m := c.D1Misses(); m > 0 {
+		return float64(c.D1Prefetched) / float64(m)
+	}
+	return 0
+}
+
+// L2PrefetchEfficiency is the same metric at the second level.
+func (c *Counters) L2PrefetchEfficiency() float64 {
+	if m := c.L2Misses(); m > 0 {
+		return float64(c.L2Prefetched) / float64(m)
+	}
+	return 0
+}
+
+// TotalCycles sums the breakdown.
+func (c *Counters) TotalCycles() float64 {
+	return c.InstrCycles + c.ResourceCycles + c.D1StallCycles + c.L2StallCycles
+}
+
+// CPI is cycles per retired instruction.
+func (c *Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return c.TotalCycles() / float64(c.Instructions)
+}
+
+// Probe instruments an engine run: it owns the simulated cache hierarchy
+// and the event counters. A nil *Probe disables instrumentation; all
+// methods are nil-safe so engines can call them unconditionally.
+type Probe struct {
+	M  Machine
+	C  Counters
+	d1 *cache
+	l2 *cache
+	// Separate stream tables per level, mirroring Figure 1's per-level
+	// prefetch units.
+	d1pf  prefetcher
+	l2pf  prefetcher
+	clock uint64
+
+	lineShift uint
+	nextBase  int64
+}
+
+// NewProbe creates a probe simulating the given machine.
+func NewProbe(m Machine) *Probe {
+	shift := uint(0)
+	for 1<<shift < m.CacheLineSize {
+		shift++
+	}
+	p := &Probe{
+		M:         m,
+		d1:        newCache(m.D1Size, m.CacheLineSize, m.AssociativityD1),
+		l2:        newCache(m.L2Size, m.CacheLineSize, m.AssociativityL2),
+		lineShift: shift,
+		nextBase:  1 << 30, // leave low addresses unused
+	}
+	p.d1pf.degree = 2
+	p.l2pf.degree = 4
+	return p
+}
+
+// AllocBase reserves a synthetic address range of the given size and
+// returns its base. Engines assign one range per table / staging area so
+// the simulated access trace mirrors real memory layout.
+func (p *Probe) AllocBase(size int64) int64 {
+	if p == nil {
+		return 0
+	}
+	base := p.nextBase
+	// Round up to a 4 KiB boundary and add a guard page so separate
+	// allocations never share a cache line.
+	p.nextBase += (size + 8191) &^ 4095
+	return base
+}
+
+// Op records n retired instructions.
+func (p *Probe) Op(n int) {
+	if p == nil {
+		return
+	}
+	p.C.Instructions += uint64(n)
+	p.C.InstrCycles += float64(n) * p.M.MinCPI
+}
+
+// Call records a function call: the call itself retires instructions for
+// the stack save/restore and pays a pipeline penalty (§II-B).
+func (p *Probe) Call() {
+	if p == nil {
+		return
+	}
+	p.C.FunctionCalls++
+	p.C.Instructions += uint64(p.M.CallOverheadCycles)
+	p.C.InstrCycles += float64(p.M.CallOverheadCycles) * p.M.MinCPI
+	p.C.ResourceCycles += float64(p.M.CallOverheadCycles) / 2
+}
+
+// Stall records generic pipeline resource-stall cycles (dependency chains,
+// branch mispredictions), used by engines at points where interpreted code
+// serialises execution.
+func (p *Probe) Stall(cycles int) {
+	if p == nil {
+		return
+	}
+	p.C.ResourceCycles += float64(cycles)
+}
+
+// Read records a data access of size bytes at the synthetic address addr,
+// walking every cache line the access touches.
+func (p *Probe) Read(addr int64, size int) {
+	if p == nil {
+		return
+	}
+	first := addr >> p.lineShift
+	last := (addr + int64(size) - 1) >> p.lineShift
+	for line := first; line <= last; line++ {
+		p.access(line)
+	}
+}
+
+// Write records a data store; the simulated hierarchy is write-allocate,
+// so stores behave like reads for miss accounting.
+func (p *Probe) Write(addr int64, size int) { p.Read(addr, size) }
+
+func (p *Probe) access(line int64) {
+	p.C.DataAccesses++
+	p.clock++
+
+	// The D1 prefetcher watches the demand stream; its fills are fetched
+	// through L2 like any other D1 fill, which is what lets the L2
+	// prefetcher learn the stream in turn.
+	for _, pf := range p.d1pf.observe(line, p.clock) {
+		if !p.d1.contains(pf) {
+			p.fetchThroughL2(pf)
+			p.d1.insert(pf, true)
+		}
+	}
+
+	if hit, wasPF := p.d1.lookup(line); hit {
+		if wasPF {
+			// First demand touch of a D1-prefetched line: the
+			// paper's methodology charges the sequential latency.
+			p.C.D1Prefetched++
+			p.C.D1StallCycles += float64(p.M.L1MissSeqCycles - p.M.D1HitCycles)
+		} else {
+			p.C.D1Hits++
+		}
+		return
+	}
+
+	// D1 demand miss: charge the random-access L1-miss latency and fetch
+	// the line through the L2.
+	p.C.D1Demand++
+	p.C.D1StallCycles += float64(p.M.L1MissRandCycles - p.M.D1HitCycles)
+	p.fetchThroughL2(line)
+	p.d1.insert(line, false)
+}
+
+// fetchThroughL2 models an L1 fill request arriving at the L2 cache. The L2
+// prefetcher observes this request stream (not the raw demand stream), so
+// sequential scans train it even when the D1 prefetcher is covering the
+// per-access traffic.
+func (p *Probe) fetchThroughL2(line int64) {
+	for _, pf := range p.l2pf.observe(line, p.clock) {
+		if !p.l2.contains(pf) {
+			p.l2.insert(pf, true)
+		}
+	}
+	if hit, wasPF := p.l2.lookup(line); hit {
+		if wasPF {
+			p.C.L2Prefetched++
+			p.C.L2StallCycles += float64(p.M.L2MissSeqCycles - p.M.L1MissRandCycles)
+		} else {
+			p.C.L2Hits++
+		}
+		return
+	}
+	p.C.L2Demand++
+	p.C.L2StallCycles += float64(p.M.L2MissRandCycles - p.M.L1MissRandCycles)
+	p.l2.insert(line, false)
+}

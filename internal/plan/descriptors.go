@@ -1,0 +1,307 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"hique/internal/catalog"
+	"hique/internal/sql"
+	"hique/internal/types"
+)
+
+// InputRef names the source of an operator input: a base table from the
+// FROM clause, or the materialised output of an earlier operator in the
+// descriptor list.
+type InputRef struct {
+	// Base is an index into Plan.Tables, or -1 when the input is the
+	// output of a previous join.
+	Base int
+	// Join is the index into Plan.Joins producing the input (valid when
+	// Base == -1).
+	Join int
+}
+
+func (r InputRef) String() string {
+	if r.Base >= 0 {
+		return fmt.Sprintf("table[%d]", r.Base)
+	}
+	return fmt.Sprintf("join[%d]", r.Join)
+}
+
+// TableInput is one FROM-clause table resolved against the catalogue.
+type TableInput struct {
+	Name  string
+	Alias string
+	Entry *catalog.TableEntry
+}
+
+// Filter is a selection predicate applied during staging: input column
+// compared against a constant.
+type Filter struct {
+	Col int
+	Op  sql.CmpOp
+	Val types.Datum
+}
+
+func (f Filter) String() string {
+	return fmt.Sprintf("col%d %s %v", f.Col, f.Op, f.Val)
+}
+
+// OutputColumn defines one column of a staged schema: either a direct copy
+// of an input column or a computed scalar expression.
+type OutputColumn struct {
+	Name string
+	// Source is the input column index for direct copies; -1 for
+	// computed columns.
+	Source int
+	// Compute is the bound expression for computed columns; nil for
+	// direct copies.
+	Compute Expr
+	Kind    types.Kind
+	Size    int
+}
+
+// StageAction says how the staging step pre-processes its materialised
+// output for the operator that consumes it (paper §V-B, "Input staging").
+type StageAction int
+
+const (
+	// StageNone materialises the filtered projection only.
+	StageNone StageAction = iota
+	// StageSort sorts the staged output on SortKeys.
+	StageSort
+	// StagePartitionFine partitions by exact key value through a value
+	// directory.
+	StagePartitionFine
+	// StagePartitionCoarse partitions by hash-and-modulo.
+	StagePartitionCoarse
+)
+
+func (a StageAction) String() string {
+	return [...]string{"none", "sort", "partition(fine)", "partition(coarse)"}[a]
+}
+
+// IndexScanSpec asks the engine to fetch the stage's input through a
+// fractal B+-tree index instead of a full scan: an equality predicate on
+// an indexed column resolves to RID lookups (paper §IV: the system's
+// memory-efficient indexes). Engines without index support ignore it and
+// evaluate the equivalent filter, which stays in Filters.
+type IndexScanSpec struct {
+	// Column is the indexed column's name in the base table.
+	Column string
+	// Value is the equality key.
+	Value types.Datum
+}
+
+// Stage describes the data-staging step for one operator input: scan,
+// filter, project (dropping unused fields to shrink tuples), and optionally
+// sort or partition, interleaved in one pass (paper §IV step 1).
+type Stage struct {
+	Input   InputRef
+	Filters []Filter
+	Cols    []OutputColumn
+	Schema  *types.Schema
+
+	// IndexScan, when non-nil, lets index-aware engines replace the
+	// table scan with index lookups. The matching filter remains in
+	// Filters so index-unaware engines stay correct.
+	IndexScan *IndexScanSpec
+
+	Action StageAction
+	// SortKeys are column indexes in the staged schema (ascending).
+	SortKeys []int
+	// PartitionKey is the staged-schema column for partitioning actions.
+	PartitionKey int
+	// Partitions is M, the partition count, for coarse partitioning.
+	Partitions int
+	// FineValues is the sorted value directory for fine partitioning.
+	FineValues []types.Datum
+	// SortPartitions requests sorting each partition on SortKeys after
+	// partitioning (the hybrid hash-sort staging of §V-B).
+	SortPartitions bool
+	// EstRows is the optimizer's cardinality estimate after filtering.
+	EstRows float64
+}
+
+// JoinAlgorithm enumerates the paper's join strategies (§V-B). All of them
+// instantiate the same nested-loops template (Listing 2) and differ only in
+// staging and in-loop extras.
+type JoinAlgorithm int
+
+const (
+	// MergeJoin stages both inputs sorted and merges linearly.
+	MergeJoin JoinAlgorithm = iota
+	// FinePartitionJoin partitions both inputs by key value; all tuples
+	// in corresponding partitions match.
+	FinePartitionJoin
+	// HybridJoin is hybrid hash-sort-merge: coarse partitioning, then
+	// sort corresponding partitions just before merging them so both
+	// stay L2-resident (the paper's preferred hash-join variant).
+	HybridJoin
+)
+
+func (a JoinAlgorithm) String() string {
+	return [...]string{"merge", "fine-partition", "hybrid-hash-sort-merge"}[a]
+}
+
+// JoinOutput maps one output column to (input index, staged column index).
+type JoinOutput struct {
+	Input int
+	Col   int
+}
+
+// Join is one join operator descriptor. Binary joins have two inputs; join
+// teams (sets of tables equi-joined on a common key, §V-B) have more.
+type Join struct {
+	Alg JoinAlgorithm
+	// Inputs are the staging specs, one per joined input.
+	Inputs []Stage
+	// Keys gives the join-key column in each staged input's schema.
+	Keys []int
+	// Out maps output schema positions to staged input columns.
+	Out []JoinOutput
+	// Schema is the join's materialised output schema.
+	Schema *types.Schema
+	// EstRows is the optimizer's output-cardinality estimate.
+	EstRows float64
+}
+
+// AggAlgorithm enumerates the aggregation strategies of §V-B.
+type AggAlgorithm int
+
+const (
+	// SortAggregation scans an input staged sorted on the grouping
+	// attributes, emitting each group as it closes.
+	SortAggregation AggAlgorithm = iota
+	// HybridAggregation hash-partitions on the first grouping attribute,
+	// sorts each partition on all grouping attributes, then scans.
+	HybridAggregation
+	// MapAggregation uses per-attribute value directories and the offset
+	// formula of Figure 4 to update aggregate arrays in one pass, with
+	// no staging.
+	MapAggregation
+)
+
+func (a AggAlgorithm) String() string {
+	return [...]string{"sort", "hybrid-hash-sort", "map"}[a]
+}
+
+// AggSpec is one aggregate computation over the staged input schema.
+type AggSpec struct {
+	Func sql.AggFunc
+	// Col is the staged-schema argument column; -1 for COUNT(*).
+	Col  int
+	Star bool
+	Name string
+	Kind types.Kind
+}
+
+// OutputRef maps one select item to the aggregation output: either a group
+// column or an aggregate slot.
+type OutputRef struct {
+	// IsAgg selects between group columns and aggregate results.
+	IsAgg bool
+	// Index is a group-column position (into GroupCols) or an aggregate
+	// position (into Aggs).
+	Index int
+}
+
+// Agg is the aggregation operator descriptor.
+type Agg struct {
+	Alg   AggAlgorithm
+	Input Stage
+	// GroupCols are grouping attributes in the staged schema.
+	GroupCols []int
+	Aggs      []AggSpec
+	// Output maps each select item to group cols / aggregates, defining
+	// the result schema order.
+	Output []OutputRef
+	// Schema is the result schema (select-list shaped).
+	Schema *types.Schema
+	// Directories hold the per-attribute value directories for map
+	// aggregation, parallel to GroupCols (paper Fig. 4).
+	Directories [][]types.Datum
+	// EstGroups is the optimizer's estimate of the group count.
+	EstGroups float64
+}
+
+// SortKey is one ORDER BY key over the final result schema.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort is the final ordering operator.
+type Sort struct {
+	Keys []SortKey
+}
+
+// Plan is the optimizer output: the topologically sorted operator list
+// (joins first, then at most one aggregation and one sort, as in §IV),
+// plus the final projection for non-aggregate queries.
+type Plan struct {
+	Stmt   *sql.SelectStmt
+	Tables []TableInput
+
+	// Joins in execution order. Each join's inputs reference base tables
+	// or earlier joins only.
+	Joins []*Join
+
+	// Agg is the aggregation operator, if the query aggregates.
+	Agg *Agg
+
+	// Final is the select-shaped projection stage for queries without
+	// aggregation (reads the last join's output or the single base
+	// table). Nil when Agg is set.
+	Final *Stage
+
+	// Sort is the final ordering, applied to the select-shaped result.
+	Sort *Sort
+
+	// Limit truncates the result; -1 means no limit.
+	Limit int
+
+	// OutputNames are the result column names, parallel to the select
+	// list.
+	OutputNames []string
+}
+
+// ResultSchema returns the schema of the query result.
+func (p *Plan) ResultSchema() *types.Schema {
+	if p.Agg != nil {
+		return p.Agg.Schema
+	}
+	return p.Final.Schema
+}
+
+// Explain renders a human-readable plan description.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query: %s\n", p.Stmt)
+	for i, t := range p.Tables {
+		fmt.Fprintf(&b, "Table[%d]: %s (alias %s, %d rows)\n", i, t.Name, t.Alias, t.Entry.Stats.Rows)
+	}
+	for i, j := range p.Joins {
+		fmt.Fprintf(&b, "Join[%d]: %s over %d inputs (est %.0f rows)\n", i, j.Alg, len(j.Inputs), j.EstRows)
+		for k := range j.Inputs {
+			st := &j.Inputs[k]
+			fmt.Fprintf(&b, "  input %d: %s stage=%s key=col%d filters=%d cols=%d (est %.0f rows)\n",
+				k, st.Input, st.Action, j.Keys[k], len(st.Filters), len(st.Cols), st.EstRows)
+		}
+	}
+	if p.Agg != nil {
+		fmt.Fprintf(&b, "Aggregate: %s groups=%d aggs=%d (est %.0f groups)\n",
+			p.Agg.Alg, len(p.Agg.GroupCols), len(p.Agg.Aggs), p.Agg.EstGroups)
+		fmt.Fprintf(&b, "  input: %s stage=%s\n", p.Agg.Input.Input, p.Agg.Input.Action)
+	}
+	if p.Final != nil {
+		fmt.Fprintf(&b, "Project: %s -> %d cols\n", p.Final.Input, len(p.Final.Cols))
+	}
+	if p.Sort != nil {
+		fmt.Fprintf(&b, "Sort: %d keys\n", len(p.Sort.Keys))
+	}
+	if p.Limit >= 0 {
+		fmt.Fprintf(&b, "Limit: %d\n", p.Limit)
+	}
+	return b.String()
+}

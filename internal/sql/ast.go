@@ -1,0 +1,305 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Expr is a scalar expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColRef names a column, optionally qualified with a table name or alias.
+type ColRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+func (c *ColRef) exprNode() {}
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+func (l *IntLit) exprNode()      {}
+func (l *IntLit) String() string { return fmt.Sprintf("%d", l.Value) }
+
+// FloatLit is a decimal literal.
+type FloatLit struct{ Value float64 }
+
+func (l *FloatLit) exprNode()      {}
+func (l *FloatLit) String() string { return fmt.Sprintf("%g", l.Value) }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (l *StringLit) exprNode()      {}
+func (l *StringLit) String() string { return "'" + l.Value + "'" }
+
+// DateLit is a DATE 'YYYY-MM-DD' literal, stored as days since epoch.
+type DateLit struct {
+	Days int64
+	Text string
+}
+
+func (l *DateLit) exprNode()      {}
+func (l *DateLit) String() string { return "DATE '" + l.Text + "'" }
+
+// ParseDate converts YYYY-MM-DD to days since 1970-01-01.
+func ParseDate(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad date literal %q: %w", s, err)
+	}
+	return t.Unix() / 86400, nil
+}
+
+// BinaryOp enumerates arithmetic operators.
+type BinaryOp byte
+
+const (
+	// OpAdd is +.
+	OpAdd BinaryOp = '+'
+	// OpSub is -.
+	OpSub BinaryOp = '-'
+	// OpMul is *.
+	OpMul BinaryOp = '*'
+	// OpDiv is /.
+	OpDiv BinaryOp = '/'
+)
+
+// BinaryExpr is an arithmetic expression.
+type BinaryExpr struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+func (b *BinaryExpr) exprNode() {}
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.Left, b.Op, b.Right)
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+const (
+	// AggSum is SUM(expr).
+	AggSum AggFunc = iota
+	// AggCount is COUNT(expr) or COUNT(*).
+	AggCount
+	// AggAvg is AVG(expr).
+	AggAvg
+	// AggMin is MIN(expr).
+	AggMin
+	// AggMax is MAX(expr).
+	AggMax
+)
+
+// String renders the function keyword.
+func (f AggFunc) String() string {
+	return [...]string{"SUM", "COUNT", "AVG", "MIN", "MAX"}[f]
+}
+
+// AggExpr is an aggregate invocation. Star is true for COUNT(*), in which
+// case Arg is nil.
+type AggExpr struct {
+	Func AggFunc
+	Arg  Expr
+	Star bool
+}
+
+func (a *AggExpr) exprNode() {}
+func (a *AggExpr) String() string {
+	if a.Star {
+		return a.Func.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg)
+}
+
+// CmpOp enumerates comparison operators in predicates.
+type CmpOp int
+
+const (
+	// CmpEq is =.
+	CmpEq CmpOp = iota
+	// CmpNe is <> or !=.
+	CmpNe
+	// CmpLt is <.
+	CmpLt
+	// CmpLe is <=.
+	CmpLe
+	// CmpGt is >.
+	CmpGt
+	// CmpGe is >=.
+	CmpGe
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// Negate returns the complementary operator (for predicate pushdown).
+func (o CmpOp) Negate() CmpOp {
+	return [...]CmpOp{CmpNe, CmpEq, CmpGe, CmpGt, CmpLe, CmpLt}[o]
+}
+
+// Flip returns the operator with operands swapped (a op b == b flip(op) a).
+func (o CmpOp) Flip() CmpOp {
+	return [...]CmpOp{CmpEq, CmpNe, CmpGt, CmpGe, CmpLt, CmpLe}[o]
+}
+
+// Predicate is one conjunct of the WHERE clause: Left op Right.
+type Predicate struct {
+	Op          CmpOp
+	Left, Right Expr
+}
+
+func (p *Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// SelectItem is one output column: an expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+func (s *SelectItem) String() string {
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// TableRef is a FROM-clause entry with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t *TableRef) String() string {
+	if t.Alias != "" && t.Alias != t.Name {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key. The expression may be a ColRef naming an
+// output alias.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o *OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// SelectStmt is a parsed query.
+type SelectStmt struct {
+	Select  []SelectItem
+	From    []TableRef
+	Where   []Predicate // implicit conjunction
+	GroupBy []ColRef
+	OrderBy []OrderItem
+	Limit   int // -1 = no limit
+}
+
+// String renders the statement back to SQL (normalised).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i := range s.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Select[i].String())
+	}
+	b.WriteString(" FROM ")
+	for i := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.From[i].String())
+	}
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i := range s.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(s.Where[i].String())
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.GroupBy[i].String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.OrderBy[i].String())
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// HasAggregates reports whether any select item contains an aggregate.
+func (s *SelectStmt) HasAggregates() bool {
+	for i := range s.Select {
+		if ContainsAggregate(s.Select[i].Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAggregate walks an expression for AggExpr nodes.
+func ContainsAggregate(e Expr) bool {
+	switch v := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return ContainsAggregate(v.Left) || ContainsAggregate(v.Right)
+	default:
+		return false
+	}
+}
+
+// WalkColumns invokes fn for every column reference in the expression.
+func WalkColumns(e Expr, fn func(*ColRef)) {
+	switch v := e.(type) {
+	case *ColRef:
+		fn(v)
+	case *BinaryExpr:
+		WalkColumns(v.Left, fn)
+		WalkColumns(v.Right, fn)
+	case *AggExpr:
+		if v.Arg != nil {
+			WalkColumns(v.Arg, fn)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package sql implements HIQUE's SQL front end: a lexer and a
+// recursive-descent parser for the dialect the paper supports (§IV):
+// conjunctive SELECT queries with equality and range predicates, equi-joins,
+// arbitrary GROUP BY and ORDER BY clauses, the standard aggregate functions,
+// and LIMIT. Nested queries and statistical aggregates are not supported,
+// matching the paper's stated scope.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier (possibly a keyword; the parser decides).
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal (quotes stripped).
+	TokString
+	// TokSymbol is punctuation: , ( ) * + - / . and comparison operators.
+	TokSymbol
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+// Lex tokenises the input. Comparison operators (<=, >=, <>, !=) are
+// emitted as single symbol tokens.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '_' || c >= utf8.RuneSelf || unicode.IsLetter(rune(c)):
+			r, width := utf8.DecodeRuneInString(input[i:])
+			if r != '_' && !unicode.IsLetter(r) {
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", r, i)
+			}
+			start := i
+			i += width
+			for i < n {
+				r, width = utf8.DecodeRuneInString(input[i:])
+				if r != '_' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					break
+				}
+				i += width
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[start:i], Pos: start})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokSymbol, Text: input[start:i], Pos: start})
+		case strings.ContainsRune(",()*+-/=.", rune(c)):
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		case c == ';':
+			i++ // statement terminator is optional and ignored
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}

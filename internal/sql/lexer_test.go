@@ -1,0 +1,105 @@
+package sql
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("SELECT a, b2 FROM t WHERE x >= 10.5 AND s = 'hi'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := make([]string, len(toks))
+	for i, tok := range toks {
+		texts[i] = tok.Text
+	}
+	want := []string{"SELECT", "a", ",", "b2", "FROM", "t", "WHERE", "x", ">=", "10.5", "AND", "s", "=", "hi", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("< <= > >= <> != = + - * / ( ) .")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<", "<=", ">", ">=", "<>", "!=", "=", "+", "-", "*", "/", "(", ")", "."}
+	for i, w := range want {
+		if toks[i].Kind != TokSymbol || toks[i].Text != w {
+			t.Errorf("token %d = %q (%v), want symbol %q", i, toks[i].Text, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex("'a''b' ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a'b" {
+		t.Errorf("escaped string = %q", toks[0].Text)
+	}
+	if toks[1].Kind != TokString || toks[1].Text != "" {
+		t.Errorf("empty string = %q (%v)", toks[1].Text, toks[1].Kind)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "a @ b", "#comment"} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("Lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("ab  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Errorf("positions = %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestLexSemicolonIgnored(t *testing.T) {
+	toks, err := Lex("SELECT a FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Text == ";" {
+			t.Error("semicolon should be dropped")
+		}
+	}
+	if len(kinds(toks)) != 5 { // SELECT a FROM t EOF
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexUnicodeIdentifiers(t *testing.T) {
+	toks, err := Lex("sélect_col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != "sélect_col" {
+		t.Errorf("unicode ident = %q", toks[0].Text)
+	}
+}

@@ -1,0 +1,429 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input starting at %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+// next consumes and returns the current token; it never advances past EOF,
+// so error paths can safely keep peeking.
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) atEOF() bool   { return p.peek().Kind == TokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// keyword matches a case-insensitive identifier keyword without consuming
+// on failure.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokIdent && strings.EqualFold(t.Text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s, found %q", strings.ToUpper(kw), p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(sym string) bool {
+	t := p.peek()
+	if t.Kind == TokSymbol && t.Text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.symbol(sym) {
+		return p.errorf("expected %q, found %q", sym, p.peek().Text)
+	}
+	return nil
+}
+
+// reserved words may not be used as aliases.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "order": true,
+	"by": true, "limit": true, "and": true, "as": true, "asc": true,
+	"desc": true, "sum": true, "count": true, "avg": true, "min": true,
+	"max": true, "date": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, *item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, *ref)
+		if !p.symbol(",") {
+			break
+		}
+	}
+
+	if p.keyword("where") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, *pred)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, *col)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: col}
+			if p.keyword("desc") {
+				item.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.keyword("limit") {
+		t := p.next()
+		if t.Kind != TokNumber {
+			return nil, p.errorf("LIMIT expects a number, found %q", t.Text)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT value %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (*SelectItem, error) {
+	// Bare * selects all columns; represented as a ColRef with Column "*".
+	if p.symbol("*") {
+		return &SelectItem{Expr: &ColRef{Column: "*"}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	item := &SelectItem{Expr: e}
+	if p.keyword("as") {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, p.errorf("AS expects an identifier, found %q", t.Text)
+		}
+		item.Alias = strings.ToLower(t.Text)
+	} else if t := p.peek(); t.Kind == TokIdent && !reserved[strings.ToLower(t.Text)] {
+		p.pos++
+		item.Alias = strings.ToLower(t.Text)
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (*TableRef, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return nil, p.errorf("expected table name, found %q", t.Text)
+	}
+	ref := &TableRef{Name: strings.ToLower(t.Text)}
+	if p.keyword("as") {
+		a := p.next()
+		if a.Kind != TokIdent {
+			return nil, p.errorf("AS expects an identifier, found %q", a.Text)
+		}
+		ref.Alias = strings.ToLower(a.Text)
+	} else if a := p.peek(); a.Kind == TokIdent && !reserved[strings.ToLower(a.Text)] {
+		p.pos++
+		ref.Alias = strings.ToLower(a.Text)
+	}
+	if ref.Alias == "" {
+		ref.Alias = ref.Name
+	}
+	return ref, nil
+}
+
+func (p *parser) parsePredicate() (*Predicate, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.Kind != TokSymbol {
+		return nil, p.errorf("expected comparison operator, found %q", t.Text)
+	}
+	var op CmpOp
+	switch t.Text {
+	case "=":
+		op = CmpEq
+	case "<>", "!=":
+		op = CmpNe
+	case "<":
+		op = CmpLt
+	case "<=":
+		op = CmpLe
+	case ">":
+		op = CmpGt
+	case ">=":
+		op = CmpGe
+	default:
+		return nil, p.errorf("unknown comparison operator %q", t.Text)
+	}
+	right, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Predicate{Op: op, Left: left, Right: right}, nil
+}
+
+// Expression grammar:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := number | string | DATE 'x' | agg '(' ... ')' | colref | '(' expr ')' | '-' factor
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.symbol("+"):
+			op = OpAdd
+		case p.symbol("-"):
+			op = OpSub
+		default:
+			return left, nil
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.symbol("*"):
+			op = OpMul
+		case p.symbol("/"):
+			op = OpDiv
+		default:
+			return left, nil
+		}
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+var aggFuncs = map[string]AggFunc{
+	"sum": AggSum, "count": AggCount, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.pos++
+		if strings.Contains(t.Text, ".") {
+			v, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &FloatLit{Value: v}, nil
+		}
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &IntLit{Value: v}, nil
+
+	case t.Kind == TokString:
+		p.pos++
+		return &StringLit{Value: t.Text}, nil
+
+	case t.Kind == TokSymbol && t.Text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.Kind == TokSymbol && t.Text == "-":
+		p.pos++
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		switch lit := e.(type) {
+		case *IntLit:
+			return &IntLit{Value: -lit.Value}, nil
+		case *FloatLit:
+			return &FloatLit{Value: -lit.Value}, nil
+		default:
+			return &BinaryExpr{Op: OpSub, Left: &IntLit{Value: 0}, Right: e}, nil
+		}
+
+	case t.Kind == TokIdent && strings.EqualFold(t.Text, "date"):
+		p.pos++
+		lit := p.next()
+		if lit.Kind != TokString {
+			return nil, p.errorf("DATE expects a string literal, found %q", lit.Text)
+		}
+		days, err := ParseDate(lit.Text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return &DateLit{Days: days, Text: lit.Text}, nil
+
+	case t.Kind == TokIdent:
+		if fn, isAgg := aggFuncs[strings.ToLower(t.Text)]; isAgg {
+			save := p.save()
+			p.pos++
+			if p.symbol("(") {
+				agg := &AggExpr{Func: fn}
+				if p.symbol("*") {
+					if fn != AggCount {
+						return nil, p.errorf("%s(*) is only valid for COUNT", fn)
+					}
+					agg.Star = true
+				} else {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					agg.Arg = arg
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return agg, nil
+			}
+			p.restore(save)
+		}
+		return p.parseColRef()
+
+	default:
+		return nil, p.errorf("unexpected token %q in expression", t.Text)
+	}
+}
+
+func (p *parser) parseColRef() (*ColRef, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return nil, p.errorf("expected column name, found %q", t.Text)
+	}
+	ref := &ColRef{Column: strings.ToLower(t.Text)}
+	if p.symbol(".") {
+		c := p.next()
+		if c.Kind != TokIdent {
+			return nil, p.errorf("expected column after %q., found %q", t.Text, c.Text)
+		}
+		ref.Table = ref.Column
+		ref.Column = strings.ToLower(c.Text)
+	}
+	return ref, nil
+}

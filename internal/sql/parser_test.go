@@ -1,0 +1,238 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t WHERE a = 5")
+	if len(stmt.Select) != 2 {
+		t.Fatalf("select items = %d", len(stmt.Select))
+	}
+	if len(stmt.From) != 1 || stmt.From[0].Name != "t" {
+		t.Fatalf("from = %v", stmt.From)
+	}
+	if len(stmt.Where) != 1 {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	p := stmt.Where[0]
+	if p.Op != CmpEq {
+		t.Errorf("op = %v", p.Op)
+	}
+	if col, ok := p.Left.(*ColRef); !ok || col.Column != "a" {
+		t.Errorf("left = %v", p.Left)
+	}
+	if lit, ok := p.Right.(*IntLit); !ok || lit.Value != 5 {
+		t.Errorf("right = %v", p.Right)
+	}
+	if stmt.Limit != -1 {
+		t.Errorf("limit = %d, want -1", stmt.Limit)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t")
+	if len(stmt.Select) != 1 {
+		t.Fatal("want one select item")
+	}
+	col, ok := stmt.Select[0].Expr.(*ColRef)
+	if !ok || col.Column != "*" {
+		t.Fatalf("star item = %v", stmt.Select[0].Expr)
+	}
+}
+
+func TestParseJoinQuery(t *testing.T) {
+	stmt := mustParse(t, "SELECT r.a, s.b FROM r, s WHERE r.id = s.id AND r.a > 10")
+	if len(stmt.From) != 2 {
+		t.Fatalf("from = %v", stmt.From)
+	}
+	if len(stmt.Where) != 2 {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	join := stmt.Where[0]
+	l, lok := join.Left.(*ColRef)
+	r, rok := join.Right.(*ColRef)
+	if !lok || !rok || l.Table != "r" || r.Table != "s" {
+		t.Errorf("join predicate = %v", join)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	stmt := mustParse(t, "SELECT grp, SUM(x) AS total, COUNT(*), AVG(y), MIN(x), MAX(y) FROM t GROUP BY grp")
+	if !stmt.HasAggregates() {
+		t.Fatal("HasAggregates = false")
+	}
+	if stmt.Select[1].Alias != "total" {
+		t.Errorf("alias = %q", stmt.Select[1].Alias)
+	}
+	agg := stmt.Select[2].Expr.(*AggExpr)
+	if agg.Func != AggCount || !agg.Star {
+		t.Errorf("count(*) = %v", agg)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].Column != "grp" {
+		t.Errorf("group by = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + b * c FROM t")
+	e := stmt.Select[0].Expr.(*BinaryExpr)
+	if e.Op != OpAdd {
+		t.Fatalf("top op = %c", e.Op)
+	}
+	right := e.Right.(*BinaryExpr)
+	if right.Op != OpMul {
+		t.Fatalf("mul should bind tighter, got %c", right.Op)
+	}
+	// Parens override.
+	stmt = mustParse(t, "SELECT (a + b) * c FROM t")
+	e = stmt.Select[0].Expr.(*BinaryExpr)
+	if e.Op != OpMul {
+		t.Fatalf("paren top op = %c", e.Op)
+	}
+}
+
+func TestParseTPCHQ1Shape(t *testing.T) {
+	q := `SELECT l_returnflag, l_linestatus,
+	        SUM(l_quantity) AS sum_qty,
+	        SUM(l_extendedprice) AS sum_base_price,
+	        SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+	        SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+	        AVG(l_quantity) AS avg_qty,
+	        AVG(l_extendedprice) AS avg_price,
+	        AVG(l_discount) AS avg_disc,
+	        COUNT(*) AS count_order
+	      FROM lineitem
+	      WHERE l_shipdate <= DATE '1998-09-02'
+	      GROUP BY l_returnflag, l_linestatus
+	      ORDER BY l_returnflag, l_linestatus`
+	stmt := mustParse(t, q)
+	if len(stmt.Select) != 10 {
+		t.Fatalf("select items = %d, want 10", len(stmt.Select))
+	}
+	if len(stmt.GroupBy) != 2 || len(stmt.OrderBy) != 2 {
+		t.Fatalf("group/order = %d/%d", len(stmt.GroupBy), len(stmt.OrderBy))
+	}
+	if stmt.Where[0].Op != CmpLe {
+		t.Errorf("where op = %v", stmt.Where[0].Op)
+	}
+	if _, ok := stmt.Where[0].Right.(*DateLit); !ok {
+		t.Errorf("where rhs = %T, want DateLit", stmt.Where[0].Right)
+	}
+}
+
+func TestParseOrderByDescAndLimit(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, SUM(b) AS revenue FROM t GROUP BY a ORDER BY revenue DESC, a ASC LIMIT 10")
+	if len(stmt.OrderBy) != 2 {
+		t.Fatalf("order by = %v", stmt.OrderBy)
+	}
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("desc flags wrong: %v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseTableAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT c.x FROM customer AS c, orders o WHERE c.id = o.cid")
+	if stmt.From[0].Alias != "c" || stmt.From[1].Alias != "o" {
+		t.Errorf("aliases = %q, %q", stmt.From[0].Alias, stmt.From[1].Alias)
+	}
+	if stmt.From[0].Name != "customer" || stmt.From[1].Name != "orders" {
+		t.Errorf("names = %q, %q", stmt.From[0].Name, stmt.From[1].Name)
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE d < DATE '1995-03-15'")
+	lit := stmt.Where[0].Right.(*DateLit)
+	// 1995-03-15 is 9204 days after epoch.
+	if lit.Days != 9204 {
+		t.Errorf("days = %d, want 9204", lit.Days)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE s = 'it''s'")
+	lit := stmt.Where[0].Right.(*StringLit)
+	if lit.Value != "it's" {
+		t.Errorf("value = %q", lit.Value)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE x > -5 AND y < -1.5")
+	if lit := stmt.Where[0].Right.(*IntLit); lit.Value != -5 {
+		t.Errorf("int = %d", lit.Value)
+	}
+	if lit := stmt.Where[1].Right.(*FloatLit); lit.Value != -1.5 {
+		t.Errorf("float = %g", lit.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a =",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t WHERE s = 'unterminated",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t extra garbage ^",
+		"SELECT a FROM t ORDER BY",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a, b FROM t WHERE a = 5",
+		"SELECT grp, SUM(x) AS total FROM t GROUP BY grp ORDER BY total DESC LIMIT 3",
+		"SELECT r.a FROM r, s WHERE r.id = s.id",
+	}
+	for _, q := range queries {
+		stmt := mustParse(t, q)
+		rendered := stmt.String()
+		stmt2 := mustParse(t, rendered)
+		if stmt2.String() != rendered {
+			t.Errorf("round trip unstable:\n  first:  %s\n  second: %s", rendered, stmt2.String())
+		}
+		if !strings.Contains(strings.ToUpper(rendered), "SELECT") {
+			t.Errorf("rendered query looks wrong: %s", rendered)
+		}
+	}
+}
+
+func TestCmpOpHelpers(t *testing.T) {
+	for _, op := range []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe} {
+		if op.Negate().Negate() != op {
+			t.Errorf("Negate not involutive for %v", op)
+		}
+		if op.Flip().Flip() != op {
+			t.Errorf("Flip not involutive for %v", op)
+		}
+	}
+	if CmpLt.Flip() != CmpGt || CmpLe.Negate() != CmpGt {
+		t.Error("Flip/Negate tables wrong")
+	}
+}

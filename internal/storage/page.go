@@ -1,0 +1,110 @@
+// Package storage implements HIQUE's N-ary Storage Model (NSM) layer:
+// fixed-size slotted pages of 4096 bytes, heap tables built from pages, and
+// a storage manager that maps tables to files on disk (paper §IV).
+//
+// Tuples within a page are stored consecutively, so the i-th tuple of a page
+// lives at data[HeaderSize + i*tupleSize] — the array layout the generated
+// code exploits through direct offset arithmetic (paper Listing 1).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// PageSize is the physical page size in bytes (paper §IV).
+	PageSize = 4096
+	// HeaderSize is the page header: numTuples (4), tupleSize (4),
+	// pageID (4), reserved (4).
+	HeaderSize = 16
+)
+
+// Page is a single NSM page. The zero value is not usable; create pages
+// through NewPage or Table.appendPage.
+type Page struct {
+	buf []byte
+}
+
+// NewPage allocates an empty page for tuples of the given width.
+func NewPage(tupleSize int) *Page {
+	if tupleSize <= 0 || tupleSize > PageSize-HeaderSize {
+		panic(fmt.Sprintf("storage.NewPage: tuple size %d out of range", tupleSize))
+	}
+	p := &Page{buf: make([]byte, PageSize)}
+	binary.LittleEndian.PutUint32(p.buf[4:8], uint32(tupleSize))
+	return p
+}
+
+// pageFromBytes wraps an existing 4096-byte buffer as a page.
+func pageFromBytes(buf []byte) *Page {
+	if len(buf) != PageSize {
+		panic("storage: page buffer must be exactly PageSize bytes")
+	}
+	return &Page{buf: buf}
+}
+
+// NumTuples returns the number of tuples stored in the page.
+func (p *Page) NumTuples() int {
+	return int(binary.LittleEndian.Uint32(p.buf[0:4]))
+}
+
+// TupleSize returns the width of each tuple in the page.
+func (p *Page) TupleSize() int {
+	return int(binary.LittleEndian.Uint32(p.buf[4:8]))
+}
+
+// ID returns the page's position within its table.
+func (p *Page) ID() int {
+	return int(binary.LittleEndian.Uint32(p.buf[8:12]))
+}
+
+func (p *Page) setID(id int) {
+	binary.LittleEndian.PutUint32(p.buf[8:12], uint32(id))
+}
+
+func (p *Page) setNumTuples(n int) {
+	binary.LittleEndian.PutUint32(p.buf[0:4], uint32(n))
+}
+
+// Capacity returns how many tuples fit in the page.
+func (p *Page) Capacity() int {
+	return (PageSize - HeaderSize) / p.TupleSize()
+}
+
+// Full reports whether the page has no room for another tuple.
+func (p *Page) Full() bool { return p.NumTuples() >= p.Capacity() }
+
+// Tuple returns the i-th tuple as a sub-slice of the page buffer. The slice
+// aliases page memory: callers must copy it if they outlive the page.
+func (p *Page) Tuple(i int) []byte {
+	ts := p.TupleSize()
+	off := HeaderSize + i*ts
+	return p.buf[off : off+ts : off+ts]
+}
+
+// Data returns the raw tuple area of the page (everything after the header).
+// The generated scan code iterates this region with pointer arithmetic.
+func (p *Page) Data() []byte { return p.buf[HeaderSize:] }
+
+// Bytes returns the full page buffer, header included.
+func (p *Page) Bytes() []byte { return p.buf }
+
+// Append copies tuple into the next free slot. It reports false when the
+// page is full.
+func (p *Page) Append(tuple []byte) bool {
+	ts := p.TupleSize()
+	if len(tuple) != ts {
+		panic(fmt.Sprintf("storage.Page.Append: tuple size %d, page expects %d", len(tuple), ts))
+	}
+	n := p.NumTuples()
+	if n >= p.Capacity() {
+		return false
+	}
+	copy(p.buf[HeaderSize+n*ts:], tuple)
+	p.setNumTuples(n + 1)
+	return true
+}
+
+// Reset clears the page's tuple count so the buffer can be reused.
+func (p *Page) Reset() { p.setNumTuples(0) }

@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hique/internal/types"
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(types.Col("id", types.Int), types.Col("v", types.Float), types.CharCol("s", 12))
+}
+
+func TestPageAppendAndRead(t *testing.T) {
+	s := testSchema()
+	p := NewPage(s.TupleSize())
+	if p.NumTuples() != 0 {
+		t.Fatalf("fresh page has %d tuples", p.NumTuples())
+	}
+	wantCap := (PageSize - HeaderSize) / s.TupleSize()
+	if p.Capacity() != wantCap {
+		t.Fatalf("Capacity = %d, want %d", p.Capacity(), wantCap)
+	}
+	for i := 0; i < wantCap; i++ {
+		ok := p.Append(s.EncodeRow(types.IntDatum(int64(i)), types.FloatDatum(float64(i)/2), types.StringDatum(fmt.Sprintf("s%d", i))))
+		if !ok {
+			t.Fatalf("Append %d failed below capacity", i)
+		}
+	}
+	if !p.Full() {
+		t.Error("page should be full")
+	}
+	if p.Append(make([]byte, s.TupleSize())) {
+		t.Error("Append succeeded on full page")
+	}
+	for i := 0; i < wantCap; i++ {
+		row := s.DecodeRow(p.Tuple(i))
+		if row[0].I != int64(i) {
+			t.Fatalf("tuple %d: id = %d", i, row[0].I)
+		}
+	}
+}
+
+func TestPageReset(t *testing.T) {
+	p := NewPage(8)
+	p.Append(make([]byte, 8))
+	p.Reset()
+	if p.NumTuples() != 0 {
+		t.Errorf("after Reset NumTuples = %d", p.NumTuples())
+	}
+	if p.TupleSize() != 8 {
+		t.Errorf("Reset clobbered tuple size: %d", p.TupleSize())
+	}
+}
+
+func TestTableAppendSpansPages(t *testing.T) {
+	s := testSchema()
+	tbl := NewTable("t", s)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tbl.AppendRow(types.IntDatum(int64(i)), types.FloatDatum(1.0), types.StringDatum("x"))
+	}
+	if tbl.NumRows() != n {
+		t.Fatalf("NumRows = %d, want %d", tbl.NumRows(), n)
+	}
+	perPage := (PageSize - HeaderSize) / s.TupleSize()
+	wantPages := (n + perPage - 1) / perPage
+	if tbl.NumPages() != wantPages {
+		t.Fatalf("NumPages = %d, want %d", tbl.NumPages(), wantPages)
+	}
+	// Scan order must be insertion order.
+	i := 0
+	tbl.Scan(func(tuple []byte) bool {
+		if got := types.GetInt(tuple, 0); got != int64(i) {
+			t.Fatalf("scan row %d: id = %d", i, got)
+		}
+		i++
+		return true
+	})
+	if i != n {
+		t.Fatalf("scan visited %d rows, want %d", i, n)
+	}
+	// Early-exit scan.
+	count := 0
+	tbl.Scan(func([]byte) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Errorf("early-exit scan visited %d rows, want 10", count)
+	}
+}
+
+func TestTableTupleByIndex(t *testing.T) {
+	s := testSchema()
+	tbl := NewTable("t", s)
+	for i := 0; i < 500; i++ {
+		tbl.AppendRow(types.IntDatum(int64(i*7)), types.FloatDatum(0), types.StringDatum(""))
+	}
+	for _, r := range []int{0, 1, 250, 499} {
+		if got := types.GetInt(tbl.Tuple(r), 0); got != int64(r*7) {
+			t.Errorf("Tuple(%d) id = %d, want %d", r, got, r*7)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	tbl.AppendRow(types.IntDatum(1), types.FloatDatum(2), types.StringDatum("a"))
+	tbl.Truncate()
+	if tbl.NumRows() != 0 || tbl.NumPages() != 0 {
+		t.Errorf("Truncate left %d rows, %d pages", tbl.NumRows(), tbl.NumPages())
+	}
+}
+
+func TestManagerSaveLoadRoundTrip(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSchema()
+	tbl := NewTable("roundtrip", s)
+	for i := 0; i < 700; i++ {
+		tbl.AppendRow(types.IntDatum(int64(i)), types.FloatDatum(float64(i)*1.5), types.StringDatum(fmt.Sprintf("row%d", i)))
+	}
+	if err := m.Save(tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Load("roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tbl.NumRows() {
+		t.Fatalf("loaded %d rows, want %d", got.NumRows(), tbl.NumRows())
+	}
+	if got.Schema().String() != s.String() {
+		t.Fatalf("loaded schema %s, want %s", got.Schema(), s)
+	}
+	want := tbl.Rows()
+	rows := got.Rows()
+	for i := range want {
+		for j := range want[i] {
+			if !types.Equal(want[i][j], rows[i][j]) {
+				t.Fatalf("row %d col %d: got %v, want %v", i, j, rows[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestManagerListAndDrop(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		tbl := NewTable(name, testSchema())
+		tbl.AppendRow(types.IntDatum(1), types.FloatDatum(1), types.StringDatum("a"))
+		if err := m.Save(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("List = %v, want 2 names", names)
+	}
+	if err := m.Drop("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = m.List()
+	if len(names) != 1 || names[0] != "beta" {
+		t.Fatalf("after Drop, List = %v", names)
+	}
+	if _, err := m.Load("alpha"); err == nil {
+		t.Error("Load of dropped table should fail")
+	}
+}
+
+func TestSaveLoadQuick(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := types.NewSchema(types.Col("k", types.Int), types.Col("v", types.Int))
+	f := func(vals []int64) bool {
+		tbl := NewTable("q", s)
+		for i, v := range vals {
+			tbl.AppendRow(types.IntDatum(int64(i)), types.IntDatum(v))
+		}
+		if err := m.Save(tbl); err != nil {
+			return false
+		}
+		got, err := m.Load("q")
+		if err != nil || got.NumRows() != len(vals) {
+			return false
+		}
+		ok := true
+		i := 0
+		got.Scan(func(tuple []byte) bool {
+			if types.GetInt(tuple, 8) != vals[i] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

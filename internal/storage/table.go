@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"fmt"
+
+	"hique/internal/types"
+)
+
+// Table is an NSM heap table: a schema plus an ordered list of pages. Tables
+// are the unit both of base storage and of staged/materialised intermediate
+// results (paper §V-C: "operators are connected by materializing intermediate
+// results as temporary tables inside the buffer pool").
+type Table struct {
+	name   string
+	schema *types.Schema
+	pages  []*Page
+	rows   int
+}
+
+// NewTable creates an empty heap table.
+func NewTable(name string, schema *types.Schema) *Table {
+	return &Table{name: name, schema: schema}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// NumPages returns the number of pages in the heap.
+func (t *Table) NumPages() int { return len(t.pages) }
+
+// NumRows returns the total tuple count.
+func (t *Table) NumRows() int { return t.rows }
+
+// Page returns the i-th page.
+func (t *Table) Page(i int) *Page { return t.pages[i] }
+
+// lastPage returns the final page, appending a fresh one if the heap is
+// empty or the final page is full.
+func (t *Table) lastPage() *Page {
+	if n := len(t.pages); n > 0 && !t.pages[n-1].Full() {
+		return t.pages[n-1]
+	}
+	p := NewPage(t.schema.TupleSize())
+	p.setID(len(t.pages))
+	t.pages = append(t.pages, p)
+	return p
+}
+
+// Append adds a tuple (raw bytes of schema width) to the table.
+func (t *Table) Append(tuple []byte) {
+	if !t.lastPage().Append(tuple) {
+		panic("storage.Table.Append: fresh page rejected tuple")
+	}
+	t.rows++
+}
+
+// AppendRow encodes and appends a row of datums.
+func (t *Table) AppendRow(row ...types.Datum) {
+	t.Append(t.schema.EncodeRow(row...))
+}
+
+// Tuple returns the raw bytes of global row r (scanning page by page).
+// Intended for tests and small results, not inner loops.
+func (t *Table) Tuple(r int) []byte {
+	for _, p := range t.pages {
+		if r < p.NumTuples() {
+			return p.Tuple(r)
+		}
+		r -= p.NumTuples()
+	}
+	panic(fmt.Sprintf("storage.Table.Tuple: row %d out of range", r))
+}
+
+// Scan invokes fn for every tuple in heap order. The tuple slice aliases
+// page memory. fn returning false stops the scan.
+func (t *Table) Scan(fn func(tuple []byte) bool) {
+	for _, p := range t.pages {
+		n := p.NumTuples()
+		ts := p.TupleSize()
+		data := p.Data()
+		for i := 0; i < n; i++ {
+			if !fn(data[i*ts : i*ts+ts]) {
+				return
+			}
+		}
+	}
+}
+
+// Rows decodes every tuple into boxed datums; intended for tests and result
+// presentation.
+func (t *Table) Rows() [][]types.Datum {
+	out := make([][]types.Datum, 0, t.rows)
+	t.Scan(func(tuple []byte) bool {
+		out = append(out, t.schema.DecodeRow(tuple))
+		return true
+	})
+	return out
+}
+
+// Truncate removes all tuples but keeps the schema.
+func (t *Table) Truncate() {
+	t.pages = nil
+	t.rows = 0
+}

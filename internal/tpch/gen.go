@@ -1,0 +1,341 @@
+// Package tpch is a from-scratch, deterministic TPC-H data generator and
+// the benchmark queries the paper evaluates (§VI-C). It reproduces the
+// schema, table cardinalities, and the value distributions that matter for
+// the evaluated queries (dates, return flags, segments, discounts); text
+// columns are synthetic. The scale factor is a parameter, so the paper's
+// SF-1 setup is one flag away from the CI-sized defaults.
+package tpch
+
+import (
+	"fmt"
+	"time"
+
+	"hique/internal/catalog"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// Config parameterises generation.
+type Config struct {
+	// ScaleFactor follows TPC-H: SF 1 is ~6M lineitem rows.
+	ScaleFactor float64
+	// Seed makes generation deterministic per table.
+	Seed uint64
+}
+
+// rng is xorshift64*: fast, deterministic, and dependency-free.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func days(y, m, d int) int64 {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC).Unix() / 86400
+}
+
+var (
+	dateLo = days(1992, 1, 1)
+	dateHi = days(1998, 8, 2)
+	// The receipt-date threshold that splits return flags (dbgen uses
+	// 1995-06-17 as the "current date" boundary).
+	currentDate = days(1995, 6, 17)
+)
+
+var (
+	regions  = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations  = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	prios    = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"}
+)
+
+// Cardinality returns the base row count of a table at the given scale.
+func Cardinality(table string, sf float64) int {
+	switch table {
+	case "region":
+		return len(regions)
+	case "nation":
+		return len(nations)
+	case "supplier":
+		return int(10000 * sf)
+	case "customer":
+		return int(150000 * sf)
+	case "part":
+		return int(200000 * sf)
+	case "partsupp":
+		return int(800000 * sf)
+	case "orders":
+		return int(1500000 * sf)
+	default:
+		panic("tpch: unknown table " + table)
+	}
+}
+
+// Generate builds all eight TPC-H tables and registers them (with
+// statistics) in a fresh catalogue.
+func Generate(cfg Config) *catalog.Catalog {
+	cat := catalog.New()
+	for _, t := range GenerateTables(cfg) {
+		cat.Register(t)
+	}
+	return cat
+}
+
+// GenerateTables builds the eight tables without cataloguing them.
+func GenerateTables(cfg Config) []*storage.Table {
+	sf := cfg.ScaleFactor
+	if sf <= 0 {
+		sf = 0.01
+	}
+	ol := genOrdersAndLineitem(cfg, sf)
+	return []*storage.Table{
+		genRegion(),
+		genNation(),
+		genSupplier(cfg, sf),
+		genPart(cfg, sf),
+		genPartsupp(cfg, sf),
+		genCustomer(cfg, sf),
+		ol[0],
+		ol[1],
+	}
+}
+
+func genRegion() *storage.Table {
+	t := storage.NewTable("region", types.NewSchema(
+		types.Col("r_regionkey", types.Int),
+		types.CharCol("r_name", 12)))
+	for i, name := range regions {
+		t.AppendRow(types.IntDatum(int64(i)), types.StringDatum(name))
+	}
+	return t
+}
+
+func genNation() *storage.Table {
+	t := storage.NewTable("nation", types.NewSchema(
+		types.Col("n_nationkey", types.Int),
+		types.CharCol("n_name", 16),
+		types.Col("n_regionkey", types.Int)))
+	for i, name := range nations {
+		t.AppendRow(types.IntDatum(int64(i)), types.StringDatum(name), types.IntDatum(int64(i%len(regions))))
+	}
+	return t
+}
+
+func genSupplier(cfg Config, sf float64) *storage.Table {
+	r := newRng(cfg.Seed ^ 0x5e1)
+	n := Cardinality("supplier", sf)
+	t := storage.NewTable("supplier", types.NewSchema(
+		types.Col("s_suppkey", types.Int),
+		types.CharCol("s_name", 18),
+		types.Col("s_nationkey", types.Int),
+		types.Col("s_acctbal", types.Float)))
+	for i := 0; i < n; i++ {
+		t.AppendRow(
+			types.IntDatum(int64(i+1)),
+			types.StringDatum(fmt.Sprintf("Supplier#%09d", i+1)),
+			types.IntDatum(int64(r.intn(len(nations)))),
+			types.FloatDatum(-999.99+r.float()*(9999.99+999.99)))
+	}
+	return t
+}
+
+func genPart(cfg Config, sf float64) *storage.Table {
+	r := newRng(cfg.Seed ^ 0x9a7)
+	n := Cardinality("part", sf)
+	t := storage.NewTable("part", types.NewSchema(
+		types.Col("p_partkey", types.Int),
+		types.CharCol("p_name", 32),
+		types.CharCol("p_brand", 10),
+		types.Col("p_size", types.Int),
+		types.Col("p_retailprice", types.Float)))
+	for i := 0; i < n; i++ {
+		t.AppendRow(
+			types.IntDatum(int64(i+1)),
+			types.StringDatum(fmt.Sprintf("part %d colour %d", i+1, r.intn(92))),
+			types.StringDatum(fmt.Sprintf("Brand#%d%d", 1+r.intn(5), 1+r.intn(5))),
+			types.IntDatum(int64(1+r.intn(50))),
+			types.FloatDatum(900+float64((i+1)%1000)/10))
+	}
+	return t
+}
+
+func genPartsupp(cfg Config, sf float64) *storage.Table {
+	r := newRng(cfg.Seed ^ 0x9a55)
+	nPart := Cardinality("part", sf)
+	t := storage.NewTable("partsupp", types.NewSchema(
+		types.Col("ps_partkey", types.Int),
+		types.Col("ps_suppkey", types.Int),
+		types.Col("ps_availqty", types.Int),
+		types.Col("ps_supplycost", types.Float)))
+	nSupp := Cardinality("supplier", sf)
+	if nSupp == 0 {
+		nSupp = 1
+	}
+	for p := 1; p <= nPart; p++ {
+		for s := 0; s < 4; s++ {
+			t.AppendRow(
+				types.IntDatum(int64(p)),
+				types.IntDatum(int64((p+s*(nSupp/4+1))%nSupp+1)),
+				types.IntDatum(int64(1+r.intn(9999))),
+				types.FloatDatum(1+r.float()*999))
+		}
+	}
+	return t
+}
+
+func genCustomer(cfg Config, sf float64) *storage.Table {
+	r := newRng(cfg.Seed ^ 0xc057)
+	n := Cardinality("customer", sf)
+	t := storage.NewTable("customer", types.NewSchema(
+		types.Col("c_custkey", types.Int),
+		types.CharCol("c_name", 18),
+		types.CharCol("c_address", 24),
+		types.Col("c_nationkey", types.Int),
+		types.CharCol("c_phone", 15),
+		types.Col("c_acctbal", types.Float),
+		types.CharCol("c_mktsegment", 10)))
+	for i := 0; i < n; i++ {
+		nation := r.intn(len(nations))
+		t.AppendRow(
+			types.IntDatum(int64(i+1)),
+			types.StringDatum(fmt.Sprintf("Customer#%09d", i+1)),
+			types.StringDatum(fmt.Sprintf("addr-%d-%d", i+1, r.intn(100000))),
+			types.IntDatum(int64(nation)),
+			types.StringDatum(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nation, r.intn(1000), r.intn(1000), r.intn(10000))),
+			types.FloatDatum(-999.99+r.float()*(9999.99+999.99)),
+			types.StringDatum(segments[r.intn(len(segments))]))
+	}
+	return t
+}
+
+// genOrdersAndLineitem builds orders and lineitem together so line dates
+// stay consistent with their order date (dbgen's approach).
+func genOrdersAndLineitem(cfg Config, sf float64) [2]*storage.Table {
+	r := newRng(cfg.Seed ^ 0x0bde5)
+	nOrders := Cardinality("orders", sf)
+	nCust := Cardinality("customer", sf)
+	if nCust == 0 {
+		nCust = 1
+	}
+
+	orders := storage.NewTable("orders", types.NewSchema(
+		types.Col("o_orderkey", types.Int),
+		types.Col("o_custkey", types.Int),
+		types.CharCol("o_orderstatus", 1),
+		types.Col("o_totalprice", types.Float),
+		types.Col("o_orderdate", types.Date),
+		types.CharCol("o_orderpriority", 15),
+		types.Col("o_shippriority", types.Int)))
+
+	lineitem := storage.NewTable("lineitem", types.NewSchema(
+		types.Col("l_orderkey", types.Int),
+		types.Col("l_partkey", types.Int),
+		types.Col("l_suppkey", types.Int),
+		types.Col("l_linenumber", types.Int),
+		types.Col("l_quantity", types.Float),
+		types.Col("l_extendedprice", types.Float),
+		types.Col("l_discount", types.Float),
+		types.Col("l_tax", types.Float),
+		types.CharCol("l_returnflag", 1),
+		types.CharCol("l_linestatus", 1),
+		types.Col("l_shipdate", types.Date),
+		types.Col("l_commitdate", types.Date),
+		types.Col("l_receiptdate", types.Date)))
+
+	nPart := Cardinality("part", sf)
+	if nPart == 0 {
+		nPart = 1
+	}
+	nSupp := Cardinality("supplier", sf)
+	if nSupp == 0 {
+		nSupp = 1
+	}
+	dateRange := int(dateHi - dateLo - 151)
+
+	for o := 1; o <= nOrders; o++ {
+		orderDate := dateLo + int64(r.intn(dateRange))
+		nLines := 1 + r.intn(7)
+		var total float64
+		allF, allO := true, true
+
+		for ln := 1; ln <= nLines; ln++ {
+			qty := float64(1 + r.intn(50))
+			price := 900 + float64((1+r.intn(nPart))%1000)/10
+			extended := qty * price
+			discount := float64(r.intn(11)) / 100
+			tax := float64(r.intn(9)) / 100
+			shipDate := orderDate + int64(1+r.intn(121))
+			commitDate := orderDate + int64(30+r.intn(61))
+			receiptDate := shipDate + int64(1+r.intn(30))
+
+			var flag string
+			if receiptDate <= currentDate {
+				if r.intn(2) == 0 {
+					flag = "R"
+				} else {
+					flag = "A"
+				}
+			} else {
+				flag = "N"
+			}
+			var status string
+			if shipDate > currentDate {
+				status = "O"
+				allF = false
+			} else {
+				status = "F"
+				allO = false
+			}
+			total += extended * (1 + tax) * (1 - discount)
+
+			lineitem.AppendRow(
+				types.IntDatum(int64(o)),
+				types.IntDatum(int64(1+r.intn(nPart))),
+				types.IntDatum(int64(1+r.intn(nSupp))),
+				types.IntDatum(int64(ln)),
+				types.FloatDatum(qty),
+				types.FloatDatum(extended),
+				types.FloatDatum(discount),
+				types.FloatDatum(tax),
+				types.StringDatum(flag),
+				types.StringDatum(status),
+				types.DateDatum(shipDate),
+				types.DateDatum(commitDate),
+				types.DateDatum(receiptDate))
+			_ = status
+		}
+
+		var orderStatus string
+		switch {
+		case allF:
+			orderStatus = "F"
+		case allO:
+			orderStatus = "O"
+		default:
+			orderStatus = "P"
+		}
+		orders.AppendRow(
+			types.IntDatum(int64(o)),
+			types.IntDatum(int64(1+r.intn(nCust))),
+			types.StringDatum(orderStatus),
+			types.FloatDatum(total),
+			types.DateDatum(orderDate),
+			types.StringDatum(prios[r.intn(len(prios))]),
+			types.IntDatum(0))
+	}
+	return [2]*storage.Table{orders, lineitem}
+}

@@ -1,0 +1,69 @@
+package tpch
+
+import "fmt"
+
+// Q1 is TPC-H Query 1 (pricing summary report): an aggregation over almost
+// the whole lineitem table producing four groups. The paper's headline
+// result (167× over PostgreSQL, 4× over MonetDB) comes from this query,
+// evaluated with map aggregation (§VI-C).
+const Q1 = `SELECT l_returnflag, l_linestatus,
+  SUM(l_quantity) AS sum_qty,
+  SUM(l_extendedprice) AS sum_base_price,
+  SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+  SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+  AVG(l_quantity) AS avg_qty,
+  AVG(l_extendedprice) AS avg_price,
+  AVG(l_discount) AS avg_disc,
+  COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+// Q3 is TPC-H Query 3 (shipping priority): a three-way join with selective
+// predicates, aggregation, and a top-10 sort.
+const Q3 = `SELECT l_orderkey,
+  SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+  o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`
+
+// Q10 is TPC-H Query 10 (returned item reporting): a four-way join with
+// date-range and flag predicates, wide grouping, and a top-20 sort.
+const Q10 = `SELECT c_custkey, c_name,
+  SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+  c_acctbal, n_name, c_address, c_phone
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, n_name, c_address, c_phone
+ORDER BY revenue DESC
+LIMIT 20`
+
+// Query returns the SQL text of a benchmark query by number.
+func Query(n int) (string, error) {
+	switch n {
+	case 1:
+		return Q1, nil
+	case 3:
+		return Q3, nil
+	case 10:
+		return Q10, nil
+	default:
+		return "", fmt.Errorf("tpch: query %d is not part of the paper's evaluation (1, 3, 10)", n)
+	}
+}
+
+// QueryNumbers lists the evaluated TPC-H queries.
+func QueryNumbers() []int { return []int{1, 3, 10} }

@@ -1,0 +1,341 @@
+// Package types defines the value model of HIQUE: column kinds, schemas,
+// fixed-length tuple layouts, and datum values used at the engine boundary.
+//
+// The storage layer follows the paper's N-ary Storage Model (NSM): every
+// tuple of a table has the same fixed width, so a field access compiles down
+// to base + offset arithmetic. The generic (iterator) engines box field
+// values into Datum; the holistic engine reads primitives straight out of
+// page bytes using the offsets recorded in Schema.
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind enumerates the primitive column types supported by the engine.
+type Kind uint8
+
+const (
+	// Int is a 64-bit signed integer.
+	Int Kind = iota
+	// Float is a 64-bit IEEE-754 float.
+	Float
+	// Date is a date stored as days since 1970-01-01 in an int64.
+	Date
+	// String is a fixed-width character column (CHAR(n)); values are
+	// zero-padded to the declared width.
+	String
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case Date:
+		return "DATE"
+	case String:
+		return "CHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// FixedSize reports the storage width of non-string kinds.
+func (k Kind) FixedSize() int {
+	switch k {
+	case Int, Float, Date:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Column describes a single attribute of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+	// Size is the byte width of the column inside a tuple. For Int,
+	// Float and Date it is always 8; for String it is the declared
+	// CHAR(n) width.
+	Size int
+}
+
+// Col constructs a column of a fixed-size kind.
+func Col(name string, kind Kind) Column {
+	if kind == String {
+		panic("types.Col: String columns need an explicit size; use CharCol")
+	}
+	return Column{Name: name, Kind: kind, Size: kind.FixedSize()}
+}
+
+// CharCol constructs a fixed-width string column.
+func CharCol(name string, size int) Column {
+	if size <= 0 {
+		panic("types.CharCol: size must be positive")
+	}
+	return Column{Name: name, Kind: String, Size: size}
+}
+
+// Schema is an ordered list of columns plus the derived tuple layout.
+// A Schema is immutable after construction.
+type Schema struct {
+	cols    []Column
+	offsets []int
+	width   int
+	index   map[string]int
+}
+
+// NewSchema computes the tuple layout for the given columns.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{
+		cols:    append([]Column(nil), cols...),
+		offsets: make([]int, len(cols)),
+		index:   make(map[string]int, len(cols)),
+	}
+	off := 0
+	for i, c := range cols {
+		if c.Size <= 0 {
+			panic(fmt.Sprintf("types.NewSchema: column %q has non-positive size", c.Name))
+		}
+		s.offsets[i] = off
+		off += c.Size
+		if _, dup := s.index[c.Name]; dup {
+			panic(fmt.Sprintf("types.NewSchema: duplicate column name %q", c.Name))
+		}
+		s.index[c.Name] = i
+	}
+	s.width = off
+	return s
+}
+
+// NumColumns returns the number of columns.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns the i-th column descriptor.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Offset returns the byte offset of column i inside a tuple.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// TupleSize returns the fixed tuple width in bytes.
+func (s *Schema) TupleSize() int { return s.width }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Project returns a new schema consisting of the given columns (by index),
+// in order. Column names are preserved.
+func (s *Schema) Project(idxs ...int) *Schema {
+	cols := make([]Column, len(idxs))
+	for i, idx := range idxs {
+		cols[i] = s.cols[idx]
+	}
+	return NewSchema(cols...)
+}
+
+// String renders the schema as "(name KIND, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+		if c.Kind == String {
+			fmt.Fprintf(&b, "(%d)", c.Size)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Datum is a boxed value used by the generic engines and at API boundaries.
+// Exactly one of the value fields is meaningful, selected by Kind.
+type Datum struct {
+	Kind Kind
+	I    int64   // Int and Date payload
+	F    float64 // Float payload
+	S    string  // String payload
+}
+
+// IntDatum boxes an integer.
+func IntDatum(v int64) Datum { return Datum{Kind: Int, I: v} }
+
+// FloatDatum boxes a float.
+func FloatDatum(v float64) Datum { return Datum{Kind: Float, F: v} }
+
+// DateDatum boxes a date (days since epoch).
+func DateDatum(days int64) Datum { return Datum{Kind: Date, I: days} }
+
+// StringDatum boxes a string.
+func StringDatum(v string) Datum { return Datum{Kind: String, S: v} }
+
+// Compare orders two datums of the same kind: -1, 0, or +1.
+func Compare(a, b Datum) int {
+	switch a.Kind {
+	case Int, Date:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case Float:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case String:
+		return strings.Compare(a.S, b.S)
+	default:
+		panic(fmt.Sprintf("types.Compare: bad kind %v", a.Kind))
+	}
+}
+
+// Equal reports whether two datums of the same kind are equal.
+func Equal(a, b Datum) bool { return Compare(a, b) == 0 }
+
+// String renders the datum value.
+func (d Datum) String() string {
+	switch d.Kind {
+	case Int:
+		return fmt.Sprintf("%d", d.I)
+	case Date:
+		return fmt.Sprintf("date(%d)", d.I)
+	case Float:
+		return fmt.Sprintf("%g", d.F)
+	case String:
+		return d.S
+	default:
+		return "?"
+	}
+}
+
+// --- Tuple encoding -------------------------------------------------------
+//
+// Tuples are raw byte slices of Schema.TupleSize() bytes. Numeric fields are
+// little-endian; CHAR(n) fields are zero-padded.
+
+// PutInt writes an int64 field at the given offset.
+func PutInt(tuple []byte, offset int, v int64) {
+	binary.LittleEndian.PutUint64(tuple[offset:offset+8], uint64(v))
+}
+
+// GetInt reads an int64 field at the given offset.
+func GetInt(tuple []byte, offset int) int64 {
+	return int64(binary.LittleEndian.Uint64(tuple[offset : offset+8]))
+}
+
+// PutFloat writes a float64 field at the given offset.
+func PutFloat(tuple []byte, offset int, v float64) {
+	binary.LittleEndian.PutUint64(tuple[offset:offset+8], math.Float64bits(v))
+}
+
+// GetFloat reads a float64 field at the given offset.
+func GetFloat(tuple []byte, offset int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(tuple[offset : offset+8]))
+}
+
+// PutString writes a fixed-width string field, truncating or zero-padding
+// to size bytes.
+func PutString(tuple []byte, offset, size int, v string) {
+	n := copy(tuple[offset:offset+size], v)
+	for i := offset + n; i < offset+size; i++ {
+		tuple[i] = 0
+	}
+}
+
+// GetString reads a fixed-width string field, trimming trailing zero bytes.
+func GetString(tuple []byte, offset, size int) string {
+	b := tuple[offset : offset+size]
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return string(b[:end])
+}
+
+// GetDatum boxes column col of the tuple according to the schema.
+func (s *Schema) GetDatum(tuple []byte, col int) Datum {
+	c := s.cols[col]
+	off := s.offsets[col]
+	switch c.Kind {
+	case Int:
+		return IntDatum(GetInt(tuple, off))
+	case Date:
+		return DateDatum(GetInt(tuple, off))
+	case Float:
+		return FloatDatum(GetFloat(tuple, off))
+	case String:
+		return StringDatum(GetString(tuple, off, c.Size))
+	default:
+		panic("types: bad column kind")
+	}
+}
+
+// PutDatum stores d into column col of the tuple.
+func (s *Schema) PutDatum(tuple []byte, col int, d Datum) {
+	c := s.cols[col]
+	off := s.offsets[col]
+	switch c.Kind {
+	case Int, Date:
+		PutInt(tuple, off, d.I)
+	case Float:
+		PutFloat(tuple, off, d.F)
+	case String:
+		PutString(tuple, off, c.Size, d.S)
+	default:
+		panic("types: bad column kind")
+	}
+}
+
+// EncodeRow packs a row of datums into a fresh tuple buffer.
+func (s *Schema) EncodeRow(row ...Datum) []byte {
+	if len(row) != len(s.cols) {
+		panic(fmt.Sprintf("types.EncodeRow: got %d values for %d columns", len(row), len(s.cols)))
+	}
+	t := make([]byte, s.width)
+	for i, d := range row {
+		s.PutDatum(t, i, d)
+	}
+	return t
+}
+
+// DecodeRow unpacks a tuple into boxed datums.
+func (s *Schema) DecodeRow(tuple []byte) []Datum {
+	row := make([]Datum, len(s.cols))
+	for i := range s.cols {
+		row[i] = s.GetDatum(tuple, i)
+	}
+	return row
+}
+
+// CompareTuples compares two tuples (possibly from different schemas) on the
+// given column lists, which must be parallel and of matching kinds.
+func CompareTuples(a []byte, sa *Schema, colsA []int, b []byte, sb *Schema, colsB []int) int {
+	for i := range colsA {
+		if c := Compare(sa.GetDatum(a, colsA[i]), sb.GetDatum(b, colsB[i])); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

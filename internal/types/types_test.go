@@ -1,0 +1,136 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaLayout(t *testing.T) {
+	s := NewSchema(Col("a", Int), Col("b", Float), CharCol("c", 10), Col("d", Date))
+	if got, want := s.TupleSize(), 8+8+10+8; got != want {
+		t.Fatalf("TupleSize = %d, want %d", got, want)
+	}
+	wantOffsets := []int{0, 8, 16, 26}
+	for i, w := range wantOffsets {
+		if got := s.Offset(i); got != w {
+			t.Errorf("Offset(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if s.ColumnIndex("c") != 2 {
+		t.Errorf("ColumnIndex(c) = %d, want 2", s.ColumnIndex("c"))
+	}
+	if s.ColumnIndex("missing") != -1 {
+		t.Errorf("ColumnIndex(missing) should be -1")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := NewSchema(Col("a", Int), Col("b", Float), CharCol("c", 4))
+	p := s.Project(2, 0)
+	if p.NumColumns() != 2 {
+		t.Fatalf("projected NumColumns = %d, want 2", p.NumColumns())
+	}
+	if p.Column(0).Name != "c" || p.Column(1).Name != "a" {
+		t.Errorf("projection order wrong: %v", p.Columns())
+	}
+	if p.TupleSize() != 12 {
+		t.Errorf("projected TupleSize = %d, want 12", p.TupleSize())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewSchema(Col("i", Int), Col("f", Float), CharCol("s", 8), Col("d", Date))
+	row := []Datum{IntDatum(-42), FloatDatum(3.5), StringDatum("hello"), DateDatum(19000)}
+	tuple := s.EncodeRow(row...)
+	got := s.DecodeRow(tuple)
+	for i := range row {
+		if !Equal(row[i], got[i]) {
+			t.Errorf("col %d: got %v, want %v", i, got[i], row[i])
+		}
+	}
+}
+
+func TestStringTruncationAndPadding(t *testing.T) {
+	s := NewSchema(CharCol("s", 4))
+	tuple := s.EncodeRow(StringDatum("abcdefgh"))
+	if got := s.GetDatum(tuple, 0).S; got != "abcd" {
+		t.Errorf("truncated string = %q, want %q", got, "abcd")
+	}
+	tuple = s.EncodeRow(StringDatum("x"))
+	if got := s.GetDatum(tuple, 0).S; got != "x" {
+		t.Errorf("padded string = %q, want %q", got, "x")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{IntDatum(1), IntDatum(2), -1},
+		{IntDatum(2), IntDatum(2), 0},
+		{IntDatum(3), IntDatum(2), 1},
+		{FloatDatum(1.5), FloatDatum(2.5), -1},
+		{FloatDatum(2.5), FloatDatum(2.5), 0},
+		{StringDatum("a"), StringDatum("b"), -1},
+		{StringDatum("b"), StringDatum("b"), 0},
+		{DateDatum(10), DateDatum(5), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	s := NewSchema(Col("a", Int), Col("b", Int))
+	t1 := s.EncodeRow(IntDatum(1), IntDatum(5))
+	t2 := s.EncodeRow(IntDatum(1), IntDatum(7))
+	if got := CompareTuples(t1, s, []int{0}, t2, s, []int{0}); got != 0 {
+		t.Errorf("compare on a = %d, want 0", got)
+	}
+	if got := CompareTuples(t1, s, []int{0, 1}, t2, s, []int{0, 1}); got != -1 {
+		t.Errorf("compare on (a,b) = %d, want -1", got)
+	}
+}
+
+func TestIntRoundTripQuick(t *testing.T) {
+	f := func(v int64, off uint8) bool {
+		buf := make([]byte, 8+int(off))
+		PutInt(buf, int(off%8), v)
+		return GetInt(buf, int(off%8)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatRoundTripQuick(t *testing.T) {
+	f := func(v float64) bool {
+		buf := make([]byte, 8)
+		PutFloat(buf, 0, v)
+		got := GetFloat(buf, 0)
+		return got == v || (got != got && v != v) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatumCompareAntisymmetryQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(IntDatum(a), IntDatum(b)) == -Compare(IntDatum(b), IntDatum(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Int: "INT", Float: "FLOAT", Date: "DATE", String: "CHAR"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

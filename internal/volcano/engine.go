@@ -1,0 +1,353 @@
+package volcano
+
+import (
+	"fmt"
+
+	"hique/internal/plan"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// Engine executes optimizer plans through iterator trees: the traditional
+// engine design HIQUE is compared against. Intermediate join results are
+// materialised between operators, as in the paper's evaluation setup.
+type Engine struct {
+	mode Mode
+}
+
+// NewGeneric builds the generic-iterator engine.
+func NewGeneric() *Engine { return &Engine{mode: Generic} }
+
+// NewOptimized builds the type-specialised iterator engine.
+func NewOptimized() *Engine { return &Engine{mode: Optimized} }
+
+// Name identifies the engine in experiment output.
+func (e *Engine) Name() string { return e.mode.String() }
+
+// Execute runs the plan and materialises the result.
+func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
+	joinOut := make([][]Row, len(p.Joins))
+
+	resolveRows := func(ref plan.InputRef) ([]Row, *types.Schema, error) {
+		if ref.Base >= 0 {
+			t := p.Tables[ref.Base].Entry.Table
+			rows, err := Drain(NewScan(t))
+			return rows, t.Schema(), err
+		}
+		if ref.Join < 0 || ref.Join >= len(joinOut) || joinOut[ref.Join] == nil {
+			return nil, nil, fmt.Errorf("volcano: dangling input %v", ref)
+		}
+		return joinOut[ref.Join], p.Joins[ref.Join].Schema, nil
+	}
+
+	for ji, j := range p.Joins {
+		rows, err := e.runJoin(j, resolveRows)
+		if err != nil {
+			return nil, err
+		}
+		joinOut[ji] = rows
+	}
+
+	var result []Row
+	var schema *types.Schema
+	switch {
+	case p.Agg != nil:
+		rows, err := e.runAgg(p.Agg, resolveRows)
+		if err != nil {
+			return nil, err
+		}
+		result, schema = rows, p.Agg.Schema
+	case p.Final != nil:
+		in, _, err := resolveRows(p.Final.Input)
+		if err != nil {
+			return nil, err
+		}
+		it := e.stageIterator(p.Final, NewSlice(in))
+		rows, err := Drain(it)
+		if err != nil {
+			return nil, err
+		}
+		result, schema = rows, p.Final.Schema
+	default:
+		return nil, fmt.Errorf("volcano: empty plan")
+	}
+
+	if p.Sort != nil {
+		it := NewSort(NewSlice(result), sortLess(e.mode, p.Sort.Keys))
+		var err error
+		result, err = Drain(it)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.Limit >= 0 && len(result) > p.Limit {
+		result = result[:p.Limit]
+	}
+
+	out := storage.NewTable("result", schema)
+	for _, r := range result {
+		out.AppendRow(r...)
+	}
+	return out, nil
+}
+
+// stageIterator wraps an input with the stage's filter and projection.
+func (e *Engine) stageIterator(st *plan.Stage, in Iterator) Iterator {
+	it := in
+	if pred := compilePredicates(e.mode, st.Filters); pred != nil {
+		it = NewFilter(it, pred)
+	}
+	return NewProject(it, compileProjection(e.mode, st.Cols))
+}
+
+// runJoin evaluates a join descriptor with iterators. Multi-input (team)
+// descriptors cascade into binary merge joins — the iterator engine has no
+// team evaluation, which is exactly the gap Figure 7(b) measures.
+func (e *Engine) runJoin(j *plan.Join, resolve func(plan.InputRef) ([]Row, *types.Schema, error)) ([]Row, error) {
+	k := len(j.Inputs)
+	staged := make([][]Row, k)
+	for i := range j.Inputs {
+		in, _, err := resolve(j.Inputs[i].Input)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := Drain(e.stageIterator(&j.Inputs[i], NewSlice(in)))
+		if err != nil {
+			return nil, err
+		}
+		staged[i] = rows
+	}
+
+	// Column block offset of each input in the concatenated row.
+	offsets := make([]int, k)
+	for i := 1; i < k; i++ {
+		offsets[i] = offsets[i-1] + len(j.Inputs[i-1].Cols)
+	}
+
+	var joined []Row
+	switch j.Alg {
+	case plan.MergeJoin:
+		rows, err := e.cascadeMerge(j, staged, offsets, nil)
+		if err != nil {
+			return nil, err
+		}
+		joined = rows
+
+	case plan.FinePartitionJoin, plan.HybridJoin:
+		// Partition every input identically, then join partition-wise.
+		m := partitionCountOf(j)
+		parts := make([][][]Row, k)
+		for i := range staged {
+			p, err := e.partitionRows(staged[i], &j.Inputs[i], j.Keys[i], m)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = p
+		}
+		for pi := 0; pi < m; pi++ {
+			slice := make([][]Row, k)
+			empty := false
+			for i := range parts {
+				slice[i] = parts[i][pi]
+				if len(slice[i]) == 0 {
+					empty = true
+					break
+				}
+			}
+			if empty {
+				continue
+			}
+			if j.Alg == plan.FinePartitionJoin {
+				joined = appendCartesian(joined, slice, offsets)
+				continue
+			}
+			rows, err := e.cascadeMerge(j, slice, offsets, nil)
+			if err != nil {
+				return nil, err
+			}
+			joined = append(joined, rows...)
+		}
+	}
+
+	// Final projection onto the join's output schema.
+	out := make([]Row, len(joined))
+	for r, row := range joined {
+		res := make(Row, len(j.Out))
+		for pos, o := range j.Out {
+			res[pos] = row[offsets[o.Input]+o.Col]
+		}
+		out[r] = res
+	}
+	return out, nil
+}
+
+func partitionCountOf(j *plan.Join) int {
+	for i := range j.Inputs {
+		switch j.Inputs[i].Action {
+		case plan.StagePartitionCoarse:
+			return j.Inputs[i].Partitions
+		case plan.StagePartitionFine:
+			return len(j.Inputs[i].FineValues)
+		}
+	}
+	return 1
+}
+
+// partitionRows splits staged rows into m buckets per the stage action.
+func (e *Engine) partitionRows(rows []Row, st *plan.Stage, key, m int) ([][]Row, error) {
+	out := make([][]Row, m)
+	switch st.Action {
+	case plan.StagePartitionFine:
+		for _, r := range rows {
+			if p := dirLookup(st.FineValues, r[key]); p >= 0 {
+				out[p] = append(out[p], r)
+			}
+		}
+	case plan.StagePartitionCoarse:
+		mask := uint64(m - 1)
+		for _, r := range rows {
+			out[hashRowKey(r[key])&mask] = append(out[hashRowKey(r[key])&mask], r)
+		}
+	default:
+		if m != 1 {
+			return nil, fmt.Errorf("volcano: unpartitioned stage feeding %d partitions", m)
+		}
+		out[0] = rows
+	}
+	return out, nil
+}
+
+func hashRowKey(d types.Datum) uint64 {
+	if d.Kind == types.String {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(d.S); i++ {
+			h ^= uint64(d.S[i])
+			h *= 1099511628211
+		}
+		return h
+	}
+	x := uint64(d.I) * 0x9E3779B97F4A7C15
+	return x ^ (x >> 29)
+}
+
+// cascadeMerge runs the k-input join as a left-deep cascade of binary
+// merge joins over key-sorted streams; the intermediate stays sorted on
+// the shared key so later merges need no re-sort.
+func (e *Engine) cascadeMerge(j *plan.Join, staged [][]Row, offsets []int, _ any) ([]Row, error) {
+	// Sort each input on its key.
+	sorted := make([][]Row, len(staged))
+	for i := range staged {
+		it := NewSort(NewSlice(staged[i]), keyLess(e.mode, []int{j.Keys[i]}))
+		rows, err := Drain(it)
+		if err != nil {
+			return nil, err
+		}
+		sorted[i] = rows
+	}
+	cur := sorted[0]
+	curKey := j.Keys[0]
+	for i := 1; i < len(sorted); i++ {
+		rightKey := j.Keys[i]
+		cmp := keyCompare(e.mode, []int{curKey}, []int{rightKey})
+		sameLeft := keyCompare(e.mode, []int{curKey}, []int{curKey})
+		combine := func(l, r Row) Row {
+			out := make(Row, len(l)+len(r))
+			copy(out, l)
+			copy(out[len(l):], r)
+			return out
+		}
+		it := NewMergeJoin(NewSlice(cur), NewSlice(sorted[i]),
+			cmp,
+			func(a, b Row) bool { return sameLeft(a, b) == 0 },
+			combine)
+		rows, err := Drain(it)
+		if err != nil {
+			return nil, err
+		}
+		cur = rows
+		// curKey position unchanged: the key column of input 0 stays at
+		// its offset in the concatenated row.
+	}
+	return cur, nil
+}
+
+// appendCartesian emits the cross product of per-input row sets (fine
+// partition join: all tuples in corresponding partitions match).
+func appendCartesian(dst []Row, parts [][]Row, offsets []int) []Row {
+	total := len(offsets[len(offsets)-1:])
+	_ = total
+	cur := make([]Row, len(parts))
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(parts) {
+			width := 0
+			for _, r := range cur {
+				width += len(r)
+			}
+			row := make(Row, 0, width)
+			for _, r := range cur {
+				row = append(row, r...)
+			}
+			dst = append(dst, row)
+			return
+		}
+		for _, r := range parts[depth] {
+			cur[depth] = r
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+	return dst
+}
+
+// runAgg evaluates the aggregation operator.
+func (e *Engine) runAgg(a *plan.Agg, resolve func(plan.InputRef) ([]Row, *types.Schema, error)) ([]Row, error) {
+	in, _, err := resolve(a.Input.Input)
+	if err != nil {
+		return nil, err
+	}
+	staged := e.stageIterator(&a.Input, NewSlice(in))
+
+	switch a.Alg {
+	case plan.MapAggregation:
+		it, err := NewMapAgg(staged, a)
+		if err != nil {
+			return nil, err
+		}
+		return Drain(it)
+
+	case plan.SortAggregation:
+		sorted := NewSort(staged, keyLess(e.mode, a.GroupCols))
+		return Drain(NewSortAgg(sorted, a, e.mode))
+
+	case plan.HybridAggregation:
+		rows, err := Drain(staged)
+		if err != nil {
+			return nil, err
+		}
+		m := a.Input.Partitions
+		if m <= 0 {
+			m = 1
+		}
+		key := a.Input.PartitionKey
+		parts := make([][]Row, m)
+		mask := uint64(m - 1)
+		for _, r := range rows {
+			parts[hashRowKey(r[key])&mask] = append(parts[hashRowKey(r[key])&mask], r)
+		}
+		var out []Row
+		for _, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			sorted := NewSort(NewSlice(part), keyLess(e.mode, a.GroupCols))
+			rows, err := Drain(NewSortAgg(sorted, a, e.mode))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("volcano: unknown aggregation %v", a.Alg)
+}

@@ -1,0 +1,349 @@
+// Package volcano implements the iterator-model query engine HIQUE is
+// measured against (paper §II-B): every operator exposes open / next /
+// close, tuples flow one at a time through the operator tree, and each
+// in-flight tuple costs at least two function calls plus the per-call state
+// manipulation the paper identifies as the model's overhead.
+//
+// Two evaluation modes reproduce the paper's baseline pair (§VI-A):
+//
+//   - Generic: predicate evaluation, field comparison, and expression
+//     evaluation go through dynamically dispatched, kind-agnostic routines
+//     (types.Compare and friends) — the "generic functions" configuration.
+//   - Optimized: predicates and comparators are type-specialised closures
+//     with inlined field access — "optimized iterators" — but tuples still
+//     move through per-tuple iterator calls.
+package volcano
+
+import (
+	"sort"
+
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// Row is a boxed tuple flowing through iterators.
+type Row = []types.Datum
+
+// Iterator is the paper's operator interface (§II-B).
+type Iterator interface {
+	// Open initialises operator state.
+	Open() error
+	// Next produces the next tuple; ok=false at end of stream.
+	Next() (Row, bool, error)
+	// Close releases operator resources.
+	Close() error
+}
+
+// --- Scan -------------------------------------------------------------------
+
+type scanIter struct {
+	table  *storage.Table
+	schema *types.Schema
+	page   int
+	slot   int
+}
+
+// NewScan returns a table scan iterator.
+func NewScan(t *storage.Table) Iterator {
+	return &scanIter{table: t, schema: t.Schema()}
+}
+
+func (s *scanIter) Open() error { s.page, s.slot = 0, 0; return nil }
+
+func (s *scanIter) Next() (Row, bool, error) {
+	for s.page < s.table.NumPages() {
+		p := s.table.Page(s.page)
+		if s.slot < p.NumTuples() {
+			row := s.schema.DecodeRow(p.Tuple(s.slot))
+			s.slot++
+			return row, true, nil
+		}
+		s.page++
+		s.slot = 0
+	}
+	return nil, false, nil
+}
+
+func (s *scanIter) Close() error { return nil }
+
+// --- Filter -----------------------------------------------------------------
+
+type filterIter struct {
+	child Iterator
+	pred  func(Row) bool
+}
+
+// NewFilter wraps child with a selection.
+func NewFilter(child Iterator, pred func(Row) bool) Iterator {
+	return &filterIter{child: child, pred: pred}
+}
+
+func (f *filterIter) Open() error { return f.child.Open() }
+
+func (f *filterIter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := f.child.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		if f.pred(row) {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.child.Close() }
+
+// --- Project ----------------------------------------------------------------
+
+type projectIter struct {
+	child Iterator
+	proj  func(Row) Row
+}
+
+// NewProject wraps child with a projection.
+func NewProject(child Iterator, proj func(Row) Row) Iterator {
+	return &projectIter{child: child, proj: proj}
+}
+
+func (p *projectIter) Open() error { return p.child.Open() }
+
+func (p *projectIter) Next() (Row, bool, error) {
+	row, ok, err := p.child.Next()
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return p.proj(row), true, nil
+}
+
+func (p *projectIter) Close() error { return p.child.Close() }
+
+// --- Sort (blocking) --------------------------------------------------------
+
+type sortIter struct {
+	child Iterator
+	less  func(a, b Row) bool
+	rows  []Row
+	pos   int
+}
+
+// NewSort buffers the child's output and replays it ordered.
+func NewSort(child Iterator, less func(a, b Row) bool) Iterator {
+	return &sortIter{child: child, less: less}
+}
+
+func (s *sortIter) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	if err := s.child.Close(); err != nil {
+		return err
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool { return s.less(s.rows[i], s.rows[j]) })
+	s.pos = 0
+	return nil
+}
+
+func (s *sortIter) Next() (Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sortIter) Close() error { s.rows = nil; return nil }
+
+// --- Slice replay -----------------------------------------------------------
+
+type sliceIter struct {
+	rows []Row
+	pos  int
+}
+
+// NewSlice replays an in-memory row slice.
+func NewSlice(rows []Row) Iterator { return &sliceIter{rows: rows} }
+
+func (s *sliceIter) Open() error { s.pos = 0; return nil }
+
+func (s *sliceIter) Next() (Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// --- Merge join -------------------------------------------------------------
+
+// mergeJoinIter joins two key-sorted inputs, buffering the inner group so
+// outer duplicates can rescan it (the backtracking of Listing 2's merge
+// variant).
+type mergeJoinIter struct {
+	left, right Iterator
+	cmp         func(l, r Row) int // key comparison across inputs
+	sameLeftKey func(a, b Row) bool
+	combine     func(l, r Row) Row
+
+	leftRow  Row
+	leftOK   bool
+	rightRow Row
+	rightOK  bool
+	group    []Row // buffered inner group for the current key
+	groupPos int
+	groupKey Row // a left row matching the buffered group
+	started  bool
+}
+
+// NewMergeJoin joins sorted inputs; cmp compares a left row with a right
+// row on the join keys.
+func NewMergeJoin(left, right Iterator, cmp func(l, r Row) int, sameLeftKey func(a, b Row) bool, combine func(l, r Row) Row) Iterator {
+	return &mergeJoinIter{left: left, right: right, cmp: cmp, sameLeftKey: sameLeftKey, combine: combine}
+}
+
+func (m *mergeJoinIter) Open() error {
+	if err := m.left.Open(); err != nil {
+		return err
+	}
+	if err := m.right.Open(); err != nil {
+		return err
+	}
+	var err error
+	m.leftRow, m.leftOK, err = m.left.Next()
+	if err != nil {
+		return err
+	}
+	m.rightRow, m.rightOK, err = m.right.Next()
+	return err
+}
+
+func (m *mergeJoinIter) Next() (Row, bool, error) {
+	for {
+		// Emit from the buffered group first.
+		if m.group != nil {
+			if m.groupPos < len(m.group) {
+				out := m.combine(m.groupKey, m.group[m.groupPos])
+				m.groupPos++
+				return out, true, nil
+			}
+			// Group exhausted: advance the outer row; if its key
+			// matches, backtrack to the group start.
+			prev := m.groupKey
+			var err error
+			m.leftRow, m.leftOK, err = m.left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if m.leftOK && m.sameLeftKey(prev, m.leftRow) {
+				m.groupKey = m.leftRow
+				m.groupPos = 0
+				continue
+			}
+			m.group = nil
+			m.groupPos = 0
+		}
+
+		if !m.leftOK || !m.rightOK {
+			return nil, false, nil
+		}
+		c := m.cmp(m.leftRow, m.rightRow)
+		var err error
+		switch {
+		case c < 0:
+			m.leftRow, m.leftOK, err = m.left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+		case c > 0:
+			m.rightRow, m.rightOK, err = m.right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+		default:
+			// Buffer the full inner group for this key.
+			m.group = m.group[:0]
+			m.groupKey = m.leftRow
+			first := m.rightRow
+			m.group = append(m.group, first)
+			for {
+				m.rightRow, m.rightOK, err = m.right.Next()
+				if err != nil {
+					return nil, false, err
+				}
+				if !m.rightOK || m.cmp(m.leftRow, m.rightRow) != 0 {
+					break
+				}
+				m.group = append(m.group, m.rightRow)
+			}
+			m.groupPos = 0
+		}
+	}
+}
+
+func (m *mergeJoinIter) Close() error {
+	if err := m.left.Close(); err != nil {
+		return err
+	}
+	return m.right.Close()
+}
+
+// --- Limit ------------------------------------------------------------------
+
+type limitIter struct {
+	child Iterator
+	n     int
+	seen  int
+}
+
+// NewLimit truncates the child's stream after n rows.
+func NewLimit(child Iterator, n int) Iterator {
+	return &limitIter{child: child, n: n}
+}
+
+func (l *limitIter) Open() error { l.seen = 0; return l.child.Open() }
+
+func (l *limitIter) Next() (Row, bool, error) {
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	row, ok, err := l.child.Next()
+	if ok {
+		l.seen++
+	}
+	return row, ok, err
+}
+
+func (l *limitIter) Close() error { return l.child.Close() }
+
+// Drain pulls every row from an iterator.
+func Drain(it Iterator) ([]Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	return rows, it.Close()
+}

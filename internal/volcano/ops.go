@@ -1,0 +1,359 @@
+package volcano
+
+import (
+	"fmt"
+
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/types"
+)
+
+// Mode selects between the paper's two iterator baselines.
+type Mode int
+
+const (
+	// Generic uses kind-agnostic, dynamically dispatched evaluation
+	// functions for every predicate and comparison.
+	Generic Mode = iota
+	// Optimized uses type-specialised closures with inlined accesses.
+	Optimized
+)
+
+func (m Mode) String() string {
+	if m == Generic {
+		return "generic-iterators"
+	}
+	return "optimized-iterators"
+}
+
+// compilePredicates builds the row filter for a stage's selections.
+func compilePredicates(mode Mode, filters []plan.Filter) func(Row) bool {
+	if len(filters) == 0 {
+		return nil
+	}
+	if mode == Generic {
+		// Generic: every predicate evaluation routes through the
+		// generic comparison routine with a runtime op switch — the
+		// virtual-function chain of §II-B.
+		fs := make([]plan.Filter, len(filters))
+		copy(fs, filters)
+		return func(r Row) bool {
+			for i := range fs {
+				if !genericCompareOp(types.Compare(r[fs[i].Col], fs[i].Val), fs[i].Op) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	// Optimized: one specialised closure per predicate.
+	preds := make([]func(Row) bool, len(filters))
+	for i, f := range filters {
+		preds[i] = specializedPredicate(f)
+	}
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return func(r Row) bool {
+		for _, p := range preds {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// genericCompareOp interprets a comparison result against an operator at
+// run time (the generic engine cannot inline this decision).
+func genericCompareOp(c int, op sql.CmpOp) bool {
+	switch op {
+	case sql.CmpEq:
+		return c == 0
+	case sql.CmpNe:
+		return c != 0
+	case sql.CmpLt:
+		return c < 0
+	case sql.CmpLe:
+		return c <= 0
+	case sql.CmpGt:
+		return c > 0
+	case sql.CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func specializedPredicate(f plan.Filter) func(Row) bool {
+	col := f.Col
+	switch f.Val.Kind {
+	case types.Int, types.Date:
+		v := f.Val.I
+		switch f.Op {
+		case sql.CmpEq:
+			return func(r Row) bool { return r[col].I == v }
+		case sql.CmpNe:
+			return func(r Row) bool { return r[col].I != v }
+		case sql.CmpLt:
+			return func(r Row) bool { return r[col].I < v }
+		case sql.CmpLe:
+			return func(r Row) bool { return r[col].I <= v }
+		case sql.CmpGt:
+			return func(r Row) bool { return r[col].I > v }
+		case sql.CmpGe:
+			return func(r Row) bool { return r[col].I >= v }
+		}
+	case types.Float:
+		v := f.Val.F
+		switch f.Op {
+		case sql.CmpEq:
+			return func(r Row) bool { return r[col].F == v }
+		case sql.CmpNe:
+			return func(r Row) bool { return r[col].F != v }
+		case sql.CmpLt:
+			return func(r Row) bool { return r[col].F < v }
+		case sql.CmpLe:
+			return func(r Row) bool { return r[col].F <= v }
+		case sql.CmpGt:
+			return func(r Row) bool { return r[col].F > v }
+		case sql.CmpGe:
+			return func(r Row) bool { return r[col].F >= v }
+		}
+	case types.String:
+		v := f.Val.S
+		switch f.Op {
+		case sql.CmpEq:
+			return func(r Row) bool { return r[col].S == v }
+		case sql.CmpNe:
+			return func(r Row) bool { return r[col].S != v }
+		case sql.CmpLt:
+			return func(r Row) bool { return r[col].S < v }
+		case sql.CmpLe:
+			return func(r Row) bool { return r[col].S <= v }
+		case sql.CmpGt:
+			return func(r Row) bool { return r[col].S > v }
+		case sql.CmpGe:
+			return func(r Row) bool { return r[col].S >= v }
+		}
+	}
+	panic(fmt.Sprintf("volcano: unsupported predicate %v %v", f.Val.Kind, f.Op))
+}
+
+// compileProjection builds the stage's projection.
+func compileProjection(mode Mode, cols []plan.OutputColumn) func(Row) Row {
+	if mode == Generic {
+		cs := make([]plan.OutputColumn, len(cols))
+		copy(cs, cols)
+		return func(r Row) Row {
+			out := make(Row, len(cs))
+			for i := range cs {
+				if cs[i].Compute != nil {
+					out[i] = evalBoxed(cs[i].Compute, r)
+				} else {
+					out[i] = r[cs[i].Source]
+				}
+			}
+			return out
+		}
+	}
+	type step struct {
+		src     int
+		compute func(Row) types.Datum
+	}
+	steps := make([]step, len(cols))
+	for i, c := range cols {
+		if c.Compute != nil {
+			e := c.Compute
+			steps[i] = step{src: -1, compute: compileExpr(e)}
+		} else {
+			steps[i] = step{src: c.Source}
+		}
+	}
+	return func(r Row) Row {
+		out := make(Row, len(steps))
+		for i := range steps {
+			if steps[i].src >= 0 {
+				out[i] = r[steps[i].src]
+			} else {
+				out[i] = steps[i].compute(r)
+			}
+		}
+		return out
+	}
+}
+
+// evalBoxed interprets an expression generically (runtime kind switches on
+// every node — the generic iterator configuration).
+func evalBoxed(e plan.Expr, r Row) types.Datum {
+	switch v := e.(type) {
+	case *plan.ColExpr:
+		return r[v.Col]
+	case *plan.ConstExpr:
+		return v.D
+	case *plan.ArithExpr:
+		l, rr := evalBoxed(v.L, r), evalBoxed(v.R, r)
+		if v.Kind() == types.Float {
+			lf, rf := asFloat(l), asFloat(rr)
+			switch v.Op {
+			case sql.OpAdd:
+				return types.FloatDatum(lf + rf)
+			case sql.OpSub:
+				return types.FloatDatum(lf - rf)
+			case sql.OpMul:
+				return types.FloatDatum(lf * rf)
+			case sql.OpDiv:
+				return types.FloatDatum(lf / rf)
+			}
+		}
+		switch v.Op {
+		case sql.OpAdd:
+			return types.IntDatum(l.I + rr.I)
+		case sql.OpSub:
+			return types.IntDatum(l.I - rr.I)
+		case sql.OpMul:
+			return types.IntDatum(l.I * rr.I)
+		case sql.OpDiv:
+			return types.IntDatum(l.I / rr.I)
+		}
+	}
+	panic("volcano: bad expression")
+}
+
+func asFloat(d types.Datum) float64 {
+	if d.Kind == types.Float {
+		return d.F
+	}
+	return float64(d.I)
+}
+
+// compileExpr builds a specialised evaluator (optimized mode).
+func compileExpr(e plan.Expr) func(Row) types.Datum {
+	switch v := e.(type) {
+	case *plan.ColExpr:
+		col := v.Col
+		return func(r Row) types.Datum { return r[col] }
+	case *plan.ConstExpr:
+		d := v.D
+		return func(Row) types.Datum { return d }
+	case *plan.ArithExpr:
+		l, rr := compileExpr(v.L), compileExpr(v.R)
+		if v.Kind() == types.Float {
+			switch v.Op {
+			case sql.OpAdd:
+				return func(r Row) types.Datum { return types.FloatDatum(asFloat(l(r)) + asFloat(rr(r))) }
+			case sql.OpSub:
+				return func(r Row) types.Datum { return types.FloatDatum(asFloat(l(r)) - asFloat(rr(r))) }
+			case sql.OpMul:
+				return func(r Row) types.Datum { return types.FloatDatum(asFloat(l(r)) * asFloat(rr(r))) }
+			case sql.OpDiv:
+				return func(r Row) types.Datum { return types.FloatDatum(asFloat(l(r)) / asFloat(rr(r))) }
+			}
+		}
+		switch v.Op {
+		case sql.OpAdd:
+			return func(r Row) types.Datum { return types.IntDatum(l(r).I + rr(r).I) }
+		case sql.OpSub:
+			return func(r Row) types.Datum { return types.IntDatum(l(r).I - rr(r).I) }
+		case sql.OpMul:
+			return func(r Row) types.Datum { return types.IntDatum(l(r).I * rr(r).I) }
+		case sql.OpDiv:
+			return func(r Row) types.Datum { return types.IntDatum(l(r).I / rr(r).I) }
+		}
+	}
+	panic("volcano: bad expression")
+}
+
+// keyLess builds an ordering predicate over key columns.
+func keyLess(mode Mode, keys []int) func(a, b Row) bool {
+	if mode == Generic {
+		ks := append([]int(nil), keys...)
+		return func(a, b Row) bool {
+			for _, k := range ks {
+				if c := types.Compare(a[k], b[k]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		}
+	}
+	cmp := keyCompare(mode, keys, keys)
+	return func(a, b Row) bool { return cmp(a, b) < 0 }
+}
+
+// keyCompare compares row a's keysA against row b's keysB.
+func keyCompare(mode Mode, keysA, keysB []int) func(a, b Row) int {
+	if mode == Generic {
+		ka := append([]int(nil), keysA...)
+		kb := append([]int(nil), keysB...)
+		return func(a, b Row) int {
+			for i := range ka {
+				if c := types.Compare(a[ka[i]], b[kb[i]]); c != 0 {
+					return c
+				}
+			}
+			return 0
+		}
+	}
+	// Optimized: specialise per key kind at compile time. Kinds are not
+	// known here without a schema, so specialise on the datum kind of
+	// the first row seen; the common single-int case gets a fast path.
+	if len(keysA) == 1 {
+		ka, kb := keysA[0], keysB[0]
+		return func(a, b Row) int {
+			da, db := a[ka], b[kb]
+			switch da.Kind {
+			case types.Int, types.Date:
+				switch {
+				case da.I < db.I:
+					return -1
+				case da.I > db.I:
+					return 1
+				}
+				return 0
+			case types.Float:
+				switch {
+				case da.F < db.F:
+					return -1
+				case da.F > db.F:
+					return 1
+				}
+				return 0
+			default:
+				switch {
+				case da.S < db.S:
+					return -1
+				case da.S > db.S:
+					return 1
+				}
+				return 0
+			}
+		}
+	}
+	ka := append([]int(nil), keysA...)
+	kb := append([]int(nil), keysB...)
+	return func(a, b Row) int {
+		for i := range ka {
+			if c := types.Compare(a[ka[i]], b[kb[i]]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+// sortLess builds the ORDER BY predicate with descending support.
+func sortLess(mode Mode, keys []plan.SortKey) func(a, b Row) bool {
+	ks := append([]plan.SortKey(nil), keys...)
+	return func(a, b Row) bool {
+		for _, k := range ks {
+			c := types.Compare(a[k.Col], b[k.Col])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,150 @@
+package volcano
+
+import (
+	"testing"
+
+	"hique/internal/catalog"
+
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+func rowsOf(vals ...int64) []Row {
+	out := make([]Row, len(vals))
+	for i, v := range vals {
+		out[i] = Row{types.IntDatum(v)}
+	}
+	return out
+}
+
+func TestScanIter(t *testing.T) {
+	s := types.NewSchema(types.Col("a", types.Int))
+	tbl := storage.NewTable("t", s)
+	for i := 0; i < 700; i++ {
+		tbl.AppendRow(types.IntDatum(int64(i)))
+	}
+	rows, err := Drain(NewScan(tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 700 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestFilterAndProjectIter(t *testing.T) {
+	src := NewSlice(rowsOf(1, 2, 3, 4, 5, 6))
+	it := NewFilter(src, func(r Row) bool { return r[0].I%2 == 0 })
+	it = NewProject(it, func(r Row) Row { return Row{types.IntDatum(r[0].I * 10)} })
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0].I != 20 || rows[2][0].I != 60 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSortIter(t *testing.T) {
+	it := NewSort(NewSlice(rowsOf(5, 3, 9, 1, 7)), func(a, b Row) bool { return a[0].I < b[0].I })
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 3, 5, 7, 9}
+	for i, w := range want {
+		if rows[i][0].I != w {
+			t.Fatalf("sorted = %v", rows)
+		}
+	}
+}
+
+func TestMergeJoinIterDuplicates(t *testing.T) {
+	// left keys: 1,2,2,3 ; right keys: 2,2,3,3,4
+	left := NewSlice(rowsOf(1, 2, 2, 3))
+	right := NewSlice(rowsOf(2, 2, 3, 3, 4))
+	cmp := func(l, r Row) int {
+		switch {
+		case l[0].I < r[0].I:
+			return -1
+		case l[0].I > r[0].I:
+			return 1
+		}
+		return 0
+	}
+	same := func(a, b Row) bool { return a[0].I == b[0].I }
+	combine := func(l, r Row) Row { return Row{l[0], r[0]} }
+	rows, err := Drain(NewMergeJoin(left, right, cmp, same, combine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// key 2: 2x2 = 4, key 3: 1x2 = 2 -> 6 rows.
+	if len(rows) != 6 {
+		t.Fatalf("join rows = %d, want 6: %v", len(rows), rows)
+	}
+}
+
+func TestLimitIter(t *testing.T) {
+	rows, err := Drain(NewLimit(NewSlice(rowsOf(1, 2, 3, 4)), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestGenericVsOptimizedSameResults(t *testing.T) {
+	s := types.NewSchema(types.Col("k", types.Int), types.Col("v", types.Float))
+	tbl := storage.NewTable("tt", s)
+	for i := 0; i < 2000; i++ {
+		tbl.AppendRow(types.IntDatum(int64(i%13)), types.FloatDatum(float64(i)))
+	}
+	cat := newTestCatalog(t, tbl)
+	stmt, err := sql.Parse("SELECT k, SUM(v) AS s, COUNT(*) AS n FROM tt GROUP BY k ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewGeneric().Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOptimized().Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != 13 || b.NumRows() != 13 {
+		t.Fatalf("rows = %d / %d", a.NumRows(), b.NumRows())
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		if string(a.Tuple(i)) != string(b.Tuple(i)) {
+			t.Fatalf("row %d differs between modes", i)
+		}
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	if NewGeneric().Name() == NewOptimized().Name() {
+		t.Error("mode names must differ")
+	}
+}
+
+func newTestCatalog(t *testing.T, tables ...*storage.Table) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, tbl := range tables {
+		cat.Register(tbl)
+	}
+	return cat
+}
