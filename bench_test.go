@@ -7,6 +7,9 @@ package hique
 // EXPERIMENTS.md for recorded paper-vs-measured results).
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hique/internal/bench"
@@ -216,6 +219,115 @@ func BenchmarkParallelAblation(b *testing.B) {
 				if _, err := eng.Execute(p); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// --- Serving-subsystem benchmarks --------------------------------------------
+//
+// These time the query-serving layer: the compiled-plan cache (cold
+// preparation vs warm hit; the amortisation of Table III's preparation
+// cost) and concurrent end-to-end throughput under per-table reader
+// locks.
+
+// servingQuery joins fact and dimension and aggregates: enough operator
+// descriptors that preparation (parse -> optimise -> generate -> compile)
+// is a visible fraction of a small-table execution, as in the paper's
+// Table III workloads.
+const servingQuery = "SELECT d.label, COUNT(*) AS n, SUM(f.price) AS total " +
+	"FROM bench_items f, bench_dims d WHERE f.grp = d.id AND f.price > 10.0 " +
+	"GROUP BY d.label ORDER BY d.label"
+
+func servingDB(b *testing.B, options ...Option) *DB {
+	b.Helper()
+	db := Open(options...)
+	if err := db.CreateTable("bench_items", Int("id"), Int("grp"), Float("price")); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable("bench_dims", Int("id"), Char("label", 16)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.Insert("bench_items", int64(i), int64(i%16), float64(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if err := db.Insert("bench_dims", int64(i), fmt.Sprintf("dim-%02d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkServingColdVsWarm compares a repeated query against a cold
+// and a warm plan cache: cold misses every time (the catalogue version
+// is bumped between calls, as DDL or stats refresh would) and pays
+// parse -> optimise -> generate -> compile before executing; warm pays
+// one lexer pass and runs the cached executable.
+func BenchmarkServingColdVsWarm(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		db := servingDB(b, WithPlanCache(64))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.Catalog().BumpVersion() // invalidate: every lookup misses
+			if _, err := db.Query(servingQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := db.Stats(); s.Cache.Hits != 0 {
+			b.Fatalf("cold run should never hit the cache: %+v", s.Cache)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		db := servingDB(b, WithPlanCache(64))
+		if _, err := db.Query(servingQuery); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(servingQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := db.Stats(); s.Cache.Hits < uint64(b.N) {
+			b.Fatalf("warm run should hit the cache: %+v", s.Cache)
+		}
+	})
+}
+
+// BenchmarkServingConcurrency drives the warm-cache serving path from 1
+// to 16 goroutines sharing one DB (the per-table RWMutex read path).
+func BenchmarkServingConcurrency(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			db := servingDB(b, WithPlanCache(64))
+			if _, err := db.Query(servingQuery); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errc := make(chan error, g)
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := db.Query(servingQuery); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errc)
+			if err := <-errc; err != nil {
+				b.Fatal(err)
 			}
 		})
 	}

@@ -1,0 +1,3 @@
+module hique
+
+go 1.24

@@ -15,11 +15,21 @@
 //	db.CreateTable("t", hique.Int("id"), hique.Float("price"))
 //	db.Insert("t", int64(1), 9.5)
 //	res, err := db.Query("SELECT id, price FROM t WHERE price > 5.0")
+//
+// A DB is safe for concurrent use: queries on the same table run in
+// parallel under per-table reader locks, while writers (Insert,
+// CreateTable, BuildIndex) serialise against them. Opening with
+// WithPlanCache enables the compiled-plan cache, which amortises the
+// per-query preparation cost (parse → optimise → generate → compile;
+// paper Table III) across repeated statements. cmd/hique-server exposes
+// all of this over HTTP/JSON.
 package hique
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"hique/internal/catalog"
@@ -27,6 +37,7 @@ import (
 	"hique/internal/core"
 	"hique/internal/dsm"
 	"hique/internal/plan"
+	"hique/internal/plancache"
 	"hique/internal/sql"
 	"hique/internal/storage"
 	"hique/internal/types"
@@ -74,49 +85,113 @@ func (e Engine) String() string {
 	return [...]string{"holistic", "generic-iterators", "optimized-iterators", "column-store", "holistic-O0"}[e]
 }
 
+// EngineByName resolves an engine from its String form; ok reports
+// whether the name is known.
+func EngineByName(name string) (Engine, bool) {
+	for _, e := range []Engine{Holistic, GenericIterators, OptimizedIterators, ColumnStore, HolisticUnoptimized} {
+		if e.String() == name {
+			return e, true
+		}
+	}
+	return Holistic, false
+}
+
 type executor interface {
 	Name() string
 	Execute(p *plan.Plan) (*storage.Table, error)
 }
 
 // DB is an embedded HIQUE database: a catalogue of in-memory tables and a
-// query engine.
+// query engine. All methods are safe for concurrent use.
 type DB struct {
-	cat    *catalog.Catalog
+	cat *catalog.Catalog
+
+	// mu guards the engine selection and optimizer options.
+	mu     sync.RWMutex
 	engine Engine
 	exec   executor
 	opts   plan.Options
-	// stale marks tables whose statistics need recomputation before the
-	// next query.
-	stale map[string]bool
+
+	// ddlMu serialises CreateTable's existence check with registration.
+	ddlMu sync.Mutex
+
+	// staleMu guards stale and refreshing. stale holds tables whose
+	// statistics need recomputation before the next query, marked under
+	// the table's writer lock so a query holding the reader lock never
+	// observes fresh rows with a stale flag still unset. refreshing
+	// holds tables whose recomputation is in flight: anyStale reports
+	// them too, so no query plans against the old statistics while the
+	// refresh is mid-way.
+	staleMu    sync.Mutex
+	stale      map[string]bool
+	refreshing map[string]bool
+
+	// cache holds compiled holistic queries keyed by normalised SQL +
+	// optimizer configuration; nil when disabled.
+	cache *plancache.Cache
 }
 
-// Open creates an empty database using the holistic engine.
-func Open() *DB {
-	db := &DB{cat: catalog.New(), opts: plan.DefaultOptions(), stale: map[string]bool{}}
+// Option configures a DB at Open time.
+type Option func(*DB)
+
+// WithPlanCache enables the compiled-plan cache with the given entry
+// capacity (<= 0 selects plancache.DefaultCapacity). Cache hits skip
+// parsing, planning, generation, and compilation entirely; entries
+// self-invalidate when the catalogue version changes (DDL, index builds,
+// statistics refresh).
+func WithPlanCache(capacity int) Option {
+	return func(db *DB) { db.cache = plancache.New(capacity) }
+}
+
+// WithCatalog opens the database over an existing catalogue (e.g. a
+// generated TPC-H instance) instead of an empty one.
+func WithCatalog(cat *catalog.Catalog) Option {
+	return func(db *DB) { db.cat = cat }
+}
+
+// WithEngine selects the initial execution engine.
+func WithEngine(e Engine) Option {
+	return func(db *DB) { db.SetEngine(e) }
+}
+
+// Open creates a database using the holistic engine. Options enable the
+// plan cache, adopt an existing catalogue, or pick another engine.
+func Open(options ...Option) *DB {
+	db := &DB{cat: catalog.New(), opts: plan.DefaultOptions(), stale: map[string]bool{}, refreshing: map[string]bool{}}
 	db.SetEngine(Holistic)
+	for _, o := range options {
+		o(db)
+	}
 	return db
 }
 
 // SetEngine switches the execution engine.
 func (db *DB) SetEngine(e Engine) {
-	db.engine = e
+	var exec executor
 	switch e {
 	case GenericIterators:
-		db.exec = volcano.NewGeneric()
+		exec = volcano.NewGeneric()
 	case OptimizedIterators:
-		db.exec = volcano.NewOptimized()
+		exec = volcano.NewOptimized()
 	case ColumnStore:
-		db.exec = dsm.NewEngine()
+		exec = dsm.NewEngine()
 	case HolisticUnoptimized:
-		db.exec = codegenExec{level: codegen.OptO0}
+		exec = codegenExec{level: codegen.OptO0}
 	default:
-		db.exec = core.NewEngine()
+		exec = core.NewEngine()
 	}
+	db.mu.Lock()
+	db.engine = e
+	db.exec = exec
+	db.mu.Unlock()
 }
 
 // EngineName reports the active engine.
-func (db *DB) EngineName() string { return db.exec.Name() }
+func (db *DB) EngineName() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.exec.Name()
+}
 
 type codegenExec struct{ level codegen.OptLevel }
 
@@ -136,12 +211,14 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 	if len(cols) == 0 {
 		return fmt.Errorf("hique: table %q needs at least one column", name)
 	}
-	if _, err := db.cat.Lookup(name); err == nil {
-		return fmt.Errorf("hique: table %q already exists", name)
-	}
 	tcols := make([]types.Column, len(cols))
 	for i, c := range cols {
 		tcols[i] = types.Column{Name: strings.ToLower(c.Name), Kind: c.kind, Size: c.size}
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if _, err := db.cat.Lookup(name); err == nil {
+		return fmt.Errorf("hique: table %q already exists", name)
 	}
 	db.cat.Register(storage.NewTable(name, types.NewSchema(tcols...)))
 	return nil
@@ -166,8 +243,12 @@ func (db *DB) Insert(table string, values ...any) error {
 		}
 		row[i] = d
 	}
+	e.Lock()
 	e.Table.AppendRow(row...)
+	db.staleMu.Lock()
 	db.stale[e.Table.Name()] = true
+	db.staleMu.Unlock()
+	e.Unlock()
 	return nil
 }
 
@@ -193,14 +274,183 @@ func toDatum(v any, col types.Column) (types.Datum, error) {
 }
 
 // refreshStats recomputes statistics for tables modified since the last
-// query (the optimizer's decisions depend on them).
+// query (the optimizer's decisions depend on them) and bumps each
+// table's catalogue version, invalidating cached plans built against the
+// old statistics. It makes a single pass over a snapshot of the stale
+// set: tables re-marked stale while it runs wait for the next call, so a
+// sustained writer cannot trap a reader inside this loop (planLocked's
+// bounded retry handles the rest).
 func (db *DB) refreshStats() {
-	for name := range db.stale {
-		if e, err := db.cat.Lookup(name); err == nil {
-			e.Stats = catalog.ComputeStats(e.Table)
-		}
-		delete(db.stale, name)
+	db.staleMu.Lock()
+	names := make([]string, 0, len(db.stale))
+	for n := range db.stale {
+		names = append(names, n)
+		db.refreshing[n] = true
+		delete(db.stale, n)
 	}
+	db.staleMu.Unlock()
+
+	for _, name := range names {
+		if e, err := db.cat.Lookup(name); err == nil {
+			e.Lock()
+			e.Stats = catalog.ComputeStats(e.Table)
+			e.Unlock()
+			db.cat.BumpTableVersion(name)
+		}
+		db.staleMu.Lock()
+		delete(db.refreshing, name)
+		db.staleMu.Unlock()
+	}
+}
+
+// refreshNamesLocked recomputes statistics for the named tables whose
+// writer locks the caller already holds (no new inserts can land while
+// it runs).
+func (db *DB) refreshNamesLocked(names []string) {
+	for _, n := range names {
+		db.staleMu.Lock()
+		// A table mid-refresh elsewhere (refreshing) still has old
+		// stats visible; recompute it here too so the plan matches the
+		// data our writer locks pin. The concurrent refresher's later
+		// recompute is idempotent.
+		wasStale := db.stale[n] || db.refreshing[n]
+		delete(db.stale, n)
+		db.staleMu.Unlock()
+		if !wasStale {
+			continue
+		}
+		if e, err := db.cat.Lookup(n); err == nil {
+			e.Stats = catalog.ComputeStats(e.Table)
+			db.cat.BumpTableVersion(n)
+		}
+	}
+}
+
+// anyStale reports whether any of the named tables has pending
+// statistics work.
+func (db *DB) anyStale(names []string) bool {
+	db.staleMu.Lock()
+	defer db.staleMu.Unlock()
+	for _, n := range names {
+		if db.stale[n] || db.refreshing[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// lockTables acquires locks on the named tables in sorted order (writers
+// lock single tables, so a global order precludes deadlock) and returns
+// the matching unlock plus the set of names actually locked — a name
+// missing from the catalogue is skipped, and callers that later resolve
+// it (a table registered mid-flight) must notice and retry.
+func (db *DB) lockTables(names []string, write bool) (unlock func(), locked map[string]bool) {
+	uniq := make([]string, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	locked = make(map[string]bool, len(uniq))
+	entries := make([]*catalog.TableEntry, 0, len(uniq))
+	for _, n := range uniq {
+		if e, err := db.cat.Lookup(n); err == nil {
+			if write {
+				e.Lock()
+			} else {
+				e.RLock()
+			}
+			entries = append(entries, e)
+			locked[n] = true
+		}
+	}
+	return func() {
+		for i := len(entries) - 1; i >= 0; i-- {
+			if write {
+				entries[i].Unlock()
+			} else {
+				entries[i].RUnlock()
+			}
+		}
+	}, locked
+}
+
+// rlockTables acquires reader locks on the named tables.
+func (db *DB) rlockTables(names []string) (unlock func()) {
+	unlock, _ = db.lockTables(names, false)
+	return unlock
+}
+
+// planLocked parses and optimises a query, returning the plan together
+// with an unlock function releasing the reader locks it holds on every
+// referenced table. The stats-refresh / lock / recheck loop guarantees
+// the plan is built against statistics consistent with the data the
+// locks pin.
+func (db *DB) planLocked(query string) (*plan.Plan, func(), error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(stmt.From))
+	for i, t := range stmt.From {
+		names[i] = t.Name
+	}
+	db.mu.RLock()
+	opts := db.opts
+	db.mu.RUnlock()
+	for attempt := 0; ; attempt++ {
+		db.refreshStats()
+		var unlock func()
+		var locked map[string]bool
+		if attempt >= 3 {
+			// Sustained writer pressure kept slipping inserts in
+			// between refresh and lock; take writer locks so nothing
+			// can land and refresh in place. Bounded latency beats
+			// reader starvation.
+			unlock, locked = db.lockTables(names, true)
+			db.refreshNamesLocked(names)
+		} else {
+			unlock, locked = db.lockTables(names, false)
+			if db.anyStale(names) {
+				// An Insert slipped in between the refresh and the
+				// lock; its stats are pending, so release and refresh
+				// again.
+				unlock()
+				continue
+			}
+		}
+		p, err := plan.BuildWithOptions(stmt, db.cat, opts)
+		if err != nil {
+			unlock()
+			return nil, nil, err
+		}
+		// A table missing at lock time can be registered before Build
+		// resolves it; using the plan then would scan it unlocked.
+		// Build succeeding proves every referenced table exists now, so
+		// each must be in the locked set — else retry.
+		for _, n := range planTables(p) {
+			if !locked[n] {
+				unlock()
+				unlock = nil
+				break
+			}
+		}
+		if unlock == nil {
+			continue
+		}
+		return p, unlock, nil
+	}
+}
+
+func planTables(p *plan.Plan) []string {
+	names := make([]string, len(p.Tables))
+	for i := range p.Tables {
+		names[i] = p.Tables[i].Name
+	}
+	return names
 }
 
 // Result is a materialised query result.
@@ -211,20 +461,8 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Query parses, optimises, and executes a SELECT statement.
-func (db *DB) Query(query string) (*Result, error) {
-	p, err := db.plan(query)
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	out, err := db.exec.Execute(p)
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-
-	res := &Result{Columns: append([]string(nil), p.OutputNames...), Elapsed: elapsed}
+func materialise(columns []string, out *storage.Table, elapsed time.Duration) *Result {
+	res := &Result{Columns: append([]string(nil), columns...), Elapsed: elapsed}
 	s := out.Schema()
 	out.Scan(func(tuple []byte) bool {
 		row := make([]any, s.NumColumns())
@@ -242,44 +480,156 @@ func (db *DB) Query(query string) (*Result, error) {
 		res.Rows = append(res.Rows, row)
 		return true
 	})
-	return res, nil
+	return res
 }
 
-func (db *DB) plan(query string) (*plan.Plan, error) {
-	db.refreshStats()
-	stmt, err := sql.Parse(query)
+// cacheLevel maps an engine to the optimisation level its compiled
+// queries run at; ok is false for the interpreted engines, which have no
+// compiled artefact to cache.
+func cacheLevel(e Engine) (codegen.OptLevel, bool) {
+	switch e {
+	case Holistic:
+		return codegen.OptO2, true
+	case HolisticUnoptimized:
+		return codegen.OptO0, true
+	default:
+		return codegen.OptO2, false
+	}
+}
+
+// Query parses, optimises, and executes a SELECT statement. With the
+// plan cache enabled (WithPlanCache) and a holistic engine active, a
+// repeated statement skips the whole preparation pipeline: the cache is
+// consulted with only a lexer pass, and a hit runs the previously
+// compiled query directly.
+func (db *DB) Query(query string) (*Result, error) {
+	db.mu.RLock()
+	exec, engine := db.exec, db.engine
+	opts := db.opts
+	db.mu.RUnlock()
+
+	level, cacheable := cacheLevel(engine)
+	if db.cache != nil && cacheable {
+		key, err := codegen.CacheKey(query, opts, level)
+		if err != nil {
+			return nil, err
+		}
+		// Hit path: validate the entry against the current catalogue
+		// stamp (epoch + referenced tables' versions) under the table
+		// reader locks; retry on a race with a concurrent writer (its
+		// stats refresh bumps the table version and invalidates the
+		// entry on the next Get).
+		for attempt := 0; attempt < 4; attempt++ {
+			db.refreshStats()
+			var stamp uint64
+			cq, ok := db.cache.Get(key, func(q *codegen.CompiledQuery) uint64 {
+				stamp = db.cat.StampFor(planTables(q.Plan))
+				return stamp
+			})
+			if !ok {
+				break
+			}
+			names := planTables(cq.Plan)
+			unlock := db.rlockTables(names)
+			if db.anyStale(names) || db.cat.StampFor(names) != stamp {
+				// A writer slipped in after the lookup: the entry is
+				// stale, so reclassify the premature hit and retry.
+				unlock()
+				db.cache.Invalidate(key)
+				continue
+			}
+			return db.finish(cq.Plan, unlock, cq.Run)
+		}
+		// Miss: prepare once under the reader locks and populate the
+		// cache before executing.
+		p, unlock, err := db.planLocked(query)
+		if err != nil {
+			return nil, err
+		}
+		stamp := db.cat.StampFor(planTables(p))
+		cq, err := codegen.Generate(p, level)
+		if err != nil {
+			unlock()
+			return nil, err
+		}
+		db.cache.Put(key, stamp, cq)
+		return db.finish(p, unlock, cq.Run)
+	}
+
+	p, unlock, err := db.planLocked(query)
 	if err != nil {
 		return nil, err
 	}
-	return plan.BuildWithOptions(stmt, db.cat, db.opts)
+	return db.finish(p, unlock, func() (*storage.Table, error) { return exec.Execute(p) })
+}
+
+// finish times run, releases the table locks, and materialises the
+// result — the shared tail of every Query path and Prepared.Run.
+func (db *DB) finish(p *plan.Plan, unlock func(), run func() (*storage.Table, error)) (*Result, error) {
+	start := time.Now()
+	out, err := run()
+	elapsed := time.Since(start)
+	unlock()
+	if err != nil {
+		return nil, err
+	}
+	ensureGrouplessRow(p, out)
+	return materialise(p.OutputNames, out, elapsed), nil
+}
+
+// ensureGrouplessRow appends the aggregate identity row when a
+// group-less aggregate produced no groups: SQL requires exactly one row
+// (COUNT of an empty input is 0) but the staged engines emit none. The
+// engine has no NULLs, so SUM/MIN/MAX of an empty input report zero
+// values.
+func ensureGrouplessRow(p *plan.Plan, out *storage.Table) {
+	if p.Agg == nil || len(p.Agg.GroupCols) != 0 || out.NumRows() != 0 {
+		return
+	}
+	s := out.Schema()
+	row := make([]types.Datum, s.NumColumns())
+	for i := range row {
+		switch c := s.Column(i); c.Kind {
+		case types.Float:
+			row[i] = types.FloatDatum(0)
+		case types.String:
+			row[i] = types.StringDatum("")
+		default:
+			row[i] = types.Datum{Kind: c.Kind}
+		}
+	}
+	out.AppendRow(row...)
 }
 
 // Explain returns the optimizer's plan description.
 func (db *DB) Explain(query string) (string, error) {
-	p, err := db.plan(query)
+	p, unlock, err := db.planLocked(query)
 	if err != nil {
 		return "", err
 	}
+	defer unlock()
 	return p.Explain(), nil
 }
 
 // GeneratedSource returns the query-specific source code the holistic code
 // generator instantiates for the query (paper §V).
 func (db *DB) GeneratedSource(query string) (string, error) {
-	p, err := db.plan(query)
+	p, unlock, err := db.planLocked(query)
 	if err != nil {
 		return "", err
 	}
+	defer unlock()
 	return codegen.EmitSource(p), nil
 }
 
 // Prepare generates and compiles a query without running it, returning
 // preparation timings (paper Table III).
 func (db *DB) Prepare(query string) (*Prepared, error) {
-	p, err := db.plan(query)
+	p, unlock, err := db.planLocked(query)
 	if err != nil {
 		return nil, err
 	}
+	defer unlock()
 	cq, err := codegen.Generate(p, codegen.OptO2)
 	if err != nil {
 		return nil, err
@@ -288,6 +638,8 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 }
 
 // Prepared is a generated, compiled query ready for repeated execution.
+// Unlike the plan cache, a Prepared is pinned to the catalogue state it
+// was compiled against: later inserts or DDL do not recompile it.
 type Prepared struct {
 	db       *DB
 	compiled *codegen.CompiledQuery
@@ -305,31 +657,8 @@ func (p *Prepared) CompileTime() time.Duration { return p.compiled.Prep.Compile 
 
 // Run executes the prepared query.
 func (p *Prepared) Run() (*Result, error) {
-	start := time.Now()
-	out, err := p.compiled.Run()
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	res := &Result{Columns: append([]string(nil), p.compiled.Plan.OutputNames...), Elapsed: elapsed}
-	s := out.Schema()
-	out.Scan(func(tuple []byte) bool {
-		row := make([]any, s.NumColumns())
-		for i := 0; i < s.NumColumns(); i++ {
-			d := s.GetDatum(tuple, i)
-			switch d.Kind {
-			case types.Float:
-				row[i] = d.F
-			case types.String:
-				row[i] = d.S
-			default:
-				row[i] = d.I
-			}
-		}
-		res.Rows = append(res.Rows, row)
-		return true
-	})
-	return res, nil
+	unlock := p.db.rlockTables(planTables(p.compiled.Plan))
+	return p.db.finish(p.compiled.Plan, unlock, p.compiled.Run)
 }
 
 // Tables lists the catalogued table names.
@@ -341,13 +670,44 @@ func (db *DB) RowCount(table string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	e.RLock()
+	defer e.RUnlock()
 	return e.Table.NumRows(), nil
 }
 
 // BuildIndex creates a fractal B+-tree index on an integer column.
 func (db *DB) BuildIndex(table, column string) error {
-	_, err := db.cat.BuildIndex(strings.ToLower(table), strings.ToLower(column))
+	e, err := db.cat.Lookup(strings.ToLower(table))
+	if err != nil {
+		return err
+	}
+	e.Lock()
+	defer e.Unlock()
+	_, err = db.cat.BuildIndex(strings.ToLower(table), strings.ToLower(column))
 	return err
+}
+
+// DBStats is a point-in-time snapshot of the database's serving state.
+type DBStats struct {
+	Tables         int             `json:"tables"`
+	CatalogVersion uint64          `json:"catalog_version"`
+	Engine         string          `json:"engine"`
+	CacheEnabled   bool            `json:"cache_enabled"`
+	Cache          plancache.Stats `json:"cache"`
+}
+
+// Stats snapshots catalogue and plan-cache counters.
+func (db *DB) Stats() DBStats {
+	s := DBStats{
+		Tables:         len(db.cat.Names()),
+		CatalogVersion: db.cat.Version(),
+		Engine:         db.EngineName(),
+	}
+	if db.cache != nil {
+		s.CacheEnabled = true
+		s.Cache = db.cache.Stats()
+	}
+	return s
 }
 
 // Catalog exposes the underlying catalogue for advanced embedding (the

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hique/internal/btree"
 	"hique/internal/storage"
@@ -43,18 +44,76 @@ type TableEntry struct {
 	Table   *storage.Table
 	Stats   TableStats
 	Indexes map[string]*btree.Tree // column name -> index
+
+	// mu serialises writers (row appends, stats refresh, index builds)
+	// against concurrent readers of this entry. The planner and the
+	// execution engines access Table/Stats/Indexes directly, so the
+	// locking discipline lives in the callers: hique.DB and the serving
+	// layer take RLock for the whole plan+execute span of a query and
+	// Lock around every mutation.
+	mu sync.RWMutex
 }
+
+// Lock acquires the entry's writer lock (inserts, stats refresh, index
+// builds).
+func (e *TableEntry) Lock() { e.mu.Lock() }
+
+// Unlock releases the writer lock.
+func (e *TableEntry) Unlock() { e.mu.Unlock() }
+
+// RLock acquires the entry's reader lock (query planning and execution).
+func (e *TableEntry) RLock() { e.mu.RLock() }
+
+// RUnlock releases the reader lock.
+func (e *TableEntry) RUnlock() { e.mu.RUnlock() }
 
 // Catalog is the system catalogue. It is safe for concurrent reads; DDL
 // (Register/Drop) must not race with queries on the same table.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*TableEntry
+	// versions counts changes per table name: index builds and
+	// statistics refreshes bump only the affected name, so cached plans
+	// over other tables survive a hot writer.
+	versions map[string]uint64
+	// epoch increases on whole-catalogue changes (table registration and
+	// removal) and on explicit BumpVersion calls; it is folded into every
+	// stamp, so bumping it invalidates every cached plan at once.
+	epoch atomic.Uint64
+}
+
+// Version returns the catalogue-wide epoch counter.
+func (c *Catalog) Version() uint64 { return c.epoch.Load() }
+
+// BumpVersion advances the epoch, invalidating every cached plan.
+func (c *Catalog) BumpVersion() uint64 { return c.epoch.Add(1) }
+
+// BumpTableVersion records a change scoped to one table (statistics
+// refresh, index build): only cached plans referencing that name
+// invalidate.
+func (c *Catalog) BumpTableVersion(name string) {
+	c.mu.Lock()
+	c.versions[name]++
+	c.mu.Unlock()
+}
+
+// StampFor derives the validation stamp for a plan referencing the given
+// tables: the epoch plus the referenced tables' version counters. Every
+// component is monotonic, so any relevant change strictly increases the
+// stamp and a cached plan compiled under an older stamp self-invalidates.
+func (c *Catalog) StampFor(names []string) uint64 {
+	s := c.epoch.Load()
+	c.mu.RLock()
+	for _, n := range names {
+		s += c.versions[n]
+	}
+	c.mu.RUnlock()
+	return s
 }
 
 // New creates an empty catalogue.
 func New() *Catalog {
-	return &Catalog{tables: make(map[string]*TableEntry)}
+	return &Catalog{tables: make(map[string]*TableEntry), versions: make(map[string]uint64)}
 }
 
 // Register adds a table and computes its statistics.
@@ -66,7 +125,9 @@ func (c *Catalog) Register(t *storage.Table) *TableEntry {
 	}
 	c.mu.Lock()
 	c.tables[t.Name()] = entry
+	c.versions[t.Name()]++
 	c.mu.Unlock()
+	c.epoch.Add(1)
 	return entry
 }
 
@@ -80,7 +141,9 @@ func (c *Catalog) RegisterWithoutStats(t *storage.Table) *TableEntry {
 	}
 	c.mu.Lock()
 	c.tables[t.Name()] = entry
+	c.versions[t.Name()]++
 	c.mu.Unlock()
+	c.epoch.Add(1)
 	return entry
 }
 
@@ -99,7 +162,9 @@ func (c *Catalog) Lookup(name string) (*TableEntry, error) {
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	delete(c.tables, name)
+	c.versions[name]++
 	c.mu.Unlock()
+	c.epoch.Add(1)
 }
 
 // Names returns all catalogued table names, sorted.
@@ -141,6 +206,7 @@ func (c *Catalog) BuildIndex(table, column string) (*btree.Tree, error) {
 	}
 	c.mu.Lock()
 	e.Indexes[column] = tree
+	c.versions[table]++
 	c.mu.Unlock()
 	return tree, nil
 }

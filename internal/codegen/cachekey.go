@@ -1,0 +1,41 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"hique/internal/plan"
+	"hique/internal/sql"
+)
+
+// CacheKey derives the plan-cache key for a query: the normalised SQL
+// token stream joined with every other input that shapes the compiled
+// artefact — the optimisation level and the optimizer options. Catalog
+// state (schemata, statistics, indexes) is deliberately NOT part of the
+// key; the cache validates entries against the catalogue's version
+// counter instead, so a schema or statistics change invalidates every
+// affected plan at once.
+//
+// Computing the key costs one pass of the lexer — no parsing, planning,
+// generation, or compilation — which is exactly what a cache hit is
+// allowed to spend.
+func CacheKey(query string, opts plan.Options, level OptLevel) (string, error) {
+	norm, err := sql.Normalize(query)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(norm) + 64)
+	b.WriteString(norm)
+	b.WriteString("\x00level=")
+	b.WriteString(level.String())
+	fmt.Fprintf(&b, "\x00teams=%t\x00l2=%d\x00finepart=%d",
+		opts.EnableJoinTeams, opts.L2CacheBytes, opts.FinePartitionMaxValues)
+	if opts.ForceJoinAlg != nil {
+		fmt.Fprintf(&b, "\x00joinalg=%d", *opts.ForceJoinAlg)
+	}
+	if opts.ForceAggAlg != nil {
+		fmt.Fprintf(&b, "\x00aggalg=%d", *opts.ForceAggAlg)
+	}
+	return b.String(), nil
+}

@@ -209,14 +209,18 @@ func stageO0(st *plan.Stage, in *boxedRows) *boxedStaged {
 			}
 		}
 		p := 0
-		switch st.Action {
-		case plan.StagePartitionFine:
-			p = fineLookupO0(st.FineValues, projected[st.PartitionKey])
-			if p < 0 {
-				continue
+		// Group-less aggregates stage attribute-free rows; with no
+		// partitioning key everything routes to partition 0.
+		if st.PartitionKey < len(projected) {
+			switch st.Action {
+			case plan.StagePartitionFine:
+				p = fineLookupO0(st.FineValues, projected[st.PartitionKey])
+				if p < 0 {
+					continue
+				}
+			case plan.StagePartitionCoarse:
+				p = int(hashDatum(projected[st.PartitionKey]) & uint64(st.Partitions-1))
 			}
-		case plan.StagePartitionCoarse:
-			p = int(hashDatum(projected[st.PartitionKey]) & uint64(st.Partitions-1))
 		}
 		out.parts[p] = append(out.parts[p], projected)
 	}

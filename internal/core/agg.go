@@ -205,11 +205,16 @@ func RunSortedAgg(a *plan.Agg, staged *Staged) (*storage.Table, error) {
 	write := makeGroupWriter(a, staged.Schema, out)
 	sameGroup := MakeKeyCompare(staged.Schema, a.GroupCols)
 
+	// open tracks whether a group is in progress; a nil-rep sentinel
+	// would misread zero-width tuples (group-less aggregates), whose
+	// representative is legitimately empty.
 	var rep []byte
+	open := false
 	for _, part := range staged.Parts {
 		part.Scan(func(t []byte) bool {
-			if rep == nil {
+			if !open {
 				rep = append(rep[:0], t...)
+				open = true
 			} else if sameGroup(rep, t) != 0 {
 				write(rep, acc)
 				acc.reset()
@@ -220,10 +225,10 @@ func RunSortedAgg(a *plan.Agg, staged *Staged) (*storage.Table, error) {
 		})
 		// Hash partitioning routes whole groups to one partition, so a
 		// group never spans parts: close the open group at part end.
-		if rep != nil {
+		if open {
 			write(rep, acc)
 			acc.reset()
-			rep = nil
+			open = false
 		}
 	}
 	return out, nil

@@ -36,6 +36,11 @@ func SortTuples(tuples [][]byte, cmp Compare) {
 		return
 	}
 	tupleSize := len(tuples[0])
+	if tupleSize == 0 {
+		// Zero-width tuples (group-less aggregate staging) are all
+		// equal; there is nothing to order.
+		return
+	}
 	runLen := l2CacheBytes / 2 / tupleSize
 	if runLen < 1024 {
 		runLen = 1024

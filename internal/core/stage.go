@@ -179,8 +179,13 @@ func fineRouter(st *plan.Stage) (func(tuple []byte) int, []*storage.Table, error
 }
 
 // coarseRouter maps a tuple to one of m partitions by hash-and-modulo
-// (§V-B, coarse-grained partitioning). m must be a power of two.
+// (§V-B, coarse-grained partitioning). m must be a power of two. A
+// group-less aggregate stages an empty tuple with no partitioning key;
+// everything routes to partition 0.
 func coarseRouter(schema *types.Schema, key, m int) func(tuple []byte) int {
+	if key >= schema.NumColumns() {
+		return func([]byte) int { return 0 }
+	}
 	col := schema.Column(key)
 	off := schema.Offset(key)
 	mask := uint64(m - 1)

@@ -1,0 +1,169 @@
+// Package plancache caches compiled holistic queries so repeated
+// statements skip the whole preparation pipeline — parse, optimise,
+// generate, compile — whose cost the paper quantifies in Table III. The
+// cache is the amortisation layer of the serving subsystem: HIQUE's bet
+// is that per-query code generation buys runtime speed at a measurable
+// preparation cost, and a serving workload repeats queries, so the cost
+// is paid once per distinct statement per catalogue version.
+//
+// Entries are keyed by codegen.CacheKey (normalised SQL + optimizer
+// configuration) and stamped with a catalogue stamp (epoch + referenced
+// tables' versions) taken at compile time. A lookup whose stored stamp
+// differs from the current stamp evicts the entry and reports a miss —
+// stale plans self-invalidate on the next touch, no invalidation
+// broadcast needed. Eviction is LRU.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"hique/internal/codegen"
+)
+
+// DefaultCapacity is the entry bound used when New is given a
+// non-positive capacity.
+const DefaultCapacity = 256
+
+// Stats are the cache's monotonic counters plus its current size.
+type Stats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"` // entries dropped on version mismatch
+	Evictions     uint64 `json:"evictions"`     // entries dropped by LRU pressure
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+}
+
+type entry struct {
+	key   string
+	stamp uint64
+	query *codegen.CompiledQuery
+}
+
+// Cache is a fixed-capacity LRU of compiled queries, safe for concurrent
+// use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *entry
+	items    map[string]*list.Element
+
+	hits, misses, invalidations, evictions uint64
+}
+
+// New creates a cache bounded to capacity entries (DefaultCapacity if
+// capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the compiled query cached under key, provided its stored
+// stamp matches the value stampOf computes from the cached query (the
+// caller derives the current catalogue stamp from the plan's referenced
+// tables). A mismatch drops the entry (counted as an invalidation) and
+// reports a miss. stampOf runs under the cache lock; it must not call
+// back into the cache.
+func (c *Cache) Get(key string, stampOf func(*codegen.CompiledQuery) uint64) (*codegen.CompiledQuery, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.stamp != stampOf(e.query) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.invalidations++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.query, true
+}
+
+// Put stores a compiled query under key with the catalogue stamp it was
+// compiled against, evicting the least recently used entry if the cache
+// is full.
+func (c *Cache) Put(key string, stamp uint64, q *codegen.CompiledQuery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		e.stamp = stamp
+		e.query = q
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, stamp: stamp, query: q})
+}
+
+// Invalidate drops the entry under key after the caller's post-lookup
+// validation failed (a writer raced in between Get and the caller's
+// table locks). The caller's premature hit is always reclassified as a
+// miss — even when a concurrent invalidator already removed the entry,
+// each rejecting caller had its own counted hit to take back — while
+// the invalidation counter tracks entries actually dropped. Call only
+// after a Get on the same key returned true.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.misses++
+	if c.hits > 0 {
+		c.hits--
+	}
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.invalidations++
+}
+
+// Purge empties the cache; counters are preserved.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+		Entries:       c.ll.Len(),
+		Capacity:      c.capacity,
+	}
+}

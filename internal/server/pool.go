@@ -1,0 +1,70 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned by Pool.Do when every worker slot is busy and
+// the admission wait expires before one frees up.
+var ErrSaturated = errors.New("server: worker pool saturated")
+
+// Pool is a bounded worker pool used for admission control: at most
+// `workers` queries execute at once, and a caller that cannot acquire a
+// slot within `wait` is rejected instead of queueing unboundedly. This
+// keeps latency bounded under overload — the HTTP layer converts
+// ErrSaturated into 503 so clients can back off.
+type Pool struct {
+	slots    chan struct{}
+	wait     time.Duration
+	rejected atomic.Uint64
+	admitted atomic.Uint64
+}
+
+// NewPool creates a pool of the given width; wait bounds how long an
+// arriving query may wait for a slot (0 means reject immediately when
+// full).
+func NewPool(workers int, wait time.Duration) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Pool{slots: make(chan struct{}, workers), wait: wait}
+}
+
+// Do runs fn on an admitted slot, or returns ErrSaturated without
+// running it.
+func (p *Pool) Do(fn func()) error {
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		if p.wait <= 0 {
+			p.rejected.Add(1)
+			return ErrSaturated
+		}
+		t := time.NewTimer(p.wait)
+		select {
+		case p.slots <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			p.rejected.Add(1)
+			return ErrSaturated
+		}
+	}
+	p.admitted.Add(1)
+	defer func() { <-p.slots }()
+	fn()
+	return nil
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return cap(p.slots) }
+
+// InFlight reports how many slots are currently held.
+func (p *Pool) InFlight() int { return len(p.slots) }
+
+// Admitted reports how many calls acquired a slot.
+func (p *Pool) Admitted() uint64 { return p.admitted.Load() }
+
+// Rejected reports how many calls were turned away saturated.
+func (p *Pool) Rejected() uint64 { return p.rejected.Load() }

@@ -1,0 +1,224 @@
+// Package server is HIQUE's query-serving layer: it turns the embedded
+// engine into a network service. Three pieces compose it:
+//
+//   - a bounded worker Pool for admission control (overload returns 503
+//     instead of queueing unboundedly),
+//   - a Sessions registry tracking per-client query streams, and
+//   - an HTTP/JSON front end (POST /query, GET /stats, GET /tables,
+//     GET /sessions) over a shared *hique.DB.
+//
+// Concurrency safety of the read path comes from hique.DB itself: query
+// execution holds per-table reader locks while writers (Insert,
+// CreateTable, BuildIndex, statistics refresh) take the corresponding
+// writer lock, so any number of in-flight queries may share a table
+// while mutations serialise. The serving layer adds the plan cache on
+// top (enable with hique.WithPlanCache), which is what amortises the
+// paper's preparation cost (Table III) across a repeated workload.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hique"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrently executing queries (default 8).
+	Workers int
+	// QueueWait bounds how long an arriving query waits for a worker
+	// slot before a 503 (default 100ms; negative rejects immediately).
+	QueueWait time.Duration
+	// SessionExpiry drops sessions idle longer than this (default 10m).
+	SessionExpiry time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.SessionExpiry == 0 {
+		c.SessionExpiry = 10 * time.Minute
+	}
+	return c
+}
+
+// Server serves a hique.DB over HTTP/JSON.
+type Server struct {
+	db       *hique.DB
+	pool     *Pool
+	sessions *Sessions
+	started  time.Time
+
+	queries atomic.Uint64
+	errors  atomic.Uint64
+}
+
+// New creates a server over db.
+func New(db *hique.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		db:       db,
+		pool:     NewPool(cfg.Workers, cfg.QueueWait),
+		sessions: NewSessions(cfg.SessionExpiry),
+		started:  time.Now(),
+	}
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /tables", s.handleTables)
+	mux.HandleFunc("GET /sessions", s.handleSessions)
+	return mux
+}
+
+// ListenAndServe serves on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return srv.ListenAndServe()
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// queryResponse is the POST /query success body.
+type queryResponse struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	ElapsedUs int64    `json:"elapsed_us"`
+	Session   string   `json:"session"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// SessionHeader carries the client's session ID; the server mints one
+// for requests without it and returns it in both the response body and
+// this response header.
+const SessionHeader = "X-Hique-Session"
+
+// maxQueryBody bounds the POST /query request body; a statement the
+// engine would accept is far below this, and unbounded bodies would
+// bypass the admission control the pool provides.
+const maxQueryBody = 1 << 20
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty sql"})
+		return
+	}
+
+	var res *hique.Result
+	var qerr error
+	err := s.pool.Do(func() {
+		res, qerr = s.db.Query(req.SQL)
+	})
+	if err != nil {
+		// Rejected before admission: no session is minted, so overload
+		// cannot inflate the registry.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	sess := s.sessions.Acquire(r.Header.Get(SessionHeader))
+	s.queries.Add(1)
+	w.Header().Set(SessionHeader, sess.ID)
+	if qerr != nil {
+		s.errors.Add(1)
+		sess.note(0, true, time.Now())
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: qerr.Error()})
+		return
+	}
+	sess.note(res.Elapsed, false, time.Now())
+	writeJSON(w, http.StatusOK, queryResponse{
+		Columns:   res.Columns,
+		Rows:      res.Rows,
+		RowCount:  len(res.Rows),
+		ElapsedUs: res.Elapsed.Microseconds(),
+		Session:   sess.ID,
+	})
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	UptimeSec float64       `json:"uptime_sec"`
+	Queries   uint64        `json:"queries"`
+	Errors    uint64        `json:"errors"`
+	Workers   int           `json:"workers"`
+	InFlight  int           `json:"in_flight"`
+	Rejected  uint64        `json:"rejected"`
+	Sessions  int           `json:"sessions"`
+	DB        hique.DBStats `json:"db"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSec: time.Since(s.started).Seconds(),
+		Queries:   s.queries.Load(),
+		Errors:    s.errors.Load(),
+		Workers:   s.pool.Workers(),
+		InFlight:  s.pool.InFlight(),
+		Rejected:  s.pool.Rejected(),
+		Sessions:  s.sessions.Len(),
+		DB:        s.db.Stats(),
+	})
+}
+
+// tableInfo is one GET /tables element.
+type tableInfo struct {
+	Name    string   `json:"name"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	names := s.db.Tables()
+	out := make([]tableInfo, 0, len(names))
+	for _, n := range names {
+		e, err := s.db.Catalog().Lookup(n)
+		if err != nil {
+			continue
+		}
+		e.RLock()
+		info := tableInfo{Name: n, Rows: e.Table.NumRows()}
+		sch := e.Table.Schema()
+		for i := 0; i < sch.NumColumns(); i++ {
+			c := sch.Column(i)
+			info.Columns = append(info.Columns, fmt.Sprintf("%s %s", c.Name, c.Kind))
+		}
+		e.RUnlock()
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sessions.List())
+}

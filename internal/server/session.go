@@ -1,0 +1,141 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Session tracks one client's query stream: how many statements it ran,
+// how many failed, and the cumulative execution time. Sessions are
+// identified by an opaque ID the client echoes back in the
+// X-Hique-Session header; a request without one is assigned a fresh
+// session whose ID is returned in the response.
+type Session struct {
+	ID      string
+	Started time.Time
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	queries  uint64
+	errors   uint64
+	execTime time.Duration
+}
+
+// note records one query outcome.
+func (s *Session) note(d time.Duration, failed bool, now time.Time) {
+	s.mu.Lock()
+	s.lastUsed = now
+	s.queries++
+	if failed {
+		s.errors++
+	}
+	s.execTime += d
+	s.mu.Unlock()
+}
+
+// SessionInfo is an exportable snapshot of a session.
+type SessionInfo struct {
+	ID         string  `json:"id"`
+	Queries    uint64  `json:"queries"`
+	Errors     uint64  `json:"errors"`
+	ExecTimeUs int64   `json:"exec_time_us"`
+	IdleSec    float64 `json:"idle_sec"`
+}
+
+// MaxSessions bounds the registry: beyond it, new clients get working
+// but untracked (ephemeral) sessions instead of growing the map, so a
+// flood of header-less requests cannot exhaust memory.
+const MaxSessions = 8192
+
+// Sessions is the concurrent session registry. Idle sessions are
+// dropped by amortised sweeps: a full scan runs at most once per
+// expiry/8 (not on every request), keeping Acquire O(1) in the steady
+// state.
+type Sessions struct {
+	mu        sync.Mutex
+	m         map[string]*Session
+	seq       atomic.Uint64
+	expiry    time.Duration
+	lastSweep time.Time
+}
+
+// NewSessions creates a registry; expiry <= 0 disables idle expiry.
+func NewSessions(expiry time.Duration) *Sessions {
+	return &Sessions{m: make(map[string]*Session), expiry: expiry}
+}
+
+// Acquire returns the session with the given ID if it exists, else a
+// brand-new session with a server-minted ID. Unknown client-supplied
+// IDs are never adopted: clients cannot fix session identifiers. At
+// MaxSessions the new session is returned untracked.
+func (s *Sessions) Acquire(id string) *Session {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeSweepLocked(now)
+	if id != "" {
+		if sess, ok := s.m[id]; ok {
+			return sess
+		}
+	}
+	id = fmt.Sprintf("s%08x-%d", now.UnixNano()&0xffffffff, s.seq.Add(1))
+	sess := &Session{ID: id, Started: now, lastUsed: now}
+	// At capacity the session stays untracked until the next scheduled
+	// sweep frees space — forcing a scan here would let a header-less
+	// flood serialise every request behind an O(MaxSessions) walk.
+	if len(s.m) < MaxSessions {
+		s.m[id] = sess
+	}
+	return sess
+}
+
+// maybeSweepLocked drops idle sessions; at most one full scan runs per
+// expiry/8, keeping Acquire O(1) in the steady state.
+func (s *Sessions) maybeSweepLocked(now time.Time) {
+	if s.expiry <= 0 {
+		return
+	}
+	if now.Sub(s.lastSweep) < s.expiry/8 {
+		return
+	}
+	s.lastSweep = now
+	for id, sess := range s.m {
+		sess.mu.Lock()
+		idle := now.Sub(sess.lastUsed)
+		sess.mu.Unlock()
+		if idle > s.expiry {
+			delete(s.m, id)
+		}
+	}
+}
+
+// Len reports the number of live sessions.
+func (s *Sessions) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// List snapshots every live session, sorted by ID.
+func (s *Sessions) List() []SessionInfo {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.m))
+	for _, sess := range s.m {
+		sess.mu.Lock()
+		out = append(out, SessionInfo{
+			ID:         sess.ID,
+			Queries:    sess.queries,
+			Errors:     sess.errors,
+			ExecTimeUs: sess.execTime.Microseconds(),
+			IdleSec:    now.Sub(sess.lastUsed).Seconds(),
+		})
+		sess.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

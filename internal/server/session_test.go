@@ -1,0 +1,40 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSessionRegistryCap(t *testing.T) {
+	s := NewSessions(time.Hour)
+	for i := 0; i < MaxSessions; i++ {
+		s.Acquire("")
+	}
+	if got := s.Len(); got != MaxSessions {
+		t.Fatalf("len = %d, want %d", got, MaxSessions)
+	}
+	over := s.Acquire("")
+	if over == nil || over.ID == "" {
+		t.Fatal("over-cap client should still get a working session")
+	}
+	if got := s.Len(); got != MaxSessions {
+		t.Fatalf("registry grew past cap: %d", got)
+	}
+	// The untracked session is not resumable.
+	again := s.Acquire(over.ID)
+	if again.ID == over.ID {
+		t.Fatal("untracked session should not be resumable")
+	}
+}
+
+func TestSessionSweepAmortised(t *testing.T) {
+	s := NewSessions(80 * time.Millisecond)
+	a := s.Acquire("")
+	time.Sleep(100 * time.Millisecond)
+	// First Acquire after the idle window sweeps a out (interval 10ms
+	// elapsed too).
+	s.Acquire("")
+	if sess := s.Acquire(a.ID); sess.ID == a.ID {
+		t.Fatal("expired session should have been swept")
+	}
+}

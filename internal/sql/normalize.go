@@ -1,0 +1,36 @@
+package sql
+
+import (
+	"strings"
+)
+
+// Normalize renders a query as a canonical token stream: identifiers are
+// lowercased (matching the parser, which resolves names case-insensitively),
+// whitespace and comments collapse to single separators, and string
+// literals are re-quoted with escapes restored. Two queries that differ
+// only in case or spacing normalise identically, so the plan cache can key
+// compiled queries on the normalised text without parsing or planning.
+func Normalize(query string) (string, error) {
+	toks, err := Lex(query)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(query))
+	for i, t := range toks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.Kind {
+		case TokIdent:
+			b.WriteString(strings.ToLower(t.Text))
+		case TokString:
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
+			b.WriteByte('\'')
+		default:
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String(), nil
+}

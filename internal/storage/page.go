@@ -26,9 +26,11 @@ type Page struct {
 	buf []byte
 }
 
-// NewPage allocates an empty page for tuples of the given width.
+// NewPage allocates an empty page for tuples of the given width. A width
+// of zero is legal: group-less aggregates stage attribute-free tuples, so
+// a zero-width page is pure row counting.
 func NewPage(tupleSize int) *Page {
-	if tupleSize <= 0 || tupleSize > PageSize-HeaderSize {
+	if tupleSize < 0 || tupleSize > PageSize-HeaderSize {
 		panic(fmt.Sprintf("storage.NewPage: tuple size %d out of range", tupleSize))
 	}
 	p := &Page{buf: make([]byte, PageSize)}
@@ -67,9 +69,15 @@ func (p *Page) setNumTuples(n int) {
 	binary.LittleEndian.PutUint32(p.buf[0:4], uint32(n))
 }
 
-// Capacity returns how many tuples fit in the page.
+// Capacity returns how many tuples fit in the page. Zero-width tuples
+// occupy no data bytes; their capacity is one count per data byte so the
+// page count stays bounded.
 func (p *Page) Capacity() int {
-	return (PageSize - HeaderSize) / p.TupleSize()
+	ts := p.TupleSize()
+	if ts == 0 {
+		return PageSize - HeaderSize
+	}
+	return (PageSize - HeaderSize) / ts
 }
 
 // Full reports whether the page has no room for another tuple.

@@ -196,6 +196,12 @@ func partitionCountOf(j *plan.Join) int {
 // partitionRows splits staged rows into m buckets per the stage action.
 func (e *Engine) partitionRows(rows []Row, st *plan.Stage, key, m int) ([][]Row, error) {
 	out := make([][]Row, m)
+	if len(rows) > 0 && key >= len(rows[0]) {
+		// Group-less aggregates stage attribute-free rows: no key to
+		// partition on, everything lands in bucket 0.
+		out[0] = rows
+		return out, nil
+	}
 	switch st.Action {
 	case plan.StagePartitionFine:
 		for _, r := range rows {
@@ -333,7 +339,11 @@ func (e *Engine) runAgg(a *plan.Agg, resolve func(plan.InputRef) ([]Row, *types.
 		parts := make([][]Row, m)
 		mask := uint64(m - 1)
 		for _, r := range rows {
-			parts[hashRowKey(r[key])&mask] = append(parts[hashRowKey(r[key])&mask], r)
+			p := 0
+			if key < len(r) { // group-less aggregates stage empty rows
+				p = int(hashRowKey(r[key]) & mask)
+			}
+			parts[p] = append(parts[p], r)
 		}
 		var out []Row
 		for _, part := range parts {
