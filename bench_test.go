@@ -299,6 +299,76 @@ func BenchmarkServingColdVsWarm(b *testing.B) {
 	})
 }
 
+// BenchmarkPointQueryShapeCache measures the production shape the plan
+// cache existed for: N same-shape point queries with N distinct literals
+// (`SELECT ... WHERE id = <value>`, a different value every call).
+//
+//   - auto-param: the statement collapses to its parameterized shape, so
+//     the workload compiles once and then always hits (hit% ≈ 100).
+//   - literal-keyed: the pre-parameterization behaviour — every distinct
+//     literal is a distinct cache key, so the workload recompiles on
+//     every call (hit% ≈ 0) and pays the whole preparation pipeline.
+//   - explicit-params: the client binds '?' itself; same single compiled
+//     artefact, minus the literal-lifting lexer pass.
+//
+// The hit% metric comes from the plan-cache counters; see EXPERIMENTS.md
+// for recorded numbers.
+func BenchmarkPointQueryShapeCache(b *testing.B) {
+	const rows = 4096
+	pointDB := func(b *testing.B, options ...Option) *DB {
+		b.Helper()
+		db := Open(options...)
+		if err := db.CreateTable("bench_points", Int("id"), Float("v")); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if err := db.Insert("bench_points", int64(i), float64(i)*0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	reportHitRate := func(b *testing.B, db *DB) {
+		s := db.Stats()
+		if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
+			b.ReportMetric(float64(s.Cache.Hits)/float64(total)*100, "hit%")
+		}
+	}
+	b.Run("auto-param", func(b *testing.B) {
+		db := pointDB(b, WithPlanCache(256))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(fmt.Sprintf("SELECT v FROM bench_points WHERE id = %d", i%rows)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportHitRate(b, db)
+	})
+	b.Run("literal-keyed", func(b *testing.B) {
+		db := pointDB(b, WithPlanCache(256), WithAutoParam(false))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(fmt.Sprintf("SELECT v FROM bench_points WHERE id = %d", i%rows)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportHitRate(b, db)
+	})
+	b.Run("explicit-params", func(b *testing.B) {
+		db := pointDB(b, WithPlanCache(256))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("SELECT v FROM bench_points WHERE id = ?", i%rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportHitRate(b, db)
+	})
+}
+
 // BenchmarkServingConcurrency drives the warm-cache serving path from 1
 // to 16 goroutines sharing one DB (the per-table RWMutex read path).
 func BenchmarkServingConcurrency(b *testing.B) {

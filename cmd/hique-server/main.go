@@ -11,7 +11,10 @@
 //
 // Endpoints:
 //
-//	POST /query     {"sql": "SELECT ..."} -> {"columns","rows","elapsed_us","session"}
+//	POST /query     {"sql": "SELECT ... WHERE id = ?", "params": [42]}
+//	                -> {"columns","rows","elapsed_us","session"};
+//	                parameter coercion failures return 400
+//	GET  /healthz   load-balancer liveness probe (no pool slot)
 //	GET  /stats     serving + plan-cache counters
 //	GET  /tables    catalogued tables with schemata
 //	GET  /sessions  live client sessions

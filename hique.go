@@ -26,6 +26,7 @@
 package hique
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -129,6 +130,11 @@ type DB struct {
 	// cache holds compiled holistic queries keyed by normalised SQL +
 	// optimizer configuration; nil when disabled.
 	cache *plancache.Cache
+
+	// autoParam lifts literal comparison constants out of cached
+	// statements so one compiled plan serves the whole query shape.
+	// Guarded by mu; on by default.
+	autoParam bool
 }
 
 // Option configures a DB at Open time.
@@ -154,10 +160,22 @@ func WithEngine(e Engine) Option {
 	return func(db *DB) { db.SetEngine(e) }
 }
 
+// WithAutoParam toggles auto-parameterization of cached queries (on by
+// default). With it on, literal comparison constants in the WHERE clause
+// are lifted out of the statement before the plan-cache lookup, so N
+// same-shape queries with N distinct constants compile once and hit the
+// cache N-1 times. Turn it off to cache literal-specialized plans — the
+// pre-parameterization behaviour — e.g. to let range predicates plan
+// against their actual constants instead of catalogue-default
+// selectivities.
+func WithAutoParam(enabled bool) Option {
+	return func(db *DB) { db.autoParam = enabled }
+}
+
 // Open creates a database using the holistic engine. Options enable the
 // plan cache, adopt an existing catalogue, or pick another engine.
 func Open(options ...Option) *DB {
-	db := &DB{cat: catalog.New(), opts: plan.DefaultOptions(), stale: map[string]bool{}, refreshing: map[string]bool{}}
+	db := &DB{cat: catalog.New(), opts: plan.DefaultOptions(), stale: map[string]bool{}, refreshing: map[string]bool{}, autoParam: true}
 	db.SetEngine(Holistic)
 	for _, o := range options {
 		o(db)
@@ -497,70 +515,146 @@ func cacheLevel(e Engine) (codegen.OptLevel, bool) {
 	}
 }
 
-// Query parses, optimises, and executes a SELECT statement. With the
-// plan cache enabled (WithPlanCache) and a holistic engine active, a
-// repeated statement skips the whole preparation pipeline: the cache is
-// consulted with only a lexer pass, and a hit runs the previously
-// compiled query directly.
-func (db *DB) Query(query string) (*Result, error) {
+// Query parses, optimises, and executes a SELECT statement. The
+// statement may contain '?' placeholders, one value per placeholder in
+// args: db.Query("SELECT * FROM t WHERE id = ?", 42).
+//
+// With the plan cache enabled (WithPlanCache) and a holistic engine
+// active, a repeated statement skips the whole preparation pipeline: the
+// cache is consulted with only a lexer pass, and a hit runs the
+// previously compiled query with a freshly bound parameter vector.
+// Auto-parameterization (on by default; see WithAutoParam) additionally
+// lifts literal comparison constants out of the statement first, so even
+// un-annotated SQL collapses to its shape and N distinct-constant point
+// queries compile exactly once.
+func (db *DB) Query(query string, args ...any) (*Result, error) {
 	db.mu.RLock()
 	exec, engine := db.exec, db.engine
 	opts := db.opts
+	autoParam := db.autoParam
 	db.mu.RUnlock()
 
 	level, cacheable := cacheLevel(engine)
 	if db.cache != nil && cacheable {
-		key, err := codegen.CacheKey(query, opts, level)
-		if err != nil {
-			return nil, err
-		}
-		// Hit path: validate the entry against the current catalogue
-		// stamp (epoch + referenced tables' versions) under the table
-		// reader locks; retry on a race with a concurrent writer (its
-		// stats refresh bumps the table version and invalidates the
-		// entry on the next Get).
-		for attempt := 0; attempt < 4; attempt++ {
-			db.refreshStats()
-			var stamp uint64
-			cq, ok := db.cache.Get(key, func(q *codegen.CompiledQuery) uint64 {
-				stamp = db.cat.StampFor(planTables(q.Plan))
-				return stamp
-			})
-			if !ok {
-				break
+		if autoParam {
+			shape, lifted, err := sql.NormalizeShape(query)
+			if err != nil {
+				return nil, err
 			}
-			names := planTables(cq.Plan)
-			unlock := db.rlockTables(names)
-			if db.anyStale(names) || db.cat.StampFor(names) != stamp {
-				// A writer slipped in after the lookup: the entry is
-				// stale, so reclassify the premature hit and retry.
-				unlock()
-				db.cache.Invalidate(key)
-				continue
+			// The shape is already normalized and its arity known, so
+			// the whole hit path costs the one lexer pass above.
+			key := codegen.CacheKeyNormalized(shape, len(lifted), opts, level)
+			res, prepFailed, err := db.queryCached(shape, key, lifted, args, level)
+			if err != nil && prepFailed && liftedAny(lifted) {
+				// Literal-specialized fallback (DESIGN.md §3.1): if the
+				// parameterized shape cannot be planned, retry with the
+				// constants baked in — which also reports plan-time
+				// errors in terms of the original literals. Bind errors
+				// on caller-supplied values and execution failures are
+				// not re-tried: re-planning cannot change them.
+				return db.queryLiteralKeyed(query, args, opts, level)
 			}
-			return db.finish(cq.Plan, unlock, cq.Run)
+			return res, err
 		}
-		// Miss: prepare once under the reader locks and populate the
-		// cache before executing.
-		p, unlock, err := db.planLocked(query)
-		if err != nil {
-			return nil, err
-		}
-		stamp := db.cat.StampFor(planTables(p))
-		cq, err := codegen.Generate(p, level)
-		if err != nil {
-			unlock()
-			return nil, err
-		}
-		db.cache.Put(key, stamp, cq)
-		return db.finish(p, unlock, cq.Run)
+		return db.queryLiteralKeyed(query, args, opts, level)
 	}
 
 	p, unlock, err := db.planLocked(query)
 	if err != nil {
 		return nil, err
 	}
-	return db.finish(p, unlock, func() (*storage.Table, error) { return exec.Execute(p) })
+	params, err := bindValues(p.Params, nil, args)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	bp, err := p.Bind(params)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	return db.finish(bp, unlock, func() (*storage.Table, error) { return exec.Execute(bp) })
+}
+
+// queryLiteralKeyed runs the cached path without auto-parameterization:
+// the statement text itself (normalised) is the cache identity, binding
+// only explicit '?' placeholders.
+func (db *DB) queryLiteralKeyed(query string, args []any, opts plan.Options, level codegen.OptLevel) (*Result, error) {
+	key, err := codegen.CacheKey(query, opts, level)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := db.queryCached(query, key, nil, args, level)
+	return res, err
+}
+
+// queryCached is the plan-cache execution path: look up the compiled
+// query under key, validate it against the catalogue stamp under the
+// table reader locks, and run it with the bind vector assembled from
+// lifted literals and caller args. On a miss it plans stmt once and
+// populates the cache before executing.
+//
+// prepFailed reports whether the error (if any) arose while preparing
+// the statement — planning, binding a lifted literal, code generation —
+// as opposed to a caller-value BindError or an execution failure; only
+// preparation failures are candidates for the literal-specialized
+// fallback, since re-planning cannot change the other two.
+func (db *DB) queryCached(stmt, key string, lifted []sql.Expr, args []any, level codegen.OptLevel) (res *Result, prepFailed bool, err error) {
+	fail := func(err error) (*Result, bool, error) {
+		var bindErr *BindError
+		return nil, !errors.As(err, &bindErr), err
+	}
+	// Hit path: validate the entry against the current catalogue stamp
+	// (epoch + referenced tables' versions) under the table reader
+	// locks; retry on a race with a concurrent writer (its stats refresh
+	// bumps the table version and invalidates the entry on the next Get).
+	for attempt := 0; attempt < 4; attempt++ {
+		db.refreshStats()
+		var stamp uint64
+		cq, ok := db.cache.Get(key, func(q *codegen.CompiledQuery) uint64 {
+			stamp = db.cat.StampFor(planTables(q.Plan))
+			return stamp
+		})
+		if !ok {
+			break
+		}
+		names := planTables(cq.Plan)
+		unlock := db.rlockTables(names)
+		if db.anyStale(names) || db.cat.StampFor(names) != stamp {
+			// A writer slipped in after the lookup: the entry is
+			// stale, so reclassify the premature hit and retry.
+			unlock()
+			db.cache.Invalidate(key)
+			continue
+		}
+		params, err := bindValues(cq.Plan.Params, lifted, args)
+		if err != nil {
+			unlock()
+			return fail(err)
+		}
+		res, err := db.finish(cq.Plan, unlock, func() (*storage.Table, error) { return cq.Run(params...) })
+		return res, false, err
+	}
+	// Miss: prepare once under the reader locks and populate the cache
+	// before executing.
+	p, unlock, err := db.planLocked(stmt)
+	if err != nil {
+		return fail(err)
+	}
+	params, err := bindValues(p.Params, lifted, args)
+	if err != nil {
+		unlock()
+		return fail(err)
+	}
+	stamp := db.cat.StampFor(planTables(p))
+	cq, err := codegen.Generate(p, level)
+	if err != nil {
+		unlock()
+		return fail(err)
+	}
+	db.cache.Put(key, stamp, cq)
+	res, err = db.finish(p, unlock, func() (*storage.Table, error) { return cq.Run(params...) })
+	return res, false, err
 }
 
 // finish times run, releases the table locks, and materialises the
@@ -623,42 +717,128 @@ func (db *DB) GeneratedSource(query string) (string, error) {
 }
 
 // Prepare generates and compiles a query without running it, returning
-// preparation timings (paper Table III).
+// preparation timings (paper Table III). The statement may contain '?'
+// placeholders; Run binds one value per placeholder.
 func (db *DB) Prepare(query string) (*Prepared, error) {
-	p, unlock, err := db.planLocked(query)
-	if err != nil {
+	pr := &Prepared{db: db, query: query}
+	if err := pr.reprepare(); err != nil {
 		return nil, err
 	}
-	defer unlock()
-	cq, err := codegen.Generate(p, codegen.OptO2)
-	if err != nil {
-		return nil, err
-	}
-	return &Prepared{db: db, compiled: cq}, nil
+	return pr, nil
 }
 
 // Prepared is a generated, compiled query ready for repeated execution.
-// Unlike the plan cache, a Prepared is pinned to the catalogue state it
-// was compiled against: later inserts or DDL do not recompile it.
+// It is not pinned to the catalogue state it was compiled against: Run
+// re-validates the referenced tables' catalogue versions and transparently
+// re-plans and re-compiles after inserts, DDL, or statistics refreshes,
+// so a long-lived statement handle never executes a stale plan.
 type Prepared struct {
-	db       *DB
+	db    *DB
+	query string
+
+	// mu guards compiled and stamp across Run's transparent re-prepares.
+	mu       sync.Mutex
 	compiled *codegen.CompiledQuery
+	stamp    uint64
+}
+
+// snapshot returns the current compiled artefact and its stamp.
+func (p *Prepared) snapshot() (*codegen.CompiledQuery, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.compiled, p.stamp
+}
+
+// prepareLocked plans and compiles the statement and installs the new
+// artefact together with the catalogue stamp it was built against. The
+// table locks planLocked acquired are still held on success — the caller
+// either releases them (reprepare) or executes under them (Run's
+// starvation fallback).
+func (p *Prepared) prepareLocked() (*plan.Plan, *codegen.CompiledQuery, func(), error) {
+	pl, unlock, err := p.db.planLocked(p.query)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stamp := p.db.cat.StampFor(planTables(pl))
+	cq, err := codegen.Generate(pl, codegen.OptO2)
+	if err != nil {
+		unlock()
+		return nil, nil, nil, err
+	}
+	p.mu.Lock()
+	p.compiled, p.stamp = cq, stamp
+	p.mu.Unlock()
+	return pl, cq, unlock, nil
+}
+
+// reprepare plans and compiles the statement under fresh table locks and
+// installs the new artefact.
+func (p *Prepared) reprepare() error {
+	_, _, unlock, err := p.prepareLocked()
+	if err == nil {
+		unlock()
+	}
+	return err
 }
 
 // Source returns the generated source file.
-func (p *Prepared) Source() string { return p.compiled.Source }
+func (p *Prepared) Source() string {
+	cq, _ := p.snapshot()
+	return cq.Source
+}
 
-// GenerateTime reports how long template instantiation took.
-func (p *Prepared) GenerateTime() time.Duration { return p.compiled.Prep.Generate }
+// GenerateTime reports how long template instantiation took (for the most
+// recent compilation).
+func (p *Prepared) GenerateTime() time.Duration {
+	cq, _ := p.snapshot()
+	return cq.Prep.Generate
+}
 
 // CompileTime reports how long compilation (syntax check + closure
-// construction) took.
-func (p *Prepared) CompileTime() time.Duration { return p.compiled.Prep.Compile }
+// construction) took (for the most recent compilation).
+func (p *Prepared) CompileTime() time.Duration {
+	cq, _ := p.snapshot()
+	return cq.Prep.Compile
+}
 
-// Run executes the prepared query.
-func (p *Prepared) Run() (*Result, error) {
-	unlock := p.db.rlockTables(planTables(p.compiled.Plan))
-	return p.db.finish(p.compiled.Plan, unlock, p.compiled.Run)
+// Run executes the prepared query with the given parameter values (one
+// per '?' placeholder). If the catalogue moved since compilation — DDL,
+// inserts, index builds, statistics refresh — the statement is re-planned
+// and re-compiled first, so results always reflect a plan consistent with
+// the data the table locks pin.
+func (p *Prepared) Run(args ...any) (*Result, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		cq, stamp := p.snapshot()
+		p.db.refreshStats()
+		names := planTables(cq.Plan)
+		unlock := p.db.rlockTables(names)
+		if p.db.anyStale(names) || p.db.cat.StampFor(names) != stamp {
+			unlock()
+			if err := p.reprepare(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		params, err := bindValues(cq.Plan.Params, nil, args)
+		if err != nil {
+			unlock()
+			return nil, err
+		}
+		return p.db.finish(cq.Plan, unlock, func() (*storage.Table, error) { return cq.Run(params...) })
+	}
+	// Sustained writer pressure kept invalidating the artefact between
+	// re-prepare and re-lock: prepare and run inside one lock scope
+	// (planLocked escalates to writer locks itself when starved).
+	pl, cq, unlock, err := p.prepareLocked()
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindValues(pl.Params, nil, args)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	return p.db.finish(pl, unlock, func() (*storage.Table, error) { return cq.Run(params...) })
 }
 
 // Tables lists the catalogued table names.
@@ -693,15 +873,20 @@ type DBStats struct {
 	CatalogVersion uint64          `json:"catalog_version"`
 	Engine         string          `json:"engine"`
 	CacheEnabled   bool            `json:"cache_enabled"`
+	AutoParam      bool            `json:"auto_param"`
 	Cache          plancache.Stats `json:"cache"`
 }
 
 // Stats snapshots catalogue and plan-cache counters.
 func (db *DB) Stats() DBStats {
+	db.mu.RLock()
+	autoParam := db.autoParam
+	db.mu.RUnlock()
 	s := DBStats{
 		Tables:         len(db.cat.Names()),
 		CatalogVersion: db.cat.Version(),
 		Engine:         db.EngineName(),
+		AutoParam:      autoParam,
 	}
 	if db.cache != nil {
 		s.CacheEnabled = true

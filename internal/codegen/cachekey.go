@@ -9,24 +9,40 @@ import (
 )
 
 // CacheKey derives the plan-cache key for a query: the normalised SQL
-// token stream joined with every other input that shapes the compiled
-// artefact — the optimisation level and the optimizer options. Catalog
-// state (schemata, statistics, indexes) is deliberately NOT part of the
-// key; the cache validates entries against the catalogue's version
-// counter instead, so a schema or statistics change invalidates every
-// affected plan at once.
+// token stream (the parameterized *shape* when the caller auto-
+// parameterized the statement first), its bind arity, and every other
+// input that shapes the compiled artefact — the optimisation level and
+// the optimizer options. Catalog state (schemata, statistics, indexes) is
+// deliberately NOT part of the key; the cache validates entries against
+// the catalogue's version counter instead, so a schema or statistics
+// change invalidates every affected plan at once.
+//
+// The normalised segment is length-prefixed, which makes the key
+// injective: without the prefix, a string literal containing "\x00level="
+// could forge the key of a different query + options combination.
 //
 // Computing the key costs one pass of the lexer — no parsing, planning,
 // generation, or compilation — which is exactly what a cache hit is
 // allowed to spend.
 func CacheKey(query string, opts plan.Options, level OptLevel) (string, error) {
-	norm, err := sql.Normalize(query)
+	norm, arity, err := sql.NormalizeArity(query)
 	if err != nil {
 		return "", err
 	}
+	return CacheKeyNormalized(norm, arity, opts, level), nil
+}
+
+// CacheKeyNormalized builds the key from an already-normalized token
+// stream and its placeholder arity. The auto-parameterization path holds
+// both (sql.NormalizeShape's output is a normalization fixed point), so
+// using this variant keeps the cache hit at exactly one lexer pass
+// instead of re-lexing the shape.
+func CacheKeyNormalized(norm string, arity int, opts plan.Options, level OptLevel) string {
 	var b strings.Builder
-	b.Grow(len(norm) + 64)
+	b.Grow(len(norm) + 80)
+	fmt.Fprintf(&b, "%d:", len(norm))
 	b.WriteString(norm)
+	fmt.Fprintf(&b, "\x00argc=%d", arity)
 	b.WriteString("\x00level=")
 	b.WriteString(level.String())
 	fmt.Fprintf(&b, "\x00teams=%t\x00l2=%d\x00finepart=%d",
@@ -37,5 +53,5 @@ func CacheKey(query string, opts plan.Options, level OptLevel) (string, error) {
 	if opts.ForceAggAlg != nil {
 		fmt.Fprintf(&b, "\x00aggalg=%d", *opts.ForceAggAlg)
 	}
-	return b.String(), nil
+	return b.String()
 }

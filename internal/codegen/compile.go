@@ -9,6 +9,7 @@ import (
 	"hique/internal/core"
 	"hique/internal/plan"
 	"hique/internal/storage"
+	"hique/internal/types"
 )
 
 // OptLevel is the post-generation optimisation level, the analogue of the
@@ -41,14 +42,17 @@ type Timings struct {
 }
 
 // CompiledQuery is a generated, compiled, and linked query: the output of
-// the Figure 3 pipeline, ready for the executor to call.
+// the Figure 3 pipeline, ready for the executor to call. A query compiled
+// from a parameterized plan is one artefact serving the whole query
+// shape: Run binds a fresh parameter vector on every execution, so the
+// preparation cost is paid once per shape, not once per constant.
 type CompiledQuery struct {
 	Plan   *plan.Plan
 	Source string
 	Level  OptLevel
 	Prep   Timings
 
-	run func() (*storage.Table, error)
+	run func(params []types.Datum) (*storage.Table, error)
 }
 
 // Generate instantiates the code templates for the plan (Figure 3), emits
@@ -71,9 +75,21 @@ func Generate(p *plan.Plan, level OptLevel) (*CompiledQuery, error) {
 	switch level {
 	case OptO2:
 		eng := core.NewEngine()
-		q.run = func() (*storage.Table, error) { return eng.Execute(p) }
+		q.run = func(params []types.Datum) (*storage.Table, error) {
+			bp, err := p.Bind(params)
+			if err != nil {
+				return nil, err
+			}
+			return eng.Execute(bp)
+		}
 	case OptO0:
-		q.run = func() (*storage.Table, error) { return runO0(p) }
+		q.run = func(params []types.Datum) (*storage.Table, error) {
+			bp, err := p.Bind(params)
+			if err != nil {
+				return nil, err
+			}
+			return runO0(bp)
+		}
 	default:
 		return nil, fmt.Errorf("codegen: unknown optimisation level %d", level)
 	}
@@ -81,7 +97,10 @@ func Generate(p *plan.Plan, level OptLevel) (*CompiledQuery, error) {
 	return q, nil
 }
 
-// Run executes the compiled query and returns its result table.
-func (q *CompiledQuery) Run() (*storage.Table, error) {
-	return q.run()
+// Run executes the compiled query against a bind vector and returns its
+// result table. Literal-specialized queries take no parameters;
+// parameterized queries require exactly one datum per slot, already
+// coerced to the slot kinds (plan.Plan.Params).
+func (q *CompiledQuery) Run(params ...types.Datum) (*storage.Table, error) {
+	return q.run(params)
 }

@@ -117,6 +117,9 @@ func boxTable(t *storage.Table) *boxedRows {
 // evalPredicateO0 is the generic, boxed predicate evaluation the iterator
 // model uses: a comparison function selected at run time.
 func evalPredicateO0(row []types.Datum, f *plan.Filter) bool {
+	if slot, ok := f.Slot(); ok {
+		panic(fmt.Sprintf("codegen: O0 filter reads unbound parameter $%d (bind the plan before execution)", slot))
+	}
 	c := types.Compare(row[f.Col], f.Val)
 	switch f.Op {
 	case sql.CmpEq:

@@ -174,6 +174,9 @@ func MakeFilter(schema *types.Schema, filters []plan.Filter) func(tuple []byte) 
 }
 
 func makePredicate(schema *types.Schema, f plan.Filter) func(tuple []byte) bool {
+	if slot, ok := f.Slot(); ok {
+		panic(fmt.Sprintf("core: filter reads unbound parameter $%d (bind the plan before execution)", slot))
+	}
 	c := schema.Column(f.Col)
 	off := schema.Offset(f.Col)
 	switch c.Kind {

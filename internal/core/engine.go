@@ -121,6 +121,9 @@ func ApplyIndexScan(p *plan.Plan, st *plan.Stage, in *storage.Table) (*storage.T
 	if st.IndexScan == nil || st.Input.Base < 0 {
 		return in, nil
 	}
+	if slot, ok := st.IndexScan.Slot(); ok {
+		return nil, fmt.Errorf("core: index scan reads unbound parameter $%d (bind the plan before execution)", slot)
+	}
 	entry := p.Tables[st.Input.Base].Entry
 	idx := entry.Index(st.IndexScan.Column)
 	if idx == nil {

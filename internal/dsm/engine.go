@@ -68,6 +68,9 @@ func (e *Engine) runStage(st *plan.Stage, resolve func(plan.InputRef) (*colTable
 	// candidate vector between primitives.
 	var sel []int32
 	for i, f := range st.Filters {
+		if slot, ok := f.Slot(); ok {
+			return nil, fmt.Errorf("dsm: filter reads unbound parameter $%d (bind the plan before execution)", slot)
+		}
 		sel = selectVector(in.cols[f.Col], f.Op, f.Val, selOrAll(sel, i == 0))
 	}
 	if len(st.Filters) == 0 {

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"fmt"
+
+	"hique/internal/types"
+)
+
+// Bind resolves every parameter slot of a parameterized plan against a
+// bind vector, returning an execution-ready plan in which each Filter and
+// IndexScanSpec carries its concrete comparison value. The receiver is
+// never modified — the plan cache shares one parameterized plan across
+// concurrent executions, and each execution binds its own copy — so Bind
+// copies exactly the descriptors that hold parameters and shares
+// everything else (schemas, value directories, statistics).
+//
+// Arguments must already be coerced to the slot kinds in Params; Bind
+// validates arity and kind but performs no conversion.
+func (p *Plan) Bind(args []types.Datum) (*Plan, error) {
+	if len(args) != len(p.Params) {
+		return nil, fmt.Errorf("plan: statement wants %d parameters, got %d", len(p.Params), len(args))
+	}
+	if len(p.Params) == 0 {
+		return p, nil
+	}
+	for i := range args {
+		if args[i].Kind != p.Params[i].Kind {
+			return nil, fmt.Errorf("plan: parameter %d: %v value bound to %v column %s",
+				i+1, args[i].Kind, p.Params[i].Kind, p.Params[i].Column)
+		}
+	}
+
+	q := *p
+	q.Params = nil // the copy is fully bound; Bind on it again is an arity error
+	q.Joins = make([]*Join, len(p.Joins))
+	for i, j := range p.Joins {
+		nj := *j
+		nj.Inputs = make([]Stage, len(j.Inputs))
+		for k := range j.Inputs {
+			nj.Inputs[k] = bindStage(&j.Inputs[k], args)
+		}
+		q.Joins[i] = &nj
+	}
+	if p.Agg != nil {
+		na := *p.Agg
+		na.Input = bindStage(&p.Agg.Input, args)
+		q.Agg = &na
+	}
+	if p.Final != nil {
+		nf := bindStage(p.Final, args)
+		q.Final = &nf
+	}
+	return &q, nil
+}
+
+// bindStage returns a copy of the stage with parameter slots substituted.
+// Stages without parameters are copied by value but share their slices.
+func bindStage(st *Stage, args []types.Datum) Stage {
+	out := *st
+	hasParam := false
+	for i := range st.Filters {
+		if _, ok := st.Filters[i].Slot(); ok {
+			hasParam = true
+			break
+		}
+	}
+	if hasParam {
+		out.Filters = make([]Filter, len(st.Filters))
+		copy(out.Filters, st.Filters)
+		for i := range out.Filters {
+			if slot, ok := out.Filters[i].Slot(); ok {
+				out.Filters[i].Val = args[slot]
+				out.Filters[i].Param = 0
+			}
+		}
+	}
+	if st.IndexScan != nil {
+		if slot, ok := st.IndexScan.Slot(); ok {
+			spec := *st.IndexScan
+			spec.Value = args[slot]
+			spec.Param = 0
+			out.IndexScan = &spec
+		}
+	}
+	return out
+}

@@ -46,6 +46,10 @@ func Build(stmt *sql.SelectStmt, cat *catalog.Catalog) (*Plan, error) {
 // BuildWithOptions optimises with explicit options.
 func BuildWithOptions(stmt *sql.SelectStmt, cat *catalog.Catalog, opts Options) (*Plan, error) {
 	b := &builder{stmt: stmt, cat: cat, opts: opts}
+	if stmt.NumParams > 0 {
+		b.params = make([]ParamSlot, stmt.NumParams)
+		b.paramsSeen = make([]bool, stmt.NumParams)
+	}
 	if err := b.resolveTables(); err != nil {
 		return nil, err
 	}
@@ -66,8 +70,14 @@ func BuildWithOptions(stmt *sql.SelectStmt, cat *catalog.Catalog, opts Options) 
 	if err := b.planSort(); err != nil {
 		return nil, err
 	}
+	for i, seen := range b.paramsSeen {
+		if !seen {
+			return nil, fmt.Errorf("plan: parameter %d is not a comparison operand (parameters are supported in WHERE predicates only)", i+1)
+		}
+	}
 	b.plan.Stmt = stmt
 	b.plan.Tables = b.tables
+	b.plan.Params = b.params
 	b.plan.Limit = stmt.Limit
 	return &b.plan, nil
 }
@@ -80,6 +90,15 @@ type filterPred struct {
 	col int
 	op  sql.CmpOp
 	val types.Datum
+	// param is 1 + the bind-vector slot supplying the value at run time;
+	// 0 (the zero value) means val is a baked literal — the same safe
+	// encoding Filter.Param uses.
+	param int
+}
+
+// filter lowers the predicate to its descriptor form.
+func (f filterPred) filter() Filter {
+	return Filter{Col: f.col, Op: f.op, Val: f.val, Param: f.param}
 }
 
 // relation tracks the current state of a joined input during planning:
@@ -112,6 +131,11 @@ type builder struct {
 	numClasses  int
 	plan        Plan
 	filtersUsed []bool // per table: filters already applied in some stage
+
+	// params collects the bind-vector slot descriptions; paramsSeen
+	// tracks which placeholders landed in a supported position.
+	params     []ParamSlot
+	paramsSeen []bool
 }
 
 func (b *builder) resolveTables() error {
@@ -190,6 +214,14 @@ func (b *builder) resolveColumn(c *sql.ColRef) (int, int, error) {
 	return ti, ci, nil
 }
 
+// LiteralDatum coerces a literal expression to a datum of the given column
+// kind. It is the exact coercion the literal-specialized path applies at
+// plan time, exported so auto-parameterization can bind lifted literals
+// value-identically.
+func LiteralDatum(e sql.Expr, kind types.Kind) (types.Datum, error) {
+	return literalDatum(e, kind)
+}
+
 // literalDatum coerces a literal expression to a datum of the column kind.
 func literalDatum(e sql.Expr, kind types.Kind) (types.Datum, error) {
 	switch v := e.(type) {
@@ -225,6 +257,15 @@ func isLiteral(e sql.Expr) bool {
 	return false
 }
 
+// isConstOperand accepts a filter's comparison operand: a literal or a
+// bind-parameter placeholder.
+func isConstOperand(e sql.Expr) bool {
+	if _, ok := e.(*sql.Param); ok {
+		return true
+	}
+	return isLiteral(e)
+}
+
 // classifyPredicates splits WHERE conjuncts into per-table selections and
 // equi-join edges, and computes join-key equivalence classes.
 func (b *builder) classifyPredicates() error {
@@ -254,11 +295,11 @@ func (b *builder) classifyPredicates() error {
 				return fmt.Errorf("plan: join key kind mismatch in %s", p)
 			}
 			b.edges = append(b.edges, joinEdge{lt, lc, rt, rc})
-		case lIsCol && isLiteral(p.Right):
+		case lIsCol && isConstOperand(p.Right):
 			if err := b.addFilter(lCol, p.Op, p.Right); err != nil {
 				return err
 			}
-		case rIsCol && isLiteral(p.Left):
+		case rIsCol && isConstOperand(p.Left):
 			if err := b.addFilter(rCol, p.Op.Flip(), p.Left); err != nil {
 				return err
 			}
@@ -270,13 +311,22 @@ func (b *builder) classifyPredicates() error {
 	return nil
 }
 
-func (b *builder) addFilter(col *sql.ColRef, op sql.CmpOp, lit sql.Expr) error {
+func (b *builder) addFilter(col *sql.ColRef, op sql.CmpOp, operand sql.Expr) error {
 	ti, ci, err := b.resolveColumn(col)
 	if err != nil {
 		return err
 	}
-	kind := b.tables[ti].Entry.Table.Schema().Column(ci).Kind
-	d, err := literalDatum(lit, kind)
+	c := b.tables[ti].Entry.Table.Schema().Column(ci)
+	if prm, ok := operand.(*sql.Param); ok {
+		if prm.Index < 0 || prm.Index >= len(b.params) {
+			return fmt.Errorf("plan: placeholder index %d out of range (statement has %d)", prm.Index, len(b.params))
+		}
+		b.params[prm.Index] = ParamSlot{Kind: c.Kind, Column: b.tables[ti].Alias + "." + c.Name}
+		b.paramsSeen[prm.Index] = true
+		b.filters[ti] = append(b.filters[ti], filterPred{col: ci, op: op, param: prm.Index + 1})
+		return nil
+	}
+	d, err := literalDatum(operand, c.Kind)
 	if err != nil {
 		return err
 	}
@@ -364,6 +414,15 @@ func filterSelectivity(f filterPred, cs *catalog.ColumnStats) float64 {
 	case sql.CmpNe:
 		return 1 - 1/dv
 	default:
+		// Parameterized range predicate: the constant is unknown at plan
+		// time, so estimate from the catalogue default. Equality and
+		// inequality above never read the value, so they estimate
+		// identically with and without parameterization; only range
+		// interpolation degrades (DESIGN.md documents the literal-
+		// specialized fallback for value-sensitive decisions).
+		if f.param > 0 {
+			return 1.0 / 3
+		}
 		// Range predicate: interpolate for integer domains.
 		if (f.val.Kind == types.Int || f.val.Kind == types.Date) && cs.Max > cs.Min {
 			frac := float64(f.val.I-cs.Min) / float64(cs.Max-cs.Min)
@@ -584,7 +643,7 @@ func (b *builder) stageBaseTable(ti, keyCol int, alg JoinAlgorithm) (*Stage, [][
 	st := &Stage{Input: InputRef{Base: ti}, EstRows: b.est[ti]}
 	if !b.filtersUsed[ti] {
 		for _, f := range b.filters[ti] {
-			st.Filters = append(st.Filters, Filter{Col: f.col, Op: f.op, Val: f.val})
+			st.Filters = append(st.Filters, f.filter())
 		}
 		b.filtersUsed[ti] = true
 		b.attachIndexScan(st, ti)
@@ -990,7 +1049,10 @@ func (b *builder) attachIndexScan(st *Stage, ti int) {
 		if dv < 20 {
 			continue // touches >5% of rows: scan wins
 		}
-		st.IndexScan = &IndexScanSpec{Column: col.Name, Value: f.Val}
+		// A parameterized filter carries its slot over: the probe key
+		// resolves at bind time, so the index decision itself needs only
+		// statistics, never the constant.
+		st.IndexScan = &IndexScanSpec{Column: col.Name, Value: f.Val, Param: f.Param}
 		return
 	}
 }

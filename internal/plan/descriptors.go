@@ -36,14 +36,28 @@ type TableInput struct {
 }
 
 // Filter is a selection predicate applied during staging: input column
-// compared against a constant.
+// compared against a constant. The constant is either baked into Val at
+// plan time (literal-specialized plans) or supplied through the bind
+// vector at execution time (parameterized plans).
 type Filter struct {
 	Col int
 	Op  sql.CmpOp
 	Val types.Datum
+	// Param is 1 + the bind-vector slot supplying the comparison value,
+	// or 0 (the zero value) when Val carries a baked literal. Plan.Bind
+	// resolves parameter slots into Val; engines never see a non-zero
+	// Param. Read through Slot.
+	Param int
 }
 
+// Slot returns the bind-vector slot and true when the comparison value is
+// a parameter; (0, false) when Val is a baked literal.
+func (f Filter) Slot() (int, bool) { return f.Param - 1, f.Param > 0 }
+
 func (f Filter) String() string {
+	if slot, ok := f.Slot(); ok {
+		return fmt.Sprintf("col%d %s $%d", f.Col, f.Op, slot)
+	}
 	return fmt.Sprintf("col%d %s %v", f.Col, f.Op, f.Val)
 }
 
@@ -91,7 +105,15 @@ type IndexScanSpec struct {
 	Column string
 	// Value is the equality key.
 	Value types.Datum
+	// Param is 1 + the bind-vector slot supplying the probe key at
+	// execution time, 0 when Value is baked (same encoding as
+	// Filter.Param); Plan.Bind resolves it.
+	Param int
 }
+
+// Slot returns the bind-vector slot and true when the probe key is a
+// parameter.
+func (s IndexScanSpec) Slot() (int, bool) { return s.Param - 1, s.Param > 0 }
 
 // Stage describes the data-staging step for one operator input: scan,
 // filter, project (dropping unused fields to shrink tuples), and optionally
@@ -236,12 +258,25 @@ type Sort struct {
 	Keys []SortKey
 }
 
+// ParamSlot describes one bind-vector position of a parameterized plan:
+// the column kind the parameter compares against (bind-time coercion
+// targets it) and the column's name for error messages.
+type ParamSlot struct {
+	Kind   types.Kind
+	Column string
+}
+
 // Plan is the optimizer output: the topologically sorted operator list
 // (joins first, then at most one aggregation and one sort, as in §IV),
 // plus the final projection for non-aggregate queries.
 type Plan struct {
 	Stmt   *sql.SelectStmt
 	Tables []TableInput
+
+	// Params describes the bind vector, indexed by placeholder position.
+	// Empty for literal-specialized plans; non-empty plans must be bound
+	// with Bind before execution.
+	Params []ParamSlot
 
 	// Joins in execution order. Each join's inputs reference base tables
 	// or earlier joins only.
@@ -278,6 +313,9 @@ func (p *Plan) ResultSchema() *types.Schema {
 func (p *Plan) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Query: %s\n", p.Stmt)
+	for i := range p.Params {
+		fmt.Fprintf(&b, "Param[%d]: %s %v\n", i, p.Params[i].Column, p.Params[i].Kind)
+	}
 	for i, t := range p.Tables {
 		fmt.Fprintf(&b, "Table[%d]: %s (alias %s, %d rows)\n", i, t.Name, t.Alias, t.Entry.Stats.Rows)
 	}

@@ -43,6 +43,8 @@ func (b *builder) bindScalar(e sql.Expr, rel *relation) (Expr, error) {
 		return &ArithExpr{Op: v.Op, L: l, R: r}, nil
 	case *sql.AggExpr:
 		return nil, fmt.Errorf("plan: aggregate %s in scalar context", v)
+	case *sql.Param:
+		return nil, fmt.Errorf("plan: parameter %d is not a comparison operand (parameters are supported in WHERE predicates only)", v.Index+1)
 	default:
 		return nil, fmt.Errorf("plan: unsupported expression %T", e)
 	}
@@ -73,7 +75,7 @@ func (b *builder) planFinalProjection(rel *relation) error {
 	st := &Stage{Input: rel.ref, EstRows: rel.est}
 	if rel.ref.Base >= 0 && !b.filtersUsed[rel.ref.Base] {
 		for _, f := range b.filters[rel.ref.Base] {
-			st.Filters = append(st.Filters, Filter{Col: f.col, Op: f.op, Val: f.val})
+			st.Filters = append(st.Filters, f.filter())
 		}
 		b.filtersUsed[rel.ref.Base] = true
 		b.attachIndexScan(st, rel.ref.Base)
@@ -118,7 +120,7 @@ func (b *builder) planAggregation(rel *relation) error {
 	st := &Stage{Input: rel.ref, EstRows: rel.est}
 	if rel.ref.Base >= 0 && !b.filtersUsed[rel.ref.Base] {
 		for _, f := range b.filters[rel.ref.Base] {
-			st.Filters = append(st.Filters, Filter{Col: f.col, Op: f.op, Val: f.val})
+			st.Filters = append(st.Filters, f.filter())
 		}
 		b.filtersUsed[rel.ref.Base] = true
 		b.attachIndexScan(st, rel.ref.Base)

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postParamQuery(t *testing.T, ts *httptest.Server, sql string, params []any) (*http.Response, queryResponse, errorResponse) {
+	t.Helper()
+	body, _ := json.Marshal(queryRequest{SQL: sql, Params: params})
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok queryResponse
+	var bad errorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ok); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := json.NewDecoder(resp.Body).Decode(&bad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, ok, bad
+}
+
+func TestQueryParams(t *testing.T) {
+	s := New(testDB(t), Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// JSON numbers arrive as float64; an integral one coerces to the Int
+	// column the placeholder compares against.
+	resp, ok, _ := postParamQuery(t, ts, "SELECT id, price FROM items WHERE id = ?", []any{float64(7)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ok.RowCount != 1 || ok.Rows[0][0].(float64) != 7 {
+		t.Fatalf("rows = %v", ok.Rows)
+	}
+
+	// Same shape, different constant: must be served (from the same
+	// cached plan) with the new binding, not the old result.
+	resp, ok, _ = postParamQuery(t, ts, "SELECT id, price FROM items WHERE id = ?", []any{float64(11)})
+	if resp.StatusCode != http.StatusOK || ok.Rows[0][0].(float64) != 11 {
+		t.Fatalf("status = %d rows = %v", resp.StatusCode, ok.Rows)
+	}
+}
+
+func TestQueryParamCoercionErrors(t *testing.T) {
+	s := New(testDB(t), Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		sql    string
+		params []any
+	}{
+		{"fractional-for-int", "SELECT id FROM items WHERE id = ?", []any{7.5}},
+		{"string-for-int", "SELECT id FROM items WHERE id = ?", []any{"seven"}},
+		{"missing-param", "SELECT id FROM items WHERE id = ?", nil},
+		{"extra-param", "SELECT id FROM items WHERE id = ?", []any{float64(1), float64(2)}},
+	}
+	for _, c := range cases {
+		resp, _, bad := postParamQuery(t, ts, c.sql, c.params)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", c.name, resp.StatusCode, bad.Error)
+		}
+		if bad.Error == "" {
+			t.Errorf("%s: empty error body", c.name)
+		}
+	}
+
+	// A broken statement (not broken values) stays a 422.
+	resp, _, _ := postParamQuery(t, ts, "SELECT nothing FROM nowhere", nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("statement error: status = %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	// Workers: 1 with a held slot proves /healthz never waits on the
+	// admission pool: liveness must not flap under the load the 503 path
+	// is shedding.
+	s := New(testDB(t), Config{Workers: 1, QueueWait: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	acquired := make(chan struct{})
+	go func() {
+		_ = s.pool.Do(func() {
+			close(acquired)
+			<-release
+		})
+	}()
+	<-acquired
+	defer close(release)
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 while the pool is saturated", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("body = %v", body)
+	}
+
+	// Sanity: with the pool saturated, /query is shed with 503 while
+	// /healthz above stayed green.
+	reqBody := strings.NewReader(`{"sql": "SELECT id FROM items WHERE id = 1"}`)
+	qresp, err := ts.Client().Post(ts.URL+"/query", "application/json", reqBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /query status = %d, want 503", qresp.StatusCode)
+	}
+}

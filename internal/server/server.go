@@ -4,8 +4,15 @@
 //   - a bounded worker Pool for admission control (overload returns 503
 //     instead of queueing unboundedly),
 //   - a Sessions registry tracking per-client query streams, and
-//   - an HTTP/JSON front end (POST /query, GET /stats, GET /tables,
-//     GET /sessions) over a shared *hique.DB.
+//   - an HTTP/JSON front end (POST /query, GET /healthz, GET /stats,
+//     GET /tables, GET /sessions) over a shared *hique.DB.
+//
+// POST /query accepts parameterized statements: {"sql": "SELECT ... WHERE
+// id = ?", "params": [42]} binds one value per '?' placeholder, so one
+// compiled plan in the cache serves the whole query shape. A value that
+// cannot be coerced to the compared column's type (or a wrong parameter
+// count) is the client's fault and returns 400; statement errors keep
+// returning 422.
 //
 // Concurrency safety of the read path comes from hique.DB itself: query
 // execution holds per-table reader locks while writers (Insert,
@@ -18,6 +25,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -77,6 +85,7 @@ func New(db *hique.DB, cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("GET /sessions", s.handleSessions)
@@ -89,9 +98,13 @@ func (s *Server) ListenAndServe(addr string) error {
 	return srv.ListenAndServe()
 }
 
-// queryRequest is the POST /query body.
+// queryRequest is the POST /query body. Params supplies one value per
+// '?' placeholder in SQL, in order; JSON numbers arrive as float64 and
+// are coerced to the compared column's type (integral floats to Int/Date,
+// YYYY-MM-DD strings to Date).
 type queryRequest struct {
-	SQL string `json:"sql"`
+	SQL    string `json:"sql"`
+	Params []any  `json:"params"`
 }
 
 // queryResponse is the POST /query success body.
@@ -138,7 +151,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var res *hique.Result
 	var qerr error
 	err := s.pool.Do(func() {
-		res, qerr = s.db.Query(req.SQL)
+		res, qerr = s.db.Query(req.SQL, req.Params...)
 	})
 	if err != nil {
 		// Rejected before admission: no session is minted, so overload
@@ -153,7 +166,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if qerr != nil {
 		s.errors.Add(1)
 		sess.note(0, true, time.Now())
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: qerr.Error()})
+		status := http.StatusUnprocessableEntity
+		var bindErr *hique.BindError
+		if errors.As(qerr, &bindErr) {
+			// The statement may be fine; the supplied parameter values
+			// are not (wrong count or uncoercible type).
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorResponse{Error: qerr.Error()})
 		return
 	}
 	sess.note(res.Elapsed, false, time.Now())
@@ -164,6 +184,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedUs: res.Elapsed.Microseconds(),
 		Session:   sess.ID,
 	})
+}
+
+// handleHealthz is the load-balancer liveness probe: it answers without
+// taking a pool slot (an overloaded server is still alive — health must
+// not flap under the very load the 503 admission path is shedding) and
+// without touching the catalogue.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // statsResponse is the GET /stats body.

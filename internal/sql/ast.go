@@ -44,6 +44,15 @@ type StringLit struct{ Value string }
 func (l *StringLit) exprNode()      {}
 func (l *StringLit) String() string { return "'" + l.Value + "'" }
 
+// Param is a positional bind-parameter placeholder ('?'). Index is the
+// zero-based position of the placeholder in the statement text; the value
+// arrives at execution time through a bind vector, so one compiled plan
+// serves every constant of the same query shape.
+type Param struct{ Index int }
+
+func (p *Param) exprNode()      {}
+func (p *Param) String() string { return "?" }
+
 // DateLit is a DATE 'YYYY-MM-DD' literal, stored as days since epoch.
 type DateLit struct {
 	Days int64
@@ -215,6 +224,9 @@ type SelectStmt struct {
 	GroupBy []ColRef
 	OrderBy []OrderItem
 	Limit   int // -1 = no limit
+	// NumParams counts the '?' placeholders in the statement; execution
+	// requires a bind vector of exactly this arity.
+	NumParams int
 }
 
 // String renders the statement back to SQL (normalised).

@@ -1,0 +1,86 @@
+package sql
+
+import "testing"
+
+// FuzzNormalize checks the lexer-level rewrites the plan cache keys on:
+//
+//   - Normalize is a fixed point (normalising twice changes nothing, and
+//     normalised text always re-lexes), and
+//   - normalisation preserves parse equivalence: whenever the original
+//     parses, the normalised text parses to the same statement, and
+//   - NormalizeShape returns a fixed point whose placeholder arity is
+//     stable and that parses whenever the original does.
+//
+// Anything less and two spellings of one query could land on different
+// cache keys — or worse, one key could serve two different queries.
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		"SELECT id FROM t WHERE id = 42",
+		"select  A.x, b.y FROM a, b WHERE a.k = b.k AND a.x > 9.5 ORDER BY x DESC LIMIT 3",
+		"SELECT g, COUNT(*) AS n, SUM(v) FROM t WHERE s = 'it''s' GROUP BY g",
+		"SELECT d FROM t WHERE d >= DATE '2020-01-02' AND d < DATE '2021-01-02'",
+		"SELECT id FROM t WHERE a = ? AND 5 < b AND c <> -7",
+		"SELECT price * 2 + 1 FROM t WHERE x = 1 + 2 LIMIT 10",
+		"SELECT * FROM t WHERE s = '\x00level=-O2'",
+		"SELECT MIN(x) FROM t WHERE y != 0042 AND z <= 1.2.3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		n1, err := Normalize(q)
+		if err != nil {
+			return // not lexable: nothing to normalise
+		}
+		n2, err := Normalize(n1)
+		if err != nil {
+			t.Fatalf("normalised text does not re-lex: %q: %v", n1, err)
+		}
+		if n1 != n2 {
+			t.Fatalf("Normalize is not idempotent:\n 1: %q\n 2: %q", n1, n2)
+		}
+
+		s1, perr := Parse(q)
+		if perr == nil {
+			s2, err := Parse(n1)
+			if err != nil {
+				t.Fatalf("original parses but normalised %q does not: %v", n1, err)
+			}
+			if s1.String() != s2.String() {
+				t.Fatalf("parse differs after normalising %q:\n 1: %s\n 2: %s", q, s1, s2)
+			}
+			if s1.NumParams != s2.NumParams {
+				t.Fatalf("arity differs after normalising %q: %d vs %d", q, s1.NumParams, s2.NumParams)
+			}
+		}
+
+		shape, lifted, err := NormalizeShape(q)
+		if err != nil {
+			t.Fatalf("Normalize accepts %q but NormalizeShape rejects it: %v", q, err)
+		}
+		shape2, lifted2, err := NormalizeShape(shape)
+		if err != nil {
+			t.Fatalf("shape does not re-shape: %q: %v", shape, err)
+		}
+		if shape2 != shape {
+			t.Fatalf("NormalizeShape is not a fixed point:\n 1: %q\n 2: %q", shape, shape2)
+		}
+		if len(lifted2) != len(lifted) {
+			t.Fatalf("shape arity unstable for %q: %d then %d", q, len(lifted), len(lifted2))
+		}
+		for i, l := range lifted2 {
+			if l != nil {
+				t.Fatalf("re-shaping %q lifted a literal at slot %d", shape, i)
+			}
+		}
+		if perr == nil {
+			ss, err := Parse(shape)
+			if err != nil {
+				t.Fatalf("original parses but shape %q does not: %v", shape, err)
+			}
+			if ss.NumParams != len(lifted) {
+				t.Fatalf("shape %q parses to %d params, lift reported %d", shape, ss.NumParams, len(lifted))
+			}
+		}
+	})
+}

@@ -25,7 +25,8 @@ const (
 	TokNumber
 	// TokString is a single-quoted string literal (quotes stripped).
 	TokString
-	// TokSymbol is punctuation: , ( ) * + - / . and comparison operators.
+	// TokSymbol is punctuation: , ( ) * + - / . ? and comparison operators.
+	// '?' is the positional bind-parameter placeholder.
 	TokSymbol
 )
 
@@ -96,7 +97,7 @@ func Lex(input string) ([]Token, error) {
 				i++
 			}
 			toks = append(toks, Token{Kind: TokSymbol, Text: input[start:i], Pos: start})
-		case strings.ContainsRune(",()*+-/=.", rune(c)):
+		case strings.ContainsRune(",()*+-/=.?", rune(c)):
 			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
 			i++
 		case c == ';':

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"strconv"
 	"strings"
 )
 
@@ -11,26 +12,234 @@ import (
 // only in case or spacing normalise identically, so the plan cache can key
 // compiled queries on the normalised text without parsing or planning.
 func Normalize(query string) (string, error) {
+	norm, _, err := NormalizeArity(query)
+	return norm, err
+}
+
+// NormalizeArity normalises like Normalize and additionally reports the
+// statement's bind arity: the number of '?' placeholder tokens. The plan
+// cache includes the arity in its key so two shapes can never collide on
+// text alone.
+func NormalizeArity(query string) (string, int, error) {
 	toks, err := Lex(query)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
+	arity := 0
+	for _, t := range toks {
+		if t.Kind == TokSymbol && t.Text == "?" {
+			arity++
+		}
+	}
+	return renderToks(toks, len(query)), arity, nil
+}
+
+func renderToks(toks []Token, sizeHint int) string {
 	var b strings.Builder
-	b.Grow(len(query))
+	b.Grow(sizeHint)
 	for i, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		switch t.Kind {
-		case TokIdent:
-			b.WriteString(strings.ToLower(t.Text))
-		case TokString:
-			b.WriteByte('\'')
-			b.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
-			b.WriteByte('\'')
-		default:
-			b.WriteString(t.Text)
+		writeTok(&b, t)
+	}
+	return b.String()
+}
+
+func writeTok(b *strings.Builder, t Token) {
+	switch t.Kind {
+	case TokIdent:
+		b.WriteString(asciiLower(t.Text))
+	case TokString:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
+		b.WriteByte('\'')
+	default:
+		b.WriteString(t.Text)
+	}
+}
+
+// asciiLower lowercases ASCII letters only. Full Unicode case mapping can
+// grow combining marks (U+0130 lowercases to "i" + U+0307) that are not
+// identifier characters, so the normalised text would no longer lex —
+// breaking Normalize's fixed-point property. The parser applies its own
+// case mapping to original and normalised text alike, so ASCII-only
+// lowering here preserves parse equivalence.
+func asciiLower(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'A' && r <= 'Z' {
+			return r + ('a' - 'A')
+		}
+		return r
+	}, s)
+}
+
+// NormalizeShape is Normalize's auto-parameterization mode: it collapses a
+// query to its parameterized *shape*. Literals that stand as a whole
+// comparison operand inside the WHERE clause are lifted out of the text,
+// replaced with '?' placeholders, and returned (in placeholder order) as
+// literal expression nodes. Placeholders already present in the input are
+// preserved and reported as nil entries, to be filled from caller-supplied
+// arguments. Two queries that differ only in those constants therefore
+// normalise to the same shape, so one compiled plan in the cache serves
+// the entire query family.
+//
+// The lift is deliberately conservative — a literal participating in
+// arithmetic (x = 1 + 2), a SELECT-list constant, or a LIMIT count is left
+// in place, because those constants shape the plan or the output and must
+// stay part of the cache identity. Like Normalize, the transformation is
+// a single lexer pass: no parsing or planning happens on the hit path.
+//
+// NormalizeShape is a fixed point: applying it to a returned shape lifts
+// nothing further and returns the shape unchanged.
+func NormalizeShape(query string) (string, []Expr, error) {
+	toks, err := Lex(query)
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	b.Grow(len(query))
+	var lifted []Expr
+
+	inWhere := false
+	first := true
+	emit := func(t Token) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		writeTok(&b, t)
+	}
+	emitPlaceholder := func(e Expr) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		b.WriteByte('?')
+		lifted = append(lifted, e)
+	}
+
+	for i := 0; i < len(toks) && toks[i].Kind != TokEOF; {
+		t := toks[i]
+		if t.Kind == TokIdent {
+			switch {
+			case strings.EqualFold(t.Text, "where"):
+				inWhere = true
+			case strings.EqualFold(t.Text, "group"),
+				strings.EqualFold(t.Text, "order"),
+				strings.EqualFold(t.Text, "limit"):
+				inWhere = false
+			}
+		}
+		if t.Kind == TokSymbol && t.Text == "?" {
+			emitPlaceholder(nil)
+			i++
+			continue
+		}
+		if inWhere {
+			if lit, width := literalUnit(toks, i); lit != nil && liftable(toks, i, width) {
+				emitPlaceholder(lit)
+				i += width
+				continue
+			}
+		}
+		emit(t)
+		i++
+	}
+	return b.String(), lifted, nil
+}
+
+var cmpSymbols = map[string]bool{
+	"=": true, "<": true, "<=": true, ">": true, ">=": true, "<>": true, "!=": true,
+}
+
+func isCmp(t Token) bool { return t.Kind == TokSymbol && cmpSymbols[t.Text] }
+func isKw(t Token, kws ...string) bool {
+	if t.Kind != TokIdent {
+		return false
+	}
+	for _, kw := range kws {
+		if strings.EqualFold(t.Text, kw) {
+			return true
 		}
 	}
-	return b.String(), nil
+	return false
+}
+
+// literalUnit recognises a literal starting at toks[i] and returns its
+// parsed expression plus the number of tokens it spans, or (nil, 0). Units:
+// a number, a string, DATE 'x', or a unary-minus number.
+func literalUnit(toks []Token, i int) (Expr, int) {
+	t := toks[i]
+	switch {
+	case t.Kind == TokNumber:
+		if e := numberLit(t.Text, false); e != nil {
+			return e, 1
+		}
+	case t.Kind == TokString:
+		return &StringLit{Value: t.Text}, 1
+	case t.Kind == TokIdent && strings.EqualFold(t.Text, "date"):
+		if i+1 < len(toks) && toks[i+1].Kind == TokString {
+			if days, err := ParseDate(toks[i+1].Text); err == nil {
+				return &DateLit{Days: days, Text: toks[i+1].Text}, 2
+			}
+		}
+	case t.Kind == TokSymbol && t.Text == "-":
+		if i+1 < len(toks) && toks[i+1].Kind == TokNumber {
+			if e := numberLit(toks[i+1].Text, true); e != nil {
+				return e, 2
+			}
+		}
+	}
+	return nil, 0
+}
+
+// numberLit parses a number token exactly as the parser would; a token the
+// parser would reject (e.g. "1.2.3") returns nil so the text is left
+// untouched and the eventual parse error is preserved.
+func numberLit(text string, neg bool) Expr {
+	if strings.Contains(text, ".") {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil
+		}
+		if neg {
+			v = -v
+		}
+		return &FloatLit{Value: v}
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil
+	}
+	if neg {
+		v = -v
+	}
+	return &IntLit{Value: v}
+}
+
+// liftable reports whether the literal unit spanning toks[i:i+width] is a
+// whole comparison operand: either the right operand (preceded by a
+// comparison operator, followed by AND / the next clause / end of input)
+// or the left operand (preceded by WHERE or AND, followed by a comparison
+// operator). Anything else — arithmetic subterms in particular — stays a
+// literal so the rewrite never changes what the statement computes.
+func liftable(toks []Token, i, width int) bool {
+	var prev Token
+	if i > 0 {
+		prev = toks[i-1]
+	} else {
+		prev = Token{Kind: TokEOF}
+	}
+	next := toks[i+width] // Lex guarantees a trailing TokEOF sentinel
+
+	rightOperand := isCmp(prev) &&
+		(next.Kind == TokEOF || isKw(next, "and", "group", "order", "limit"))
+	leftOperand := isKw(prev, "where", "and") && isCmp(next)
+	// A unary-minus unit is only unambiguous after a comparison operator
+	// or at the start of an operand; both positions are covered above.
+	return rightOperand || leftOperand
 }

@@ -1,0 +1,134 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeShapeLifts(t *testing.T) {
+	cases := []struct {
+		in     string
+		shape  string
+		lifted []Expr
+	}{
+		{
+			"SELECT id FROM t WHERE id = 42",
+			"select id from t where id = ?",
+			[]Expr{&IntLit{Value: 42}},
+		},
+		{
+			"SELECT id FROM t WHERE price > 9.5 AND name = 'bob'",
+			"select id from t where price > ? and name = ?",
+			[]Expr{&FloatLit{Value: 9.5}, &StringLit{Value: "bob"}},
+		},
+		{
+			// Left-operand literal and negative constant.
+			"SELECT id FROM t WHERE 5 < id AND x > -3",
+			"select id from t where ? < id and x > ?",
+			[]Expr{&IntLit{Value: 5}, &IntLit{Value: -3}},
+		},
+		{
+			// DATE literal lifts as a unit.
+			"SELECT id FROM t WHERE d >= DATE '2020-01-02'",
+			"select id from t where d >= ?",
+			[]Expr{&DateLit{Days: 18263, Text: "2020-01-02"}},
+		},
+		{
+			// Clause boundaries: literal before GROUP/ORDER/LIMIT lifts,
+			// the LIMIT count itself does not.
+			"SELECT g, COUNT(*) FROM t WHERE id = 7 GROUP BY g ORDER BY g LIMIT 10",
+			"select g , count ( * ) from t where id = ? group by g order by g limit 10",
+			[]Expr{&IntLit{Value: 7}},
+		},
+		{
+			// Arithmetic subterms and SELECT-list constants stay baked.
+			"SELECT price * 2 FROM t WHERE x = 1 + 2",
+			"select price * 2 from t where x = 1 + 2",
+			nil,
+		},
+		{
+			// Explicit placeholders pass through as nil entries, mixing
+			// with lifted literals in statement order.
+			"SELECT id FROM t WHERE a = ? AND b = 5",
+			"select id from t where a = ? and b = ?",
+			[]Expr{nil, &IntLit{Value: 5}},
+		},
+	}
+	for _, c := range cases {
+		shape, lifted, err := NormalizeShape(c.in)
+		if err != nil {
+			t.Errorf("NormalizeShape(%q): %v", c.in, err)
+			continue
+		}
+		if shape != c.shape {
+			t.Errorf("NormalizeShape(%q)\n shape = %q\n want    %q", c.in, shape, c.shape)
+		}
+		if !reflect.DeepEqual(lifted, c.lifted) {
+			t.Errorf("NormalizeShape(%q) lifted = %#v, want %#v", c.in, lifted, c.lifted)
+		}
+		// The shape is a fixed point: nothing further lifts.
+		shape2, lifted2, err := NormalizeShape(shape)
+		if err != nil || shape2 != shape {
+			t.Errorf("NormalizeShape(%q) shape not a fixed point: %q, %v", c.in, shape2, err)
+		}
+		if len(lifted2) != len(lifted) {
+			t.Errorf("NormalizeShape(%q) re-lift arity %d, want %d", c.in, len(lifted2), len(lifted))
+		}
+		for i, l := range lifted2 {
+			if l != nil {
+				t.Errorf("NormalizeShape(%q) re-lifted a literal at slot %d", c.in, i)
+			}
+		}
+	}
+}
+
+func TestNormalizeShapeCollapsesDistinctLiterals(t *testing.T) {
+	a, la, err := NormalizeShape("SELECT * FROM users WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, lb, err := NormalizeShape("select *  from USERS where ID = 999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("distinct literals did not collapse to one shape:\n%q\n%q", a, b)
+	}
+	if len(la) != 1 || len(lb) != 1 {
+		t.Fatalf("lifted = %v / %v, want one literal each", la, lb)
+	}
+}
+
+func TestNormalizeArity(t *testing.T) {
+	norm, n, err := NormalizeArity("SELECT id FROM t WHERE a = ? AND s = 'quoted?mark' AND b < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("arity = %d, want 2 (the '?' inside the string literal must not count)", n)
+	}
+	if want := "select id from t where a = ? and s = 'quoted?mark' and b < ?"; norm != want {
+		t.Fatalf("norm = %q, want %q", norm, want)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	stmt, err := Parse("SELECT id FROM t WHERE a = ? AND ? < b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", stmt.NumParams)
+	}
+	p0, ok := stmt.Where[0].Right.(*Param)
+	if !ok || p0.Index != 0 {
+		t.Fatalf("first placeholder = %#v, want *Param{Index: 0}", stmt.Where[0].Right)
+	}
+	p1, ok := stmt.Where[1].Left.(*Param)
+	if !ok || p1.Index != 1 {
+		t.Fatalf("second placeholder = %#v, want *Param{Index: 1}", stmt.Where[1].Left)
+	}
+	if got := stmt.String(); got != "SELECT id FROM t WHERE a = ? AND ? < b" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -20,12 +20,14 @@ func Parse(input string) (*SelectStmt, error) {
 	if !p.atEOF() {
 		return nil, p.errorf("trailing input starting at %q", p.peek().Text)
 	}
+	stmt.NumParams = p.params
 	return stmt, nil
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks   []Token
+	pos    int
+	params int // '?' placeholders seen so far, in statement order
 }
 
 func (p *parser) peek() Token { return p.toks[p.pos] }
@@ -340,6 +342,12 @@ func (p *parser) parseFactor() (Expr, error) {
 	case t.Kind == TokString:
 		p.pos++
 		return &StringLit{Value: t.Text}, nil
+
+	case t.Kind == TokSymbol && t.Text == "?":
+		p.pos++
+		e := &Param{Index: p.params}
+		p.params++
+		return e, nil
 
 	case t.Kind == TokSymbol && t.Text == "(":
 		p.pos++

@@ -31,6 +31,11 @@ func compilePredicates(mode Mode, filters []plan.Filter) func(Row) bool {
 	if len(filters) == 0 {
 		return nil
 	}
+	for i := range filters {
+		if slot, ok := filters[i].Slot(); ok {
+			panic(fmt.Sprintf("volcano: filter reads unbound parameter $%d (bind the plan before execution)", slot))
+		}
+	}
 	if mode == Generic {
 		// Generic: every predicate evaluation routes through the
 		// generic comparison routine with a runtime op switch — the

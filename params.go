@@ -1,0 +1,139 @@
+package hique
+
+import (
+	"fmt"
+	"math"
+
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/types"
+)
+
+// BindError reports a problem binding parameter values to a statement:
+// wrong argument count, or a value that cannot be coerced to the type of
+// the column it compares against. The HTTP server maps it to a 400, since
+// the statement itself may be fine and only the supplied values are not.
+type BindError struct{ msg string }
+
+func (e *BindError) Error() string { return "hique: " + e.msg }
+
+func bindErrorf(format string, args ...any) error {
+	return &BindError{msg: fmt.Sprintf(format, args...)}
+}
+
+// bindValues builds the execution bind vector for a plan: the merged
+// stream of auto-lifted literals (non-nil entries of lifted, produced by
+// sql.NormalizeShape) and caller-supplied arguments (one per nil entry,
+// and all entries when lifted is nil), each coerced to the kind of the
+// column its slot compares against.
+func bindValues(slots []plan.ParamSlot, lifted []sql.Expr, args []any) ([]types.Datum, error) {
+	if lifted != nil && len(lifted) != len(slots) {
+		// Every placeholder the shape carries must have planned into a
+		// slot; Build guarantees this, so a mismatch is an internal bug.
+		return nil, fmt.Errorf("hique: shape has %d placeholders but plan has %d slots", len(lifted), len(slots))
+	}
+	explicit := len(slots)
+	if lifted != nil {
+		explicit = 0
+		for _, l := range lifted {
+			if l == nil {
+				explicit++
+			}
+		}
+	}
+	if len(args) != explicit {
+		return nil, bindErrorf("statement wants %d parameters, got %d", explicit, len(args))
+	}
+	if len(slots) == 0 {
+		return nil, nil
+	}
+	out := make([]types.Datum, len(slots))
+	next := 0
+	for i := range slots {
+		var lit sql.Expr
+		if lifted != nil {
+			lit = lifted[i]
+		}
+		if lit != nil {
+			d, err := plan.LiteralDatum(lit, slots[i].Kind)
+			if err != nil {
+				// A lifted literal that cannot coerce is a statement
+				// problem, not a caller-value problem: report it as a
+				// plain (plan-class) error, which also lets the
+				// literal-specialized fallback re-raise it with the
+				// original plan-time message.
+				return nil, fmt.Errorf("hique: parameter %d (%s): %v", i+1, slots[i].Column, err)
+			}
+			out[i] = d
+			continue
+		}
+		d, err := coerceParam(args[next], slots[i])
+		if err != nil {
+			return nil, bindErrorf("parameter %d (%s): %v", i+1, slots[i].Column, err)
+		}
+		out[i] = d
+		next++
+	}
+	return out, nil
+}
+
+// coerceParam converts a caller-supplied value to a datum of the slot's
+// column kind. Integral float64 values convert to Int/Date columns (JSON
+// has only one number type), date strings parse as YYYY-MM-DD, and Int
+// values widen to Float — the same conversions a literal in the statement
+// text would get.
+func coerceParam(v any, slot plan.ParamSlot) (types.Datum, error) {
+	if d, ok := v.(types.Datum); ok {
+		if d.Kind != slot.Kind {
+			return types.Datum{}, fmt.Errorf("datum kind %v incompatible with %v column", d.Kind, slot.Kind)
+		}
+		return d, nil
+	}
+	switch slot.Kind {
+	case types.Int, types.Date:
+		switch x := v.(type) {
+		case int64:
+			return types.Datum{Kind: slot.Kind, I: x}, nil
+		case int:
+			return types.Datum{Kind: slot.Kind, I: int64(x)}, nil
+		case float64:
+			if x != math.Trunc(x) || x < math.MinInt64 || x >= math.MaxInt64 {
+				return types.Datum{}, fmt.Errorf("value %v is not an integer", x)
+			}
+			return types.Datum{Kind: slot.Kind, I: int64(x)}, nil
+		case string:
+			if slot.Kind == types.Date {
+				days, err := sql.ParseDate(x)
+				if err != nil {
+					return types.Datum{}, err
+				}
+				return types.Datum{Kind: types.Date, I: days}, nil
+			}
+		}
+	case types.Float:
+		switch x := v.(type) {
+		case float64:
+			return types.FloatDatum(x), nil
+		case int64:
+			return types.FloatDatum(float64(x)), nil
+		case int:
+			return types.FloatDatum(float64(x)), nil
+		}
+	case types.String:
+		if x, ok := v.(string); ok {
+			return types.StringDatum(x), nil
+		}
+	}
+	return types.Datum{}, fmt.Errorf("cannot use %v (%T) as %v", v, v, slot.Kind)
+}
+
+// liftedAny reports whether auto-parameterization actually lifted a
+// literal (as opposed to only passing through explicit placeholders).
+func liftedAny(lifted []sql.Expr) bool {
+	for _, l := range lifted {
+		if l != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,321 @@
+package hique
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// paramsDB builds a small two-table dataset exercising every column kind.
+func paramsDB(t testing.TB, options ...Option) *DB {
+	t.Helper()
+	db := Open(options...)
+	if err := db.CreateTable("grp", Int("id"), Char("label", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("items",
+		Int("id"), Int("gid"), Int("v"), Float("price"), Char("name", 8), Date("d")); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		if err := db.Insert("grp", int64(g), fmt.Sprintf("g%02d", g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		// d: days around 2020-01-01 (epoch day 18262).
+		if err := db.Insert("items",
+			int64(i), int64(i%4), int64(i%7-3), float64(i%10)+0.5,
+			fmt.Sprintf("n%d", i%5), int64(18262+i%10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// equivalenceQueries pairs a literal-specialized statement with its
+// explicitly parameterized form; both must return identical results.
+var equivalenceQueries = []struct {
+	name    string
+	literal string
+	param   string
+	args    []any
+}{
+	{
+		"point-int",
+		"SELECT id, v FROM items WHERE id = 7 ORDER BY id",
+		"SELECT id, v FROM items WHERE id = ? ORDER BY id",
+		[]any{7},
+	},
+	{
+		"float-range",
+		"SELECT id, price FROM items WHERE price > 6.5 ORDER BY id",
+		"SELECT id, price FROM items WHERE price > ? ORDER BY id",
+		[]any{6.5},
+	},
+	{
+		"string-eq",
+		"SELECT id, name FROM items WHERE name = 'n3' ORDER BY id",
+		"SELECT id, name FROM items WHERE name = ? ORDER BY id",
+		[]any{"n3"},
+	},
+	{
+		"date-range",
+		"SELECT id FROM items WHERE d >= DATE '2020-01-05' ORDER BY id",
+		"SELECT id FROM items WHERE d >= ? ORDER BY id",
+		[]any{"2020-01-05"}, // YYYY-MM-DD coerces to a Date parameter
+	},
+	{
+		"negative-int",
+		"SELECT id FROM items WHERE v > -2 AND v < 2 ORDER BY id",
+		"SELECT id FROM items WHERE v > ? AND v < ? ORDER BY id",
+		[]any{-2, 2},
+	},
+	{
+		"left-operand",
+		"SELECT id FROM items WHERE 30 <= id ORDER BY id",
+		"SELECT id FROM items WHERE ? <= id ORDER BY id",
+		[]any{30},
+	},
+	{
+		"join-group",
+		"SELECT label, COUNT(*) AS n, SUM(price) AS total FROM items, grp " +
+			"WHERE gid = grp.id AND price > 2.5 GROUP BY label ORDER BY label",
+		"SELECT label, COUNT(*) AS n, SUM(price) AS total FROM items, grp " +
+			"WHERE gid = grp.id AND price > ? GROUP BY label ORDER BY label",
+		[]any{2.5},
+	},
+}
+
+// TestParamEquivalenceAcrossEngines asserts the acceptance criterion that
+// parameterized execution returns results identical to literal execution
+// on every engine.
+func TestParamEquivalenceAcrossEngines(t *testing.T) {
+	for _, e := range []Engine{Holistic, GenericIterators, OptimizedIterators, ColumnStore, HolisticUnoptimized} {
+		t.Run(e.String(), func(t *testing.T) {
+			db := paramsDB(t, WithEngine(e))
+			for _, q := range equivalenceQueries {
+				want, err := db.Query(q.literal)
+				if err != nil {
+					t.Fatalf("%s literal: %v", q.name, err)
+				}
+				if len(want.Rows) == 0 {
+					t.Fatalf("%s: literal query selected nothing; test is vacuous", q.name)
+				}
+				got, err := db.Query(q.param, q.args...)
+				if err != nil {
+					t.Fatalf("%s parameterized: %v", q.name, err)
+				}
+				if !reflect.DeepEqual(want.Columns, got.Columns) || !reflect.DeepEqual(want.Rows, got.Rows) {
+					t.Errorf("%s: parameterized result differs from literal\n lit: %v\n par: %v",
+						q.name, want.Rows, got.Rows)
+				}
+			}
+		})
+	}
+}
+
+// TestParamEquivalenceCached runs the same pairs through the plan cache
+// with auto-parameterization: the literal spelling and the explicit
+// placeholder spelling collapse to one shape and must agree with the
+// uncached literal result.
+func TestParamEquivalenceCached(t *testing.T) {
+	plain := paramsDB(t)
+	cached := paramsDB(t, WithPlanCache(64))
+	for _, q := range equivalenceQueries {
+		want, err := plain.Query(q.literal)
+		if err != nil {
+			t.Fatalf("%s: %v", q.name, err)
+		}
+		for round := 0; round < 2; round++ { // cold, then warm
+			gotLit, err := cached.Query(q.literal)
+			if err != nil {
+				t.Fatalf("%s cached literal: %v", q.name, err)
+			}
+			gotPar, err := cached.Query(q.param, q.args...)
+			if err != nil {
+				t.Fatalf("%s cached parameterized: %v", q.name, err)
+			}
+			if !reflect.DeepEqual(want.Rows, gotLit.Rows) {
+				t.Errorf("%s round %d: cached literal differs: %v vs %v", q.name, round, gotLit.Rows, want.Rows)
+			}
+			if !reflect.DeepEqual(want.Rows, gotPar.Rows) {
+				t.Errorf("%s round %d: cached parameterized differs: %v vs %v", q.name, round, gotPar.Rows, want.Rows)
+			}
+		}
+	}
+	if s := cached.Stats(); s.Cache.Hits == 0 {
+		t.Errorf("warm rounds never hit the cache: %+v", s.Cache)
+	}
+}
+
+// TestAutoParamCompilesOnce is the headline acceptance criterion: N
+// same-shape point queries with N distinct literals compile exactly once
+// — the plan cache reports one miss and N-1 hits. Without
+// auto-parameterization the same workload misses N times.
+func TestAutoParamCompilesOnce(t *testing.T) {
+	const n = 50
+	run := func(t *testing.T, db *DB) {
+		for i := 0; i < n; i++ {
+			res, err := db.Query(fmt.Sprintf("SELECT id, v FROM items WHERE id = %d", i%40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0][0].(int64) != int64(i%40) {
+				t.Fatalf("query %d: rows = %v", i, res.Rows)
+			}
+		}
+	}
+	t.Run("auto-param", func(t *testing.T) {
+		db := paramsDB(t, WithPlanCache(64))
+		run(t, db)
+		s := db.Stats()
+		if s.Cache.Hits < n-1 {
+			t.Errorf("hits = %d, want >= %d (one compilation for the whole shape)", s.Cache.Hits, n-1)
+		}
+		if s.Cache.Misses != 1 {
+			t.Errorf("misses = %d, want exactly 1", s.Cache.Misses)
+		}
+	})
+	t.Run("literal-keyed", func(t *testing.T) {
+		db := paramsDB(t, WithPlanCache(64), WithAutoParam(false))
+		run(t, db)
+		s := db.Stats()
+		// 40 distinct literals over 50 queries: the second pass over the
+		// first 10 ids may hit, the 40 distinct texts all miss.
+		if s.Cache.Misses < 40 {
+			t.Errorf("misses = %d, want >= 40 (every distinct literal recompiles)", s.Cache.Misses)
+		}
+	})
+}
+
+// TestParamIndexScan checks that a parameterized equality probe still
+// rides the fractal B+-tree index: the probe key binds at run time.
+func TestParamIndexScan(t *testing.T) {
+	db := paramsDB(t, WithPlanCache(64))
+	if err := db.BuildIndex("items", "id"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		res, err := db.Query("SELECT id, name FROM items WHERE id = ?", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].(int64) != int64(i) {
+			t.Fatalf("id=%d: rows = %v", i, res.Rows)
+		}
+	}
+	src, err := db.GeneratedSource("SELECT id, name FROM items WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "bind.Int64(0)"; !strings.Contains(src, want) {
+		t.Errorf("generated source does not read the bind vector:\n%s", src)
+	}
+}
+
+// TestBindErrors checks arity and coercion failures surface as BindError
+// (the server maps these to HTTP 400).
+func TestBindErrors(t *testing.T) {
+	db := paramsDB(t)
+	var bindErr *BindError
+	if _, err := db.Query("SELECT id FROM items WHERE id = ?"); !errors.As(err, &bindErr) {
+		t.Errorf("missing argument: got %v, want BindError", err)
+	}
+	if _, err := db.Query("SELECT id FROM items WHERE id = ?", 1, 2); !errors.As(err, &bindErr) {
+		t.Errorf("extra argument: got %v, want BindError", err)
+	}
+	if _, err := db.Query("SELECT id FROM items WHERE id = ?", "not-a-number"); !errors.As(err, &bindErr) {
+		t.Errorf("uncoercible value: got %v, want BindError", err)
+	}
+	if _, err := db.Query("SELECT id FROM items WHERE id = ?", 7.5); !errors.As(err, &bindErr) {
+		t.Errorf("fractional value for Int column: got %v, want BindError", err)
+	}
+	if _, err := db.Query("SELECT id FROM items WHERE id = ?", 7.0); err != nil {
+		t.Errorf("integral float must coerce to Int: %v", err)
+	}
+	if _, err := db.Query("SELECT ? FROM items", 1); err == nil {
+		t.Error("parameter outside a WHERE comparison must be rejected")
+	}
+}
+
+// TestLiftedLiteralKindMismatchFallsBack exercises the literal-specialized
+// fallback (DESIGN.md §3.1): a lifted literal incompatible with the
+// compared column must surface the literal path's plan-time error, not a
+// caller-value bind error.
+func TestLiftedLiteralKindMismatchFallsBack(t *testing.T) {
+	db := paramsDB(t, WithPlanCache(16))
+	_, err := db.Query("SELECT id FROM items WHERE name = 5")
+	if err == nil || !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("err = %v, want plan-time literal-incompatibility error", err)
+	}
+	var bindErr *BindError
+	if errors.As(err, &bindErr) {
+		t.Fatalf("statement-embedded literal mismatch must not be a BindError: %v", err)
+	}
+}
+
+// TestPreparedRevalidates proves a Prepared statement is no longer pinned
+// to the catalogue state it was compiled against. Map aggregation bakes a
+// value directory from table statistics into the plan; a pinned plan
+// would silently drop groups inserted later, so the assertion below fails
+// without stamp revalidation.
+func TestPreparedRevalidates(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable("ev", Int("g"), Int("v")); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		if err := db.Insert("ev", int64(g), int64(10*g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr, err := db.Prepare("SELECT g, COUNT(*) AS n FROM ev GROUP BY g ORDER BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("initial run: %v", res.Rows)
+	}
+	if err := db.Insert("ev", int64(7), int64(70)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = pr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("after insert: %v (stale pinned plan dropped the new group)", res.Rows)
+	}
+	if res.Rows[2][0].(int64) != 7 || res.Rows[2][1].(int64) != 1 {
+		t.Fatalf("after insert: %v", res.Rows)
+	}
+}
+
+// TestPreparedParams runs a parameterized prepared statement repeatedly.
+func TestPreparedParams(t *testing.T) {
+	db := paramsDB(t)
+	pr, err := db.Prepare("SELECT id, name FROM items WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		res, err := pr.Run(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].(int64) != int64(i) {
+			t.Fatalf("id=%d: rows = %v", i, res.Rows)
+		}
+	}
+	var bindErr *BindError
+	if _, err := pr.Run(); !errors.As(err, &bindErr) {
+		t.Errorf("missing argument: got %v, want BindError", err)
+	}
+}
