@@ -336,6 +336,7 @@ func BenchmarkPointQueryShapeCache(b *testing.B) {
 	}
 	b.Run("auto-param", func(b *testing.B) {
 		db := pointDB(b, WithPlanCache(256))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := db.Query(fmt.Sprintf("SELECT v FROM bench_points WHERE id = %d", i%rows)); err != nil {
@@ -347,6 +348,7 @@ func BenchmarkPointQueryShapeCache(b *testing.B) {
 	})
 	b.Run("literal-keyed", func(b *testing.B) {
 		db := pointDB(b, WithPlanCache(256), WithAutoParam(false))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := db.Query(fmt.Sprintf("SELECT v FROM bench_points WHERE id = %d", i%rows)); err != nil {
@@ -358,6 +360,7 @@ func BenchmarkPointQueryShapeCache(b *testing.B) {
 	})
 	b.Run("explicit-params", func(b *testing.B) {
 		db := pointDB(b, WithPlanCache(256))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := db.Query("SELECT v FROM bench_points WHERE id = ?", i%rows); err != nil {
@@ -378,6 +381,7 @@ func BenchmarkServingConcurrency(b *testing.B) {
 			if _, err := db.Query(servingQuery); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			var next atomic.Int64
 			var wg sync.WaitGroup

@@ -6,11 +6,19 @@
 //	hique-bench -experiment all                  # everything, default scales
 //	hique-bench -experiment fig8 -sf 1.0         # paper-sized TPC-H
 //	hique-bench -experiment fig5 -scale 1.0      # paper-sized microbenchmarks
+//	hique-bench -json BENCH_serving.json         # machine-readable serving suite
 //
 // Experiments: tab1 fig5 fig6 tab2 fig7a fig7b fig7c fig7d fig8 tab3 all.
+//
+// -json runs the serving micro-benchmarks (the point-query shape-cache
+// and cold-vs-warm workloads) and writes name / ns_per_op /
+// allocs_per_op / bytes_per_op rows to the given file ("-" for stdout),
+// so the serving-path perf trajectory can be tracked across revisions as
+// committed BENCH_*.json snapshots.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,13 +26,30 @@ import (
 	"time"
 
 	"hique/internal/bench"
+	"hique/internal/bench/serving"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id ("+strings.Join(bench.Experiments(), ", ")+", or all)")
 	scale := flag.Float64("scale", 0.1, "microbenchmark scale relative to the paper's workloads (1.0 = paper size)")
 	sf := flag.Float64("sf", 0.1, "TPC-H scale factor (1.0 = paper size, ~6M lineitems)")
+	jsonOut := flag.String("json", "", "run the serving micro-benchmarks and write JSON results to this file (\"-\" for stdout)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		results := serving.Micro()
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	start := time.Now()
 	var results []bench.Result
@@ -43,4 +68,9 @@ func main() {
 		fmt.Println(r.Format())
 	}
 	fmt.Printf("total harness time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

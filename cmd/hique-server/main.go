@@ -8,6 +8,7 @@
 //	hique-server -tpch 0.01               # in-memory TPC-H at the given scale
 //	hique-server -dir ./data              # open tables written by hique-gen
 //	hique-server -workers 16 -cache 512   # tune admission + plan cache
+//	hique-server -pprof                   # expose /debug/pprof/ endpoints
 //
 // Endpoints:
 //
@@ -26,6 +27,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -43,6 +46,7 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "admission wait before 503")
 	cacheSize := flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
 	engine := flag.String("engine", "holistic", "execution engine (holistic, generic-iterators, optimized-iterators, column-store, holistic-O0)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	e, ok := hique.EngineByName(*engine)
@@ -82,7 +86,25 @@ func main() {
 	}
 	fmt.Printf("hique-server: engine=%s workers=%d cache=%d listening on %s\n",
 		db.EngineName(), *workers, *cacheSize, *addr)
-	fatal(server.New(db, server.Config{Workers: *workers, QueueWait: *queueWait}).ListenAndServe(*addr))
+	srv := server.New(db, server.Config{Workers: *workers, QueueWait: *queueWait})
+	handler := srv.Handler()
+	if *pprofOn {
+		// Production-shaped profiling without a rebuild: CPU/heap/alloc
+		// profiles of the serving path behind an explicit opt-in flag.
+		// The profile endpoints bypass the admission pool deliberately —
+		// an overloaded server is exactly when a profile is wanted.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Println("hique-server: pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	fatal(httpSrv.ListenAndServe())
 }
 
 func fatal(err error) {

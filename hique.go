@@ -471,34 +471,75 @@ func planTables(p *plan.Plan) []string {
 	return names
 }
 
-// Result is a materialised query result.
+// Result is a materialised query result. All rows share one flat cell
+// arena: Rows[i] are adjacent windows of a single backing slice, so a
+// result materialises with a constant number of allocations regardless
+// of row count — and none at all when a Reset result is reused through
+// QueryInto.
 type Result struct {
 	Columns []string
 	Rows    [][]any
 	// Elapsed is the execution wall time (preparation excluded).
 	Elapsed time.Duration
+
+	// cells is the flat backing arena the rows window into.
+	cells []any
 }
 
-func materialise(columns []string, out *storage.Table, elapsed time.Duration) *Result {
-	res := &Result{Columns: append([]string(nil), columns...), Elapsed: elapsed}
+// Reset clears the result for reuse, retaining the backing capacity so a
+// subsequent QueryInto materialises into the same memory. The previous
+// Columns/Rows contents must no longer be referenced.
+func (r *Result) Reset() {
+	r.Columns = r.Columns[:0]
+	r.Rows = r.Rows[:0]
+	r.cells = r.cells[:0]
+	r.Elapsed = 0
+}
+
+// materialiseInto decodes the result table into res, reusing its backing
+// arena. It iterates pages directly (no closure) and boxes each datum
+// exactly once into the flat cell arena.
+func materialiseInto(res *Result, columns []string, out *storage.Table, elapsed time.Duration) {
+	res.Columns = append(res.Columns[:0], columns...)
+	res.Elapsed = elapsed
 	s := out.Schema()
-	out.Scan(func(tuple []byte) bool {
-		row := make([]any, s.NumColumns())
-		for i := 0; i < s.NumColumns(); i++ {
-			d := s.GetDatum(tuple, i)
-			switch d.Kind {
-			case types.Float:
-				row[i] = d.F
-			case types.String:
-				row[i] = d.S
-			default:
-				row[i] = d.I
+	nc := s.NumColumns()
+	nr := out.NumRows()
+
+	cells := res.cells[:0]
+	if cap(cells) < nr*nc {
+		cells = make([]any, 0, nr*nc)
+	}
+	for pi := 0; pi < out.NumPages(); pi++ {
+		pg := out.Page(pi)
+		n := pg.NumTuples()
+		ts := pg.TupleSize()
+		data := pg.Data()
+		for j := 0; j < n; j++ {
+			tuple := data[j*ts : j*ts+ts]
+			for i := 0; i < nc; i++ {
+				d := s.GetDatum(tuple, i)
+				switch d.Kind {
+				case types.Float:
+					cells = append(cells, d.F)
+				case types.String:
+					cells = append(cells, d.S)
+				default:
+					cells = append(cells, d.I)
+				}
 			}
 		}
-		res.Rows = append(res.Rows, row)
-		return true
-	})
-	return res
+	}
+	res.cells = cells
+
+	rows := res.Rows[:0]
+	if cap(rows) < nr {
+		rows = make([][]any, 0, nr)
+	}
+	for i := 0; i < nr; i++ {
+		rows = append(rows, cells[i*nc:(i+1)*nc:(i+1)*nc])
+	}
+	res.Rows = rows
 }
 
 // cacheLevel maps an engine to the optimisation level its compiled
@@ -528,6 +569,36 @@ func cacheLevel(e Engine) (codegen.OptLevel, bool) {
 // un-annotated SQL collapses to its shape and N distinct-constant point
 // queries compile exactly once.
 func (db *DB) Query(query string, args ...any) (*Result, error) {
+	res := &Result{}
+	if err := db.queryInto(res, query, args); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryInto is Query materialising into a caller-supplied result, whose
+// backing memory (columns, rows, the flat cell arena) is reused across
+// calls: a serving loop that recycles one Result per worker materialises
+// repeated queries without allocating. The result is Reset first; on
+// error its contents are unspecified.
+func (db *DB) QueryInto(res *Result, query string, args ...any) error {
+	res.Reset()
+	return db.queryInto(res, query, args)
+}
+
+// queryScratch holds every buffer a warm cached query needs: the shape
+// extractor's token/output/literal buffers, the rendered cache key, and
+// the bind vector. One scratch serves one query execution, drawn from a
+// pool, so the warm hit path allocates nothing before materialisation.
+type queryScratch struct {
+	shape  sql.ShapeBuf
+	key    []byte
+	params []types.Datum
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func (db *DB) queryInto(dst *Result, query string, args []any) error {
 	db.mu.RLock()
 	exec, engine := db.exec, db.engine
 	opts := db.opts
@@ -537,111 +608,142 @@ func (db *DB) Query(query string, args ...any) (*Result, error) {
 	level, cacheable := cacheLevel(engine)
 	if db.cache != nil && cacheable {
 		if autoParam {
-			shape, lifted, err := sql.NormalizeShape(query)
+			sc := queryScratchPool.Get().(*queryScratch)
+			err := sc.shape.Shape(query)
 			if err != nil {
-				return nil, err
+				queryScratchPool.Put(sc)
+				return err
 			}
 			// The shape is already normalized and its arity known, so
 			// the whole hit path costs the one lexer pass above.
-			key := codegen.CacheKeyNormalized(shape, len(lifted), opts, level)
-			res, prepFailed, err := db.queryCached(shape, key, lifted, args, level)
-			if err != nil && prepFailed && liftedAny(lifted) {
+			sc.key = codegen.AppendCacheKey(sc.key[:0], sc.shape.Out, len(sc.shape.Lits), opts, level)
+			prepFailed, err := db.queryCached(dst, "", sc, sc.shape.Lits, true, args, level)
+			retryLiterals := err != nil && prepFailed && liftedAny(sc.shape.Lits)
+			queryScratchPool.Put(sc)
+			if retryLiterals {
 				// Literal-specialized fallback (DESIGN.md §3.1): if the
 				// parameterized shape cannot be planned, retry with the
 				// constants baked in — which also reports plan-time
 				// errors in terms of the original literals. Bind errors
 				// on caller-supplied values and execution failures are
 				// not re-tried: re-planning cannot change them.
-				return db.queryLiteralKeyed(query, args, opts, level)
+				dst.Reset()
+				return db.queryLiteralKeyed(dst, query, args, opts, level)
 			}
-			return res, err
+			return err
 		}
-		return db.queryLiteralKeyed(query, args, opts, level)
+		return db.queryLiteralKeyed(dst, query, args, opts, level)
 	}
 
 	p, unlock, err := db.planLocked(query)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	params, err := bindValues(p.Params, nil, args)
+	params, err := bindValuesInto(nil, p.Params, nil, false, args)
 	if err != nil {
 		unlock()
-		return nil, err
+		return err
 	}
 	bp, err := p.Bind(params)
 	if err != nil {
 		unlock()
-		return nil, err
+		return err
 	}
-	return db.finish(bp, unlock, func() (*storage.Table, error) { return exec.Execute(bp) })
+	return db.finish(dst, bp, unlock, func() (*storage.Table, error) { return exec.Execute(bp) })
 }
 
 // queryLiteralKeyed runs the cached path without auto-parameterization:
 // the statement text itself (normalised) is the cache identity, binding
 // only explicit '?' placeholders.
-func (db *DB) queryLiteralKeyed(query string, args []any, opts plan.Options, level codegen.OptLevel) (*Result, error) {
+func (db *DB) queryLiteralKeyed(dst *Result, query string, args []any, opts plan.Options, level codegen.OptLevel) error {
 	key, err := codegen.CacheKey(query, opts, level)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res, _, err := db.queryCached(query, key, nil, args, level)
-	return res, err
+	sc := queryScratchPool.Get().(*queryScratch)
+	sc.key = append(sc.key[:0], key...)
+	_, err = db.queryCached(dst, query, sc, nil, false, args, level)
+	queryScratchPool.Put(sc)
+	return err
 }
 
 // queryCached is the plan-cache execution path: look up the compiled
-// query under key, validate it against the catalogue stamp under the
+// query under sc.key, validate it against the catalogue stamp under the
 // table reader locks, and run it with the bind vector assembled from
-// lifted literals and caller args. On a miss it plans stmt once and
-// populates the cache before executing.
+// lifted literals and caller args. On a miss it plans the statement once
+// (stmt, or the shape rendered in sc when stmt is empty) and populates
+// the cache before executing.
 //
 // prepFailed reports whether the error (if any) arose while preparing
 // the statement — planning, binding a lifted literal, code generation —
 // as opposed to a caller-value BindError or an execution failure; only
 // preparation failures are candidates for the literal-specialized
 // fallback, since re-planning cannot change the other two.
-func (db *DB) queryCached(stmt, key string, lifted []sql.Expr, args []any, level codegen.OptLevel) (res *Result, prepFailed bool, err error) {
-	fail := func(err error) (*Result, bool, error) {
+func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql.LiftedLit, auto bool, args []any, level codegen.OptLevel) (prepFailed bool, err error) {
+	fail := func(err error) (bool, error) {
 		var bindErr *BindError
-		return nil, !errors.As(err, &bindErr), err
+		return !errors.As(err, &bindErr), err
 	}
-	// Hit path: validate the entry against the current catalogue stamp
-	// (epoch + referenced tables' versions) under the table reader
-	// locks; retry on a race with a concurrent writer (its stats refresh
-	// bumps the table version and invalidates the entry on the next Get).
+	// Hit path: validate the stored catalogue stamp (epoch + referenced
+	// tables' versions) under the table reader locks; retry on a race
+	// with a concurrent writer (its stats refresh bumps the table
+	// version, so the stored stamp no longer matches).
 	for attempt := 0; attempt < 4; attempt++ {
 		db.refreshStats()
-		var stamp uint64
-		cq, ok := db.cache.Get(key, func(q *codegen.CompiledQuery) uint64 {
-			stamp = db.cat.StampFor(planTables(q.Plan))
-			return stamp
-		})
+		cq, stored, ok := db.cache.GetStamped(sc.key)
 		if !ok {
 			break
 		}
-		names := planTables(cq.Plan)
+		p := cq.Plan
+		if len(p.Tables) == 1 {
+			// Single-table fast path: lock the plan's entry directly —
+			// no name slice, no lock-ordering bookkeeping.
+			e := p.Tables[0].Entry
+			e.RLock()
+			if db.nameStale(p.Tables[0].Name) || db.stampForPlan(p) != stored {
+				e.RUnlock()
+				db.cache.Invalidate(string(sc.key))
+				continue
+			}
+			params, err := bindValuesInto(sc.params[:0], p.Params, lits, auto, args)
+			sc.params = params
+			if err != nil {
+				e.RUnlock()
+				return fail(err)
+			}
+			err = db.runCompiled(dst, cq, params)
+			e.RUnlock()
+			return false, err
+		}
+		names := planTables(p)
 		unlock := db.rlockTables(names)
-		if db.anyStale(names) || db.cat.StampFor(names) != stamp {
+		if db.anyStale(names) || db.cat.StampFor(names) != stored {
 			// A writer slipped in after the lookup: the entry is
 			// stale, so reclassify the premature hit and retry.
 			unlock()
-			db.cache.Invalidate(key)
+			db.cache.Invalidate(string(sc.key))
 			continue
 		}
-		params, err := bindValues(cq.Plan.Params, lifted, args)
+		params, err := bindValuesInto(sc.params[:0], p.Params, lits, auto, args)
+		sc.params = params
 		if err != nil {
 			unlock()
 			return fail(err)
 		}
-		res, err := db.finish(cq.Plan, unlock, func() (*storage.Table, error) { return cq.Run(params...) })
-		return res, false, err
+		err = db.runCompiled(dst, cq, params)
+		unlock()
+		return false, err
 	}
 	// Miss: prepare once under the reader locks and populate the cache
 	// before executing.
+	if stmt == "" {
+		stmt = string(sc.shape.Out)
+	}
 	p, unlock, err := db.planLocked(stmt)
 	if err != nil {
 		return fail(err)
 	}
-	params, err := bindValues(p.Params, lifted, args)
+	params, err := bindValuesInto(nil, p.Params, lits, auto, args)
 	if err != nil {
 		unlock()
 		return fail(err)
@@ -652,23 +754,65 @@ func (db *DB) queryCached(stmt, key string, lifted []sql.Expr, args []any, level
 		unlock()
 		return fail(err)
 	}
-	db.cache.Put(key, stamp, cq)
-	res, err = db.finish(p, unlock, func() (*storage.Table, error) { return cq.Run(params...) })
-	return res, false, err
+	db.cache.Put(string(sc.key), stamp, cq)
+	err = db.runCompiled(dst, cq, params)
+	unlock()
+	return false, err
 }
 
-// finish times run, releases the table locks, and materialises the
-// result — the shared tail of every Query path and Prepared.Run.
-func (db *DB) finish(p *plan.Plan, unlock func(), run func() (*storage.Table, error)) (*Result, error) {
+// runCompiled times the execution, materialises into dst, and returns
+// the result table's frames to the page arena. The caller holds the
+// table reader locks across the call: materialisation may read tuples
+// that alias base-table pages (identity-elided projections), so it must
+// complete before the locks release.
+func (db *DB) runCompiled(dst *Result, cq *codegen.CompiledQuery, params []types.Datum) error {
+	start := time.Now()
+	out, err := cq.RunParams(params)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	ensureGrouplessRow(cq.Plan, out)
+	materialiseInto(dst, cq.Plan.OutputNames, out, elapsed)
+	out.Release()
+	return nil
+}
+
+// nameStale reports pending statistics work for one table.
+func (db *DB) nameStale(name string) bool {
+	db.staleMu.Lock()
+	defer db.staleMu.Unlock()
+	return db.stale[name] || db.refreshing[name]
+}
+
+// stampForPlan is cat.StampFor over the plan's table list without
+// materialising a name slice.
+func (db *DB) stampForPlan(p *plan.Plan) uint64 {
+	s := db.cat.Version()
+	for i := range p.Tables {
+		s += db.cat.TableVersion(p.Tables[i].Name)
+	}
+	return s
+}
+
+// finish times run, materialises the result into dst under the table
+// locks (the result may alias base-table pages through an identity-
+// elided projection), releases any arena-backed result frames, and then
+// releases the locks — the shared tail of the uncached Query path and
+// Prepared.Run.
+func (db *DB) finish(dst *Result, p *plan.Plan, unlock func(), run func() (*storage.Table, error)) error {
 	start := time.Now()
 	out, err := run()
 	elapsed := time.Since(start)
-	unlock()
 	if err != nil {
-		return nil, err
+		unlock()
+		return err
 	}
 	ensureGrouplessRow(p, out)
-	return materialise(p.OutputNames, out, elapsed), nil
+	materialiseInto(dst, p.OutputNames, out, elapsed)
+	out.Release()
+	unlock()
+	return nil
 }
 
 // ensureGrouplessRow appends the aggregate identity row when a
@@ -807,6 +951,18 @@ func (p *Prepared) CompileTime() time.Duration {
 // and re-compiled first, so results always reflect a plan consistent with
 // the data the table locks pin.
 func (p *Prepared) Run(args ...any) (*Result, error) {
+	res := &Result{}
+	if err := p.RunInto(res, args...); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is Run materialising into a caller-supplied result (see
+// DB.QueryInto); a serving loop reusing one Result per worker executes a
+// prepared statement with no per-call materialisation allocations.
+func (p *Prepared) RunInto(res *Result, args ...any) error {
+	res.Reset()
 	for attempt := 0; attempt < 4; attempt++ {
 		cq, stamp := p.snapshot()
 		p.db.refreshStats()
@@ -815,30 +971,34 @@ func (p *Prepared) Run(args ...any) (*Result, error) {
 		if p.db.anyStale(names) || p.db.cat.StampFor(names) != stamp {
 			unlock()
 			if err := p.reprepare(); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
-		params, err := bindValues(cq.Plan.Params, nil, args)
+		params, err := bindValuesInto(nil, cq.Plan.Params, nil, false, args)
 		if err != nil {
 			unlock()
-			return nil, err
+			return err
 		}
-		return p.db.finish(cq.Plan, unlock, func() (*storage.Table, error) { return cq.Run(params...) })
+		err = p.db.runCompiled(res, cq, params)
+		unlock()
+		return err
 	}
 	// Sustained writer pressure kept invalidating the artefact between
 	// re-prepare and re-lock: prepare and run inside one lock scope
 	// (planLocked escalates to writer locks itself when starved).
 	pl, cq, unlock, err := p.prepareLocked()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	params, err := bindValues(pl.Params, nil, args)
+	params, err := bindValuesInto(nil, pl.Params, nil, false, args)
 	if err != nil {
 		unlock()
-		return nil, err
+		return err
 	}
-	return p.db.finish(pl, unlock, func() (*storage.Table, error) { return cq.Run(params...) })
+	err = p.db.runCompiled(res, cq, params)
+	unlock()
+	return err
 }
 
 // Tables lists the catalogued table names.

@@ -1,0 +1,133 @@
+// Package serving holds the machine-readable serving micro-benchmarks
+// behind cmd/hique-bench -json. It lives apart from internal/bench
+// because it drives the public hique API (which internal/bench must not
+// import: the root package's benchmark file imports internal/bench).
+package serving
+
+import (
+	"fmt"
+	"testing"
+
+	"hique"
+)
+
+// MicroResult is one machine-readable serving micro-benchmark row: the
+// schema of the BENCH_*.json files cmd/hique-bench -json writes so the
+// serving-path perf trajectory (latency and allocation behaviour) can be
+// compared across revisions.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func microResult(name string, r testing.BenchmarkResult) MicroResult {
+	return MicroResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// Micro runs the serving micro-benchmarks — the workloads of
+// BenchmarkPointQueryShapeCache and BenchmarkServingColdVsWarm, driven
+// through testing.Benchmark so they run outside `go test` — and returns
+// their measurements.
+func Micro() []MicroResult {
+	const pointRows = 4096
+
+	pointDB := func(options ...hique.Option) *hique.DB {
+		db := hique.Open(options...)
+		must(db.CreateTable("bench_points", hique.Int("id"), hique.Float("v")))
+		for i := 0; i < pointRows; i++ {
+			must(db.Insert("bench_points", int64(i), float64(i)*0.5))
+		}
+		return db
+	}
+	servingDB := func(options ...hique.Option) *hique.DB {
+		db := hique.Open(options...)
+		must(db.CreateTable("bench_items", hique.Int("id"), hique.Int("grp"), hique.Float("price")))
+		must(db.CreateTable("bench_dims", hique.Int("id"), hique.Char("label", 16)))
+		for i := 0; i < 200; i++ {
+			must(db.Insert("bench_items", int64(i), int64(i%16), float64(i%1000)))
+		}
+		for i := 0; i < 16; i++ {
+			must(db.Insert("bench_dims", int64(i), fmt.Sprintf("dim-%02d", i)))
+		}
+		return db
+	}
+	const servingQuery = "SELECT d.label, COUNT(*) AS n, SUM(f.price) AS total " +
+		"FROM bench_items f, bench_dims d WHERE f.grp = d.id AND f.price > 10.0 " +
+		"GROUP BY d.label ORDER BY d.label"
+
+	var out []MicroResult
+	run := func(name string, fn func(b *testing.B)) {
+		out = append(out, microResult(name, testing.Benchmark(fn)))
+	}
+
+	run("PointQueryShapeCache/auto-param", func(b *testing.B) {
+		db := pointDB(hique.WithPlanCache(256))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(fmt.Sprintf("SELECT v FROM bench_points WHERE id = %d", i%pointRows)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("PointQueryShapeCache/explicit-params", func(b *testing.B) {
+		db := pointDB(hique.WithPlanCache(256))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("SELECT v FROM bench_points WHERE id = ?", i%pointRows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("PointQueryShapeCache/literal-keyed", func(b *testing.B) {
+		db := pointDB(hique.WithPlanCache(256), hique.WithAutoParam(false))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(fmt.Sprintf("SELECT v FROM bench_points WHERE id = %d", i%pointRows)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("ServingColdVsWarm/cold", func(b *testing.B) {
+		db := servingDB(hique.WithPlanCache(64))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.Catalog().BumpVersion()
+			if _, err := db.Query(servingQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("ServingColdVsWarm/warm", func(b *testing.B) {
+		db := servingDB(hique.WithPlanCache(64))
+		if _, err := db.Query(servingQuery); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(servingQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

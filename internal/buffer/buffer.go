@@ -69,6 +69,40 @@ func (p *Pool) Stats() (hits, misses int) {
 	return p.hits, p.misses
 }
 
+// Usage is a combined view of the two layers that hold transient pages:
+// the buffer pool's frames (base-table pages faulted from disk) and the
+// storage page arena (staged intermediates and pooled results). Staged
+// intermediates live "inside the buffer pool" in the paper's model
+// (§V-C); here they draw from the arena, so one snapshot reports both
+// accountings side by side.
+type Usage struct {
+	// Hits and Misses are the pool's cumulative frame counters.
+	Hits, Misses int
+	// Resident is the number of occupied pool frames.
+	Resident int
+	// ArenaInUse is the number of arena frames currently held by live
+	// pooled tables; a quiesced serving path returns it to zero.
+	ArenaInUse int64
+	// ArenaRecycled is the cumulative number of arena frames returned
+	// for reuse.
+	ArenaRecycled int64
+}
+
+// Usage snapshots the pool counters together with the storage page-arena
+// balance.
+func (p *Pool) Usage() Usage {
+	inUse, recycled := storage.ArenaStats()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Usage{
+		Hits:          p.hits,
+		Misses:        p.misses,
+		Resident:      len(p.frames),
+		ArenaInUse:    inUse,
+		ArenaRecycled: recycled,
+	}
+}
+
 // Pin returns the requested page, faulting it in if necessary, and pins it
 // in the pool. Every Pin must be paired with an Unpin.
 func (p *Pool) Pin(table string, page int) (*storage.Page, error) {

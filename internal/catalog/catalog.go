@@ -111,6 +111,17 @@ func (c *Catalog) StampFor(names []string) uint64 {
 	return s
 }
 
+// TableVersion returns one table's change counter. Together with the
+// epoch it lets a caller accumulate StampFor's sum without materialising
+// a name slice: stamp = Version() + Σ TableVersion(nameᵢ). Each
+// component is monotonic, so the decomposed read can only ever disagree
+// with a stored stamp when something actually changed.
+func (c *Catalog) TableVersion(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions[name]
+}
+
 // New creates an empty catalogue.
 func New() *Catalog {
 	return &Catalog{tables: make(map[string]*TableEntry), versions: make(map[string]uint64)}

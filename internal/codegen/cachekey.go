@@ -1,8 +1,7 @@
 package codegen
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 
 	"hique/internal/plan"
 	"hique/internal/sql"
@@ -38,20 +37,34 @@ func CacheKey(query string, opts plan.Options, level OptLevel) (string, error) {
 // using this variant keeps the cache hit at exactly one lexer pass
 // instead of re-lexing the shape.
 func CacheKeyNormalized(norm string, arity int, opts plan.Options, level OptLevel) string {
-	var b strings.Builder
-	b.Grow(len(norm) + 80)
-	fmt.Fprintf(&b, "%d:", len(norm))
-	b.WriteString(norm)
-	fmt.Fprintf(&b, "\x00argc=%d", arity)
-	b.WriteString("\x00level=")
-	b.WriteString(level.String())
-	fmt.Fprintf(&b, "\x00teams=%t\x00l2=%d\x00finepart=%d",
-		opts.EnableJoinTeams, opts.L2CacheBytes, opts.FinePartitionMaxValues)
+	return string(AppendCacheKey(nil, []byte(norm), arity, opts, level))
+}
+
+// AppendCacheKey renders the cache key into dst and returns the extended
+// slice: the byte-buffer variant the warm serving path uses with a pooled
+// scratch, so a hit computes its key without allocating. The rendering is
+// identical to CacheKeyNormalized's.
+func AppendCacheKey(dst []byte, norm []byte, arity int, opts plan.Options, level OptLevel) []byte {
+	dst = strconv.AppendInt(dst, int64(len(norm)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, norm...)
+	dst = append(dst, "\x00argc="...)
+	dst = strconv.AppendInt(dst, int64(arity), 10)
+	dst = append(dst, "\x00level="...)
+	dst = append(dst, level.String()...)
+	dst = append(dst, "\x00teams="...)
+	dst = strconv.AppendBool(dst, opts.EnableJoinTeams)
+	dst = append(dst, "\x00l2="...)
+	dst = strconv.AppendInt(dst, int64(opts.L2CacheBytes), 10)
+	dst = append(dst, "\x00finepart="...)
+	dst = strconv.AppendInt(dst, int64(opts.FinePartitionMaxValues), 10)
 	if opts.ForceJoinAlg != nil {
-		fmt.Fprintf(&b, "\x00joinalg=%d", *opts.ForceJoinAlg)
+		dst = append(dst, "\x00joinalg="...)
+		dst = strconv.AppendInt(dst, int64(*opts.ForceJoinAlg), 10)
 	}
 	if opts.ForceAggAlg != nil {
-		fmt.Fprintf(&b, "\x00aggalg=%d", *opts.ForceAggAlg)
+		dst = append(dst, "\x00aggalg="...)
+		dst = strconv.AppendInt(dst, int64(*opts.ForceAggAlg), 10)
 	}
-	return b.String()
+	return dst
 }

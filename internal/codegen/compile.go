@@ -74,21 +74,21 @@ func Generate(p *plan.Plan, level OptLevel) (*CompiledQuery, error) {
 	}
 	switch level {
 	case OptO2:
+		// Fused fast path: single-table plans compile to one pipeline
+		// that probes/scans, filters, and projects straight into the
+		// result table, reading parameters from the bind vector without
+		// an execution copy of the plan.
+		if f := newFused(p); f != nil {
+			q.run = f.run
+			break
+		}
 		eng := core.NewEngine()
 		q.run = func(params []types.Datum) (*storage.Table, error) {
-			bp, err := p.Bind(params)
-			if err != nil {
-				return nil, err
-			}
-			return eng.Execute(bp)
+			return runBound(p, params, eng.Execute)
 		}
 	case OptO0:
 		q.run = func(params []types.Datum) (*storage.Table, error) {
-			bp, err := p.Bind(params)
-			if err != nil {
-				return nil, err
-			}
-			return runO0(bp)
+			return runBound(p, params, runO0)
 		}
 	default:
 		return nil, fmt.Errorf("codegen: unknown optimisation level %d", level)
@@ -97,10 +97,38 @@ func Generate(p *plan.Plan, level OptLevel) (*CompiledQuery, error) {
 	return q, nil
 }
 
+// runBound binds the parameter vector into a pooled execution copy of
+// the plan — one scratch per concurrent caller, reused across executions
+// instead of deep-copying the descriptors every run — and executes it.
+func runBound(p *plan.Plan, params []types.Datum, exec func(*plan.Plan) (*storage.Table, error)) (*storage.Table, error) {
+	if len(p.Params) == 0 {
+		if err := p.CheckArgs(params); err != nil {
+			return nil, err
+		}
+		return exec(p)
+	}
+	sc := plan.GetBindScratch()
+	bp, err := p.BindInto(sc, params)
+	if err != nil {
+		plan.PutBindScratch(sc)
+		return nil, err
+	}
+	out, err := exec(bp)
+	plan.PutBindScratch(sc)
+	return out, err
+}
+
 // Run executes the compiled query against a bind vector and returns its
 // result table. Literal-specialized queries take no parameters;
 // parameterized queries require exactly one datum per slot, already
 // coerced to the slot kinds (plan.Plan.Params).
 func (q *CompiledQuery) Run(params ...types.Datum) (*storage.Table, error) {
+	return q.run(params)
+}
+
+// RunParams is Run with the bind vector passed as a slice — the
+// serving path's spelling, which lets a pooled parameter scratch flow
+// through without the variadic copy.
+func (q *CompiledQuery) RunParams(params []types.Datum) (*storage.Table, error) {
 	return q.run(params)
 }

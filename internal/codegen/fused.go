@@ -1,0 +1,278 @@
+// The fused fast path: for a single-table SELECT — point or range
+// lookup, residual filters, projection, optional LIMIT — the generator
+// emits one pipeline that goes index-probe → filter → project directly
+// into the result table. This is the holistic fusion of the paper's
+// Listing 1 extended across the whole plan: no staged intermediate, no
+// per-execution closure compilation, no separate materialisation pass.
+// The planner's descriptors are unchanged — the fast path is an
+// execution strategy the generator selects when the plan's shape allows
+// it, never a semantic fork, so every engine keeps byte-identical
+// results.
+package codegen
+
+import (
+	"bytes"
+
+	"hique/internal/btree"
+	"hique/internal/core"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// fusedPred is one compiled filter: offsets and operator baked at
+// generation time, the comparison value either baked (slot < 0) or read
+// from the bind vector at execution time.
+type fusedPred struct {
+	off  int
+	op   sql.CmpOp
+	kind types.Kind
+	slot int
+	i    int64
+	f    float64
+	s    []byte // baked string value, zero-padded to the column width
+}
+
+// fusedQuery is the compiled single-table pipeline.
+type fusedQuery struct {
+	p     *plan.Plan
+	base  int
+	out   *types.Schema
+	width int // input tuple width
+	preds []fusedPred
+	// project writes one output tuple from an input tuple; compiled once
+	// at generation time (it does not depend on the bind vector).
+	project func(src, dst []byte)
+	// idx, when non-nil, replaces the scan with fractal B+-tree lookups;
+	// the matching filter stays in preds, so a dropped index degrades to
+	// the scan without changing results.
+	idx     *plan.IndexScanSpec
+	idxSlot int // bind slot of the probe key, -1 when baked
+	limit   int
+}
+
+// newFused compiles the fused pipeline for a plan, or returns nil when
+// the plan's shape needs the general operator walk: joins, aggregation,
+// ordering, staging actions, or a filter the pipeline cannot evaluate
+// allocation-free (a parameterized string comparison needs per-execution
+// padding, so it falls back).
+func newFused(p *plan.Plan) *fusedQuery {
+	if len(p.Joins) != 0 || p.Agg != nil || p.Sort != nil || p.Final == nil {
+		return nil
+	}
+	st := p.Final
+	if st.Action != plan.StageNone || st.Input.Base < 0 || st.Input.Base >= len(p.Tables) {
+		return nil
+	}
+	in := p.Tables[st.Input.Base].Entry.Table.Schema()
+	for i := range st.Cols {
+		c := &st.Cols[i]
+		if c.Source >= 0 && c.Compute == nil {
+			continue
+		}
+		switch c.Compute.Kind() {
+		case types.Int, types.Float, types.Date:
+		default:
+			return nil
+		}
+	}
+
+	f := &fusedQuery{
+		p:       p,
+		base:    st.Input.Base,
+		out:     st.Schema,
+		width:   in.TupleSize(),
+		idxSlot: -1,
+		limit:   p.Limit,
+	}
+	for _, flt := range st.Filters {
+		c := in.Column(flt.Col)
+		pr := fusedPred{off: in.Offset(flt.Col), op: flt.Op, kind: c.Kind, slot: -1}
+		if slot, ok := flt.Slot(); ok {
+			if c.Kind == types.String {
+				return nil
+			}
+			pr.slot = slot
+		} else {
+			switch c.Kind {
+			case types.Int, types.Date:
+				pr.i = flt.Val.I
+			case types.Float:
+				pr.f = flt.Val.F
+			case types.String:
+				pr.s = make([]byte, c.Size)
+				copy(pr.s, flt.Val.S)
+			default:
+				return nil
+			}
+		}
+		f.preds = append(f.preds, pr)
+	}
+	if st.IndexScan != nil {
+		f.idx = st.IndexScan
+		if slot, ok := st.IndexScan.Slot(); ok {
+			f.idxSlot = slot
+		}
+	}
+	f.project = core.MakeProjector(in, st.Cols, st.Schema)
+	return f
+}
+
+// run executes the pipeline against a bind vector. The result table
+// draws its pages from the storage arena; the caller owns it and
+// releases it after draining (hique's materialisation path does).
+func (f *fusedQuery) run(params []types.Datum) (*storage.Table, error) {
+	if err := f.p.CheckArgs(params); err != nil {
+		return nil, err
+	}
+	out := storage.NewPooledTable("result", f.out)
+	if f.limit == 0 {
+		return out, nil
+	}
+	t := f.p.Tables[f.base].Entry.Table
+	if f.idx != nil {
+		entry := f.p.Tables[f.base].Entry
+		if tree := entry.Index(f.idx.Column); tree != nil {
+			f.probe(tree, t, params, out)
+			return out, nil
+		}
+		// Index dropped since planning: the equality filter is still in
+		// preds, so the scan below stays correct.
+	}
+	f.scan(t, params, out)
+	return out, nil
+}
+
+// probe fetches the matching tuples through the index, re-applies the
+// residual predicates, and projects straight into the result.
+func (f *fusedQuery) probe(tree *btree.Tree, t *storage.Table, params []types.Datum, out *storage.Table) {
+	key := f.idx.Value.I
+	if f.idxSlot >= 0 {
+		key = params[f.idxSlot].I
+	}
+	tree.Range(key, key, func(_ int64, rid btree.RID) bool {
+		if int(rid.Page) >= t.NumPages() {
+			return true
+		}
+		page := t.Page(int(rid.Page))
+		if int(rid.Slot) >= page.NumTuples() {
+			return true
+		}
+		tup := page.Tuple(int(rid.Slot))
+		if !f.match(tup, params) {
+			return true
+		}
+		f.project(tup, out.AppendSlot())
+		return f.limit < 0 || out.NumRows() < f.limit
+	})
+}
+
+// scan is the fused full-scan loop: direct page iteration with offset
+// arithmetic, the Listing 1 pattern, specialised further for the
+// dominant serving shape (a single integer predicate).
+func (f *fusedQuery) scan(t *storage.Table, params []types.Datum, out *storage.Table) {
+	w := f.width
+	if len(f.preds) == 1 && (f.preds[0].kind == types.Int || f.preds[0].kind == types.Date) {
+		pr := &f.preds[0]
+		v := pr.i
+		if pr.slot >= 0 {
+			v = params[pr.slot].I
+		}
+		off := pr.off
+		for pi := 0; pi < t.NumPages(); pi++ {
+			pg := t.Page(pi)
+			n := pg.NumTuples()
+			data := pg.Data()
+			for i, base := 0, 0; i < n; i, base = i+1, base+w {
+				if !cmpOrdered(types.GetInt(data, base+off), v, pr.op) {
+					continue
+				}
+				f.project(data[base:base+w:base+w], out.AppendSlot())
+				if f.limit >= 0 && out.NumRows() >= f.limit {
+					return
+				}
+			}
+		}
+		return
+	}
+	for pi := 0; pi < t.NumPages(); pi++ {
+		pg := t.Page(pi)
+		n := pg.NumTuples()
+		data := pg.Data()
+		for i, base := 0, 0; i < n; i, base = i+1, base+w {
+			tup := data[base : base+w : base+w]
+			if !f.match(tup, params) {
+				continue
+			}
+			f.project(tup, out.AppendSlot())
+			if f.limit >= 0 && out.NumRows() >= f.limit {
+				return
+			}
+		}
+	}
+}
+
+// match evaluates the predicate conjunction against one tuple.
+func (f *fusedQuery) match(tup []byte, params []types.Datum) bool {
+	for i := range f.preds {
+		pr := &f.preds[i]
+		switch pr.kind {
+		case types.Int, types.Date:
+			v := pr.i
+			if pr.slot >= 0 {
+				v = params[pr.slot].I
+			}
+			if !cmpOrdered(types.GetInt(tup, pr.off), v, pr.op) {
+				return false
+			}
+		case types.Float:
+			v := pr.f
+			if pr.slot >= 0 {
+				v = params[pr.slot].F
+			}
+			if !cmpOrdered(types.GetFloat(tup, pr.off), v, pr.op) {
+				return false
+			}
+		case types.String:
+			if !cmpOrd(bytes.Compare(tup[pr.off:pr.off+len(pr.s)], pr.s), pr.op) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func cmpOrdered[T int64 | float64](x, v T, op sql.CmpOp) bool {
+	switch op {
+	case sql.CmpEq:
+		return x == v
+	case sql.CmpNe:
+		return x != v
+	case sql.CmpLt:
+		return x < v
+	case sql.CmpLe:
+		return x <= v
+	case sql.CmpGt:
+		return x > v
+	default:
+		return x >= v
+	}
+}
+
+func cmpOrd(c int, op sql.CmpOp) bool {
+	switch op {
+	case sql.CmpEq:
+		return c == 0
+	case sql.CmpNe:
+		return c != 0
+	case sql.CmpLt:
+		return c < 0
+	case sql.CmpLe:
+		return c <= 0
+	case sql.CmpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}

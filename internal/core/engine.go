@@ -47,15 +47,20 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 		for i := range j.Inputs {
 			in, err := stageInput(&j.Inputs[i])
 			if err != nil {
+				releaseAll(staged)
 				return nil, err
 			}
 			s, err := RunStage(&j.Inputs[i], in)
 			if err != nil {
+				releaseAll(staged)
 				return nil, err
 			}
 			staged[i] = s
 		}
 		out, err := RunJoin(j, staged)
+		// Join outputs copy every emitted tuple, so the staged inputs
+		// return to the page arena as soon as the join has drained them.
+		releaseAll(staged)
 		if err != nil {
 			return nil, err
 		}
@@ -63,6 +68,10 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 	}
 
 	var result *storage.Table
+	// resultOwned marks a result the caller may Release: it was
+	// materialised from the arena by this execution and aliases no base
+	// table or join output.
+	resultOwned := false
 	switch {
 	case p.Agg != nil:
 		in, err := stageInput(&p.Agg.Input)
@@ -78,6 +87,7 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 				return nil, err
 			}
 			result, err = RunSortedAgg(p.Agg, staged)
+			staged.Release()
 		}
 		if err != nil {
 			return nil, err
@@ -92,25 +102,51 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 			return nil, err
 		}
 		result = staged.Parts[0]
+		resultOwned = staged.Owned
 	default:
 		return nil, fmt.Errorf("core: plan has neither aggregation nor final projection")
 	}
 
+	return finishResult(p, result, resultOwned), nil
+}
+
+// finishResult applies the shared final-ordering and LIMIT tail: sort
+// into a pooled copy, truncate to the limit, and release each replaced
+// result the execution owned. Both the sequential and the parallel
+// engine end with exactly this sequence.
+func finishResult(p *plan.Plan, result *storage.Table, owned bool) *storage.Table {
 	if p.Sort != nil {
 		cmp := MakeSortCompare(result.Schema(), p.Sort.Keys)
-		result = SortTable("result", result, cmp)
+		sorted := SortTablePooled("result", result, cmp)
+		if owned {
+			result.Release()
+		}
+		result, owned = sorted, true
 	}
 	if p.Limit >= 0 && result.NumRows() > p.Limit {
-		truncated := storage.NewTable("result", result.Schema())
+		truncated := storage.NewPooledTable("result", result.Schema())
 		n := 0
 		result.Scan(func(t []byte) bool {
+			if n >= p.Limit {
+				return false
+			}
 			truncated.Append(t)
 			n++
-			return n < p.Limit
+			return true
 		})
+		if owned {
+			result.Release()
+		}
 		result = truncated
 	}
-	return result, nil
+	return result
+}
+
+// releaseAll returns every owned staged input to the page arena.
+func releaseAll(staged []*Staged) {
+	for _, s := range staged {
+		s.Release()
+	}
 }
 
 // ApplyIndexScan reduces a stage's input to the tuples matching its index

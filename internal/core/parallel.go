@@ -76,6 +76,7 @@ func (e *ParallelEngine) Execute(p *plan.Plan) (*storage.Table, error) {
 		} else {
 			out, err = RunJoin(j, staged)
 		}
+		releaseAll(staged)
 		if err != nil {
 			return nil, err
 		}
@@ -83,6 +84,7 @@ func (e *ParallelEngine) Execute(p *plan.Plan) (*storage.Table, error) {
 	}
 
 	var result *storage.Table
+	resultOwned := false
 	switch {
 	case p.Agg != nil:
 		in, err := resolve(p.Agg.Input.Input)
@@ -101,6 +103,7 @@ func (e *ParallelEngine) Execute(p *plan.Plan) (*storage.Table, error) {
 				return nil, err
 			}
 			result, err = RunSortedAgg(p.Agg, staged)
+			staged.Release()
 		}
 		if err != nil {
 			return nil, err
@@ -115,25 +118,12 @@ func (e *ParallelEngine) Execute(p *plan.Plan) (*storage.Table, error) {
 			return nil, err
 		}
 		result = staged.Parts[0]
+		resultOwned = staged.Owned
 	default:
 		return nil, fmt.Errorf("core: plan has neither aggregation nor final projection")
 	}
 
-	if p.Sort != nil {
-		cmp := MakeSortCompare(result.Schema(), p.Sort.Keys)
-		result = SortTable("result", result, cmp)
-	}
-	if p.Limit >= 0 && result.NumRows() > p.Limit {
-		truncated := storage.NewTable("result", result.Schema())
-		n := 0
-		result.Scan(func(t []byte) bool {
-			truncated.Append(t)
-			n++
-			return n < p.Limit
-		})
-		result = truncated
-	}
-	return result, nil
+	return finishResult(p, result, resultOwned), nil
 }
 
 // runJoinParallel evaluates a partitioned join with partition sets spread
@@ -201,7 +191,9 @@ func (e *ParallelEngine) runHybridAggParallel(a *plan.Agg, input *storage.Table)
 		workers = m
 	}
 	if workers <= 1 {
-		return RunSortedAgg(a, staged)
+		out, err := RunSortedAgg(a, staged)
+		staged.Release()
+		return out, err
 	}
 	outputs := make([]*storage.Table, workers)
 	errs := make([]error, workers)
@@ -219,6 +211,7 @@ func (e *ParallelEngine) runHybridAggParallel(a *plan.Agg, input *storage.Table)
 		}(w)
 	}
 	wg.Wait()
+	staged.Release()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -230,3 +230,16 @@ func SortTable(name string, t *storage.Table, cmp Compare) *storage.Table {
 	SortTuples(tuples, cmp)
 	return MaterializeSorted(name, tuples, t)
 }
+
+// SortTablePooled is SortTable with the output drawn from the page arena:
+// the sorted copy of a staged intermediate is itself an intermediate, so
+// its frames return to the arena when the consuming operator releases it.
+func SortTablePooled(name string, t *storage.Table, cmp Compare) *storage.Table {
+	tuples := Flatten(t)
+	SortTuples(tuples, cmp)
+	out := storage.NewPooledTable(name, t.Schema())
+	for _, tup := range tuples {
+		out.Append(tup)
+	}
+	return out
+}

@@ -16,6 +16,24 @@ type Staged struct {
 	// Sorted reports whether every part is ordered on the stage's sort
 	// keys.
 	Sorted bool
+	// Owned reports whether the parts were materialised by this stage
+	// (from the page arena) and may be released once the consuming
+	// operator has drained them. Identity stages pass their input
+	// through instead of copying; those parts belong to someone else.
+	Owned bool
+}
+
+// Release returns owned parts to the page arena. The consuming operator
+// calls it after materialising its own output; pass-through (elided)
+// stages and already-released stages are no-ops.
+func (s *Staged) Release() {
+	if s == nil || !s.Owned {
+		return
+	}
+	s.Owned = false
+	for _, p := range s.Parts {
+		p.Release()
+	}
 }
 
 // Rows returns the total staged row count.
@@ -40,20 +58,36 @@ func RunStage(st *plan.Stage, input *storage.Table) (*Staged, error) {
 
 	switch st.Action {
 	case plan.StageNone, plan.StageSort:
-		out := storage.NewTable("staged", st.Schema)
-		buf := make([]byte, width)
+		// Identity elision: a stage that neither filters, partitions,
+		// nor re-projects adds only a tuple-by-tuple copy — pass the
+		// input through (StageNone) or sort straight off the input's
+		// pages (StageSort) instead of materialising it first.
+		if st.IsIdentity(inSchema) {
+			if st.Action == plan.StageNone {
+				return &Staged{Parts: []*storage.Table{input}, Schema: st.Schema}, nil
+			}
+			cmp := MakeKeyCompare(st.Schema, st.SortKeys)
+			tuples := Flatten(input)
+			SortTuples(tuples, cmp)
+			sorted := storage.NewPooledTable("staged", st.Schema)
+			for _, t := range tuples {
+				sorted.Append(t)
+			}
+			return &Staged{Parts: []*storage.Table{sorted}, Schema: st.Schema, Sorted: true, Owned: true}, nil
+		}
+		out := storage.NewPooledTable("staged", st.Schema)
 		input.Scan(func(tuple []byte) bool {
 			if filter != nil && !filter(tuple) {
 				return true
 			}
-			project(tuple, buf)
-			out.Append(buf)
+			project(tuple, out.AppendSlot())
 			return true
 		})
-		staged := &Staged{Parts: []*storage.Table{out}, Schema: st.Schema}
+		staged := &Staged{Parts: []*storage.Table{out}, Schema: st.Schema, Owned: true}
 		if st.Action == plan.StageSort {
 			cmp := MakeKeyCompare(st.Schema, st.SortKeys)
-			staged.Parts[0] = SortTable("staged", out, cmp)
+			staged.Parts[0] = SortTablePooled("staged", out, cmp)
+			out.Release()
 			staged.Sorted = true
 		}
 		return staged, nil
@@ -74,7 +108,7 @@ func RunStage(st *plan.Stage, input *storage.Table) (*Staged, error) {
 			}
 			return true
 		})
-		staged := &Staged{Parts: parts, Schema: st.Schema}
+		staged := &Staged{Parts: parts, Schema: st.Schema, Owned: true}
 		if st.SortPartitions {
 			sortParts(staged, st.SortKeys)
 		}
@@ -88,7 +122,7 @@ func RunStage(st *plan.Stage, input *storage.Table) (*Staged, error) {
 		router := coarseRouter(st.Schema, st.PartitionKey, m)
 		parts := make([]*storage.Table, m)
 		for i := range parts {
-			parts[i] = storage.NewTable(fmt.Sprintf("part%d", i), st.Schema)
+			parts[i] = storage.NewPooledTable(fmt.Sprintf("part%d", i), st.Schema)
 		}
 		buf := make([]byte, width)
 		input.Scan(func(tuple []byte) bool {
@@ -99,7 +133,7 @@ func RunStage(st *plan.Stage, input *storage.Table) (*Staged, error) {
 			parts[router(buf)].Append(buf)
 			return true
 		})
-		staged := &Staged{Parts: parts, Schema: st.Schema}
+		staged := &Staged{Parts: parts, Schema: st.Schema, Owned: true}
 		if st.SortPartitions {
 			sortParts(staged, st.SortKeys)
 		}
@@ -108,10 +142,13 @@ func RunStage(st *plan.Stage, input *storage.Table) (*Staged, error) {
 	return nil, fmt.Errorf("core: unknown stage action %v", st.Action)
 }
 
+// sortParts replaces each partition with a sorted copy, returning the
+// unsorted originals to the page arena.
 func sortParts(s *Staged, keys []int) {
 	cmp := MakeKeyCompare(s.Schema, keys)
 	for i, p := range s.Parts {
-		s.Parts[i] = SortTable(p.Name(), p, cmp)
+		s.Parts[i] = SortTablePooled(p.Name(), p, cmp)
+		p.Release()
 	}
 	s.Sorted = true
 }
@@ -126,7 +163,7 @@ func fineRouter(st *plan.Stage) (func(tuple []byte) int, []*storage.Table, error
 	}
 	parts := make([]*storage.Table, len(st.FineValues))
 	for i := range parts {
-		parts[i] = storage.NewTable(fmt.Sprintf("part%d", i), st.Schema)
+		parts[i] = storage.NewPooledTable(fmt.Sprintf("part%d", i), st.Schema)
 	}
 	col := st.Schema.Column(st.PartitionKey)
 	off := st.Schema.Offset(st.PartitionKey)

@@ -145,6 +145,32 @@ type Stage struct {
 	EstRows float64
 }
 
+// IsIdentity reports whether the stage is a pure pass-through over an
+// input with the given schema: no filters, no index access, and a
+// projection that copies every input column in order at the same width.
+// Such a stage adds nothing but a tuple-by-tuple copy, so engines may
+// elide the materialisation and hand the input through unchanged (the
+// staged schema's column names may still differ — consumers address
+// staged tuples by offset, which the identity condition preserves).
+func (st *Stage) IsIdentity(in *types.Schema) bool {
+	if len(st.Filters) != 0 || st.IndexScan != nil {
+		return false
+	}
+	if len(st.Cols) != in.NumColumns() {
+		return false
+	}
+	for i := range st.Cols {
+		c := &st.Cols[i]
+		if c.Source != i || c.Compute != nil {
+			return false
+		}
+		if ic := in.Column(i); c.Kind != ic.Kind || c.Size != ic.Size {
+			return false
+		}
+	}
+	return true
+}
+
 // JoinAlgorithm enumerates the paper's join strategies (§V-B). All of them
 // instantiate the same nested-loops template (Listing 2) and differ only in
 // staging and in-loop extras.

@@ -92,6 +92,27 @@ func (c *Cache) Get(key string, stampOf func(*codegen.CompiledQuery) uint64) (*c
 	return e.query, true
 }
 
+// GetStamped returns the compiled query cached under key together with
+// the catalogue stamp it was stored with, leaving validation to the
+// caller: compare the stored stamp against the current catalogue stamp
+// under the table locks and call Invalidate on a mismatch (which
+// reclassifies this hit as a miss). The key is passed as bytes so a warm
+// caller can probe with a pooled buffer — the lookup itself allocates
+// nothing.
+func (c *Cache) GetStamped(key []byte) (*codegen.CompiledQuery, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[string(key)]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	e := el.Value.(*entry)
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.query, e.stamp, true
+}
+
 // Put stores a compiled query under key with the catalogue stamp it was
 // compiled against, evicting the least recently used entry if the cache
 // is full.

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -136,6 +137,12 @@ const SessionHeader = "X-Hique-Session"
 // bypass the admission control the pool provides.
 const maxQueryBody = 1 << 20
 
+// resultPool recycles materialised results across requests: QueryInto
+// reuses the columns, rows, and flat cell arena of a Reset result, so
+// the HTTP path stops boxing every row into a fresh []any. A result
+// returns to the pool only after its response has been encoded.
+var resultPool = sync.Pool{New: func() any { return new(hique.Result) }}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
@@ -148,10 +155,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var res *hique.Result
+	res := resultPool.Get().(*hique.Result)
+	defer resultPool.Put(res)
 	var qerr error
 	err := s.pool.Do(func() {
-		res, qerr = s.db.Query(req.SQL, req.Params...)
+		qerr = s.db.QueryInto(res, req.SQL, req.Params...)
 	})
 	if err != nil {
 		// Rejected before admission: no session is minted, so overload

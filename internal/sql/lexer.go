@@ -40,7 +40,14 @@ type Token struct {
 // Lex tokenises the input. Comparison operators (<=, >=, <>, !=) are
 // emitted as single symbol tokens.
 func Lex(input string) ([]Token, error) {
-	var toks []Token
+	return LexInto(nil, input)
+}
+
+// LexInto tokenises the input into toks (reset to length zero first),
+// reusing its backing array — the allocation-free variant the warm
+// serving path uses with a pooled token buffer.
+func LexInto(toks []Token, input string) ([]Token, error) {
+	toks = toks[:0]
 	i := 0
 	n := len(input)
 	for i < n {
@@ -72,6 +79,8 @@ func Lex(input string) ([]Token, error) {
 		case c == '\'':
 			start := i
 			i++
+			bodyStart := i
+			escaped := false
 			var sb strings.Builder
 			for {
 				if i >= n {
@@ -79,17 +88,28 @@ func Lex(input string) ([]Token, error) {
 				}
 				if input[i] == '\'' {
 					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						if !escaped {
+							escaped = true
+							sb.WriteString(input[bodyStart:i])
+						}
 						sb.WriteByte('\'')
 						i += 2
+						bodyStart = i
 						continue
 					}
 					i++
 					break
 				}
-				sb.WriteByte(input[i])
+				if escaped {
+					sb.WriteByte(input[i])
+				}
 				i++
 			}
-			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+			text := input[bodyStart : i-1] // escape-free literals alias the input
+			if escaped {
+				text = sb.String()
+			}
+			toks = append(toks, Token{Kind: TokString, Text: text, Pos: start})
 		case c == '<' || c == '>' || c == '!':
 			start := i
 			i++

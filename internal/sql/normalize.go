@@ -96,32 +96,88 @@ func asciiLower(s string) string {
 // NormalizeShape is a fixed point: applying it to a returned shape lifts
 // nothing further and returns the shape unchanged.
 func NormalizeShape(query string) (string, []Expr, error) {
-	toks, err := Lex(query)
-	if err != nil {
+	var b ShapeBuf
+	if err := b.Shape(query); err != nil {
 		return "", nil, err
 	}
-	var b strings.Builder
-	b.Grow(len(query))
 	var lifted []Expr
+	for _, l := range b.Lits {
+		lifted = append(lifted, l.Expr())
+	}
+	return string(b.Out), lifted, nil
+}
+
+// LitKind discriminates the value held by a LiftedLit.
+type LitKind uint8
+
+const (
+	// LitNone marks a '?' placeholder that was already present in the
+	// input; its value comes from caller-supplied arguments.
+	LitNone LitKind = iota
+	// LitInt is an integer literal.
+	LitInt
+	// LitFloat is a decimal literal.
+	LitFloat
+	// LitString is a string literal.
+	LitString
+	// LitDate is a DATE 'YYYY-MM-DD' literal (I holds the day number,
+	// S the original text).
+	LitDate
+)
+
+// LiftedLit is one bind-vector entry produced by shape extraction, in a
+// pointer-free representation so a whole lift fits in one reused slice.
+type LiftedLit struct {
+	Kind LitKind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Expr converts the entry to the AST literal NormalizeShape reports; nil
+// for LitNone placeholders.
+func (l LiftedLit) Expr() Expr {
+	switch l.Kind {
+	case LitInt:
+		return &IntLit{Value: l.I}
+	case LitFloat:
+		return &FloatLit{Value: l.F}
+	case LitString:
+		return &StringLit{Value: l.S}
+	case LitDate:
+		return &DateLit{Days: l.I, Text: l.S}
+	}
+	return nil
+}
+
+// ShapeBuf holds the reusable buffers of repeated shape extraction: the
+// token scratch, the rendered shape bytes, and the lifted literals. A
+// warm serving path keeps one in a pool so collapsing a statement to its
+// shape allocates nothing.
+type ShapeBuf struct {
+	// Out is the normalised shape, rendered as bytes.
+	Out []byte
+	// Lits are the bind-vector entries, in placeholder order.
+	Lits []LiftedLit
+
+	toks []Token
+}
+
+// Shape collapses query to its parameterized shape into the buffer,
+// implementing exactly the transformation NormalizeShape documents.
+func (b *ShapeBuf) Shape(query string) error {
+	toks, err := LexInto(b.toks, query)
+	b.toks = toks
+	if err != nil {
+		return err
+	}
+	out := b.Out[:0]
+	if cap(out) < len(query) {
+		out = make([]byte, 0, len(query)+16)
+	}
+	lits := b.Lits[:0]
 
 	inWhere := false
-	first := true
-	emit := func(t Token) {
-		if !first {
-			b.WriteByte(' ')
-		}
-		first = false
-		writeTok(&b, t)
-	}
-	emitPlaceholder := func(e Expr) {
-		if !first {
-			b.WriteByte(' ')
-		}
-		first = false
-		b.WriteByte('?')
-		lifted = append(lifted, e)
-	}
-
 	for i := 0; i < len(toks) && toks[i].Kind != TokEOF; {
 		t := toks[i]
 		if t.Kind == TokIdent {
@@ -135,21 +191,63 @@ func NormalizeShape(query string) (string, []Expr, error) {
 			}
 		}
 		if t.Kind == TokSymbol && t.Text == "?" {
-			emitPlaceholder(nil)
+			out = appendSep(out)
+			out = append(out, '?')
+			lits = append(lits, LiftedLit{Kind: LitNone})
 			i++
 			continue
 		}
 		if inWhere {
-			if lit, width := literalUnit(toks, i); lit != nil && liftable(toks, i, width) {
-				emitPlaceholder(lit)
+			if lit, width, ok := litUnit(toks, i); ok && liftable(toks, i, width) {
+				out = appendSep(out)
+				out = append(out, '?')
+				lits = append(lits, lit)
 				i += width
 				continue
 			}
 		}
-		emit(t)
+		out = appendSep(out)
+		out = appendTok(out, t)
 		i++
 	}
-	return b.String(), lifted, nil
+	b.Out, b.Lits = out, lits
+	return nil
+}
+
+func appendSep(out []byte) []byte {
+	if len(out) > 0 {
+		return append(out, ' ')
+	}
+	return out
+}
+
+// appendTok renders one token in normalised form: identifiers lowercased
+// (ASCII only, matching asciiLower), strings re-quoted with escapes
+// restored.
+func appendTok(out []byte, t Token) []byte {
+	switch t.Kind {
+	case TokIdent:
+		for i := 0; i < len(t.Text); i++ {
+			c := t.Text[i]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			out = append(out, c)
+		}
+	case TokString:
+		out = append(out, '\'')
+		for i := 0; i < len(t.Text); i++ {
+			c := t.Text[i]
+			if c == '\'' {
+				out = append(out, '\'')
+			}
+			out = append(out, c)
+		}
+		out = append(out, '\'')
+	default:
+		out = append(out, t.Text...)
+	}
+	return out
 }
 
 var cmpSymbols = map[string]bool{
@@ -169,56 +267,56 @@ func isKw(t Token, kws ...string) bool {
 	return false
 }
 
-// literalUnit recognises a literal starting at toks[i] and returns its
-// parsed expression plus the number of tokens it spans, or (nil, 0). Units:
-// a number, a string, DATE 'x', or a unary-minus number.
-func literalUnit(toks []Token, i int) (Expr, int) {
+// litUnit recognises a literal starting at toks[i] and returns its value
+// plus the number of tokens it spans, or ok == false. Units: a number, a
+// string, DATE 'x', or a unary-minus number.
+func litUnit(toks []Token, i int) (LiftedLit, int, bool) {
 	t := toks[i]
 	switch {
 	case t.Kind == TokNumber:
-		if e := numberLit(t.Text, false); e != nil {
-			return e, 1
+		if l, ok := numberLit(t.Text, false); ok {
+			return l, 1, true
 		}
 	case t.Kind == TokString:
-		return &StringLit{Value: t.Text}, 1
+		return LiftedLit{Kind: LitString, S: t.Text}, 1, true
 	case t.Kind == TokIdent && strings.EqualFold(t.Text, "date"):
 		if i+1 < len(toks) && toks[i+1].Kind == TokString {
 			if days, err := ParseDate(toks[i+1].Text); err == nil {
-				return &DateLit{Days: days, Text: toks[i+1].Text}, 2
+				return LiftedLit{Kind: LitDate, I: days, S: toks[i+1].Text}, 2, true
 			}
 		}
 	case t.Kind == TokSymbol && t.Text == "-":
 		if i+1 < len(toks) && toks[i+1].Kind == TokNumber {
-			if e := numberLit(toks[i+1].Text, true); e != nil {
-				return e, 2
+			if l, ok := numberLit(toks[i+1].Text, true); ok {
+				return l, 2, true
 			}
 		}
 	}
-	return nil, 0
+	return LiftedLit{}, 0, false
 }
 
-// numberLit parses a number token exactly as the parser would; a token the
-// parser would reject (e.g. "1.2.3") returns nil so the text is left
-// untouched and the eventual parse error is preserved.
-func numberLit(text string, neg bool) Expr {
+// numberLit parses a number token exactly as the parser would; a token
+// the parser would reject (e.g. "1.2.3") reports ok == false so the text
+// is left untouched and the eventual parse error is preserved.
+func numberLit(text string, neg bool) (LiftedLit, bool) {
 	if strings.Contains(text, ".") {
 		v, err := strconv.ParseFloat(text, 64)
 		if err != nil {
-			return nil
+			return LiftedLit{}, false
 		}
 		if neg {
 			v = -v
 		}
-		return &FloatLit{Value: v}
+		return LiftedLit{Kind: LitFloat, F: v}, true
 	}
 	v, err := strconv.ParseInt(text, 10, 64)
 	if err != nil {
-		return nil
+		return LiftedLit{}, false
 	}
 	if neg {
 		v = -v
 	}
-	return &IntLit{Value: v}
+	return LiftedLit{Kind: LitInt, I: v}, true
 }
 
 // liftable reports whether the literal unit spanning toks[i:i+width] is a

@@ -15,6 +15,9 @@ type Table struct {
 	schema *types.Schema
 	pages  []*Page
 	rows   int
+	// pooled marks tables created by NewPooledTable: their pages come
+	// from the page arena and return to it on Release.
+	pooled bool
 }
 
 // NewTable creates an empty heap table.
@@ -43,8 +46,13 @@ func (t *Table) lastPage() *Page {
 	if n := len(t.pages); n > 0 && !t.pages[n-1].Full() {
 		return t.pages[n-1]
 	}
-	p := NewPage(t.schema.TupleSize())
-	p.setID(len(t.pages))
+	var p *Page
+	if t.pooled {
+		p = newPooledPage(t.schema.TupleSize(), len(t.pages))
+	} else {
+		p = NewPage(t.schema.TupleSize())
+		p.setID(len(t.pages))
+	}
 	t.pages = append(t.pages, p)
 	return p
 }
@@ -60,6 +68,20 @@ func (t *Table) Append(tuple []byte) {
 // AppendRow encodes and appends a row of datums.
 func (t *Table) AppendRow(row ...types.Datum) {
 	t.Append(t.schema.EncodeRow(row...))
+}
+
+// AppendSlot reserves the next tuple slot and returns it for the caller
+// to fill in place — the zero-copy variant of Append the generated fused
+// pipelines use. The caller must overwrite every byte of the slot: on
+// pooled tables the backing frame carries a previous user's bytes.
+func (t *Table) AppendSlot() []byte {
+	p := t.lastPage()
+	ts := p.TupleSize()
+	n := p.NumTuples()
+	off := HeaderSize + n*ts
+	p.setNumTuples(n + 1)
+	t.rows++
+	return p.buf[off : off+ts : off+ts]
 }
 
 // Tuple returns the raw bytes of global row r (scanning page by page).

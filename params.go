@@ -21,60 +21,85 @@ func bindErrorf(format string, args ...any) error {
 	return &BindError{msg: fmt.Sprintf(format, args...)}
 }
 
-// bindValues builds the execution bind vector for a plan: the merged
-// stream of auto-lifted literals (non-nil entries of lifted, produced by
-// sql.NormalizeShape) and caller-supplied arguments (one per nil entry,
-// and all entries when lifted is nil), each coerced to the kind of the
-// column its slot compares against.
-func bindValues(slots []plan.ParamSlot, lifted []sql.Expr, args []any) ([]types.Datum, error) {
-	if lifted != nil && len(lifted) != len(slots) {
+// bindValuesInto builds the execution bind vector for a plan into dst
+// (extending it in place, so a pooled scratch serves repeated calls):
+// the merged stream of auto-lifted literals (non-placeholder entries of
+// lits, produced by sql.ShapeBuf) and caller-supplied arguments (one per
+// placeholder entry, and all slots when auto is false), each coerced to
+// the kind of the column its slot compares against.
+func bindValuesInto(dst []types.Datum, slots []plan.ParamSlot, lits []sql.LiftedLit, auto bool, args []any) ([]types.Datum, error) {
+	if auto && len(lits) != len(slots) {
 		// Every placeholder the shape carries must have planned into a
 		// slot; Build guarantees this, so a mismatch is an internal bug.
-		return nil, fmt.Errorf("hique: shape has %d placeholders but plan has %d slots", len(lifted), len(slots))
+		return dst, fmt.Errorf("hique: shape has %d placeholders but plan has %d slots", len(lits), len(slots))
 	}
 	explicit := len(slots)
-	if lifted != nil {
+	if auto {
 		explicit = 0
-		for _, l := range lifted {
-			if l == nil {
+		for _, l := range lits {
+			if l.Kind == sql.LitNone {
 				explicit++
 			}
 		}
 	}
 	if len(args) != explicit {
-		return nil, bindErrorf("statement wants %d parameters, got %d", explicit, len(args))
+		return dst, bindErrorf("statement wants %d parameters, got %d", explicit, len(args))
 	}
 	if len(slots) == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	out := make([]types.Datum, len(slots))
 	next := 0
 	for i := range slots {
-		var lit sql.Expr
-		if lifted != nil {
-			lit = lifted[i]
-		}
-		if lit != nil {
-			d, err := plan.LiteralDatum(lit, slots[i].Kind)
-			if err != nil {
+		if auto && lits[i].Kind != sql.LitNone {
+			d, ok := liftedDatum(lits[i], slots[i].Kind)
+			if !ok {
 				// A lifted literal that cannot coerce is a statement
 				// problem, not a caller-value problem: report it as a
 				// plain (plan-class) error, which also lets the
 				// literal-specialized fallback re-raise it with the
 				// original plan-time message.
-				return nil, fmt.Errorf("hique: parameter %d (%s): %v", i+1, slots[i].Column, err)
+				return dst, fmt.Errorf("hique: parameter %d (%s): plan: literal %s incompatible with %v column",
+					i+1, slots[i].Column, lits[i].Expr(), slots[i].Kind)
 			}
-			out[i] = d
+			dst = append(dst, d)
 			continue
 		}
 		d, err := coerceParam(args[next], slots[i])
 		if err != nil {
-			return nil, bindErrorf("parameter %d (%s): %v", i+1, slots[i].Column, err)
+			return dst, bindErrorf("parameter %d (%s): %v", i+1, slots[i].Column, err)
 		}
-		out[i] = d
+		dst = append(dst, d)
 		next++
 	}
-	return out, nil
+	return dst, nil
+}
+
+// liftedDatum coerces a lifted literal to the compared column's kind,
+// mirroring plan.LiteralDatum's rules without materialising an AST node.
+func liftedDatum(l sql.LiftedLit, kind types.Kind) (types.Datum, bool) {
+	switch l.Kind {
+	case sql.LitInt:
+		switch kind {
+		case types.Int, types.Date:
+			return types.Datum{Kind: kind, I: l.I}, true
+		case types.Float:
+			return types.FloatDatum(float64(l.I)), true
+		}
+	case sql.LitFloat:
+		if kind == types.Float {
+			return types.FloatDatum(l.F), true
+		}
+	case sql.LitDate:
+		switch kind {
+		case types.Date, types.Int:
+			return types.Datum{Kind: kind, I: l.I}, true
+		}
+	case sql.LitString:
+		if kind == types.String {
+			return types.StringDatum(l.S), true
+		}
+	}
+	return types.Datum{}, false
 }
 
 // coerceParam converts a caller-supplied value to a datum of the slot's
@@ -129,9 +154,9 @@ func coerceParam(v any, slot plan.ParamSlot) (types.Datum, error) {
 
 // liftedAny reports whether auto-parameterization actually lifted a
 // literal (as opposed to only passing through explicit placeholders).
-func liftedAny(lifted []sql.Expr) bool {
-	for _, l := range lifted {
-		if l != nil {
+func liftedAny(lits []sql.LiftedLit) bool {
+	for _, l := range lits {
+		if l.Kind != sql.LitNone {
 			return true
 		}
 	}
