@@ -14,7 +14,13 @@
 //
 //	POST /query     {"sql": "SELECT ... WHERE id = ?", "params": [42]}
 //	                -> {"columns","rows","elapsed_us","session"};
-//	                parameter coercion failures return 400
+//	                parameter coercion failures return 400.
+//	                DML goes through the same endpoint: INSERT INTO t
+//	                VALUES (...), (...) / DELETE FROM / UPDATE ... SET,
+//	                parameterizable, answering with
+//	                {"rows_affected","elapsed_us","session"}; a whole
+//	                statement applies under one writer-lock acquisition.
+//	                Engine panics are contained per statement (422).
 //	GET  /healthz   load-balancer liveness probe (no pool slot)
 //	GET  /stats     serving + plan-cache counters
 //	GET  /tables    catalogued tables with schemata

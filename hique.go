@@ -131,6 +131,12 @@ type DB struct {
 	// optimizer configuration; nil when disabled.
 	cache *plancache.Cache
 
+	// writeCache holds planned DML descriptors keyed by normalised
+	// statement text. It is a separate LRU so a literal-heavy ingest
+	// workload (every distinct multi-VALUES text is its own entry) can
+	// never evict the expensive compiled read plans; nil when disabled.
+	writeCache *plancache.Cache
+
 	// autoParam lifts literal comparison constants out of cached
 	// statements so one compiled plan serves the whole query shape.
 	// Guarded by mu; on by default.
@@ -144,9 +150,14 @@ type Option func(*DB)
 // capacity (<= 0 selects plancache.DefaultCapacity). Cache hits skip
 // parsing, planning, generation, and compilation entirely; entries
 // self-invalidate when the catalogue version changes (DDL, index builds,
-// statistics refresh).
+// statistics refresh). A separate same-capacity cache holds planned DML
+// descriptors (see DB.Exec), so write traffic cannot evict compiled
+// queries.
 func WithPlanCache(capacity int) Option {
-	return func(db *DB) { db.cache = plancache.New(capacity) }
+	return func(db *DB) {
+		db.cache = plancache.New(capacity)
+		db.writeCache = plancache.New(capacity)
+	}
 }
 
 // WithCatalog opens the database over an existing catalogue (e.g. a
@@ -242,8 +253,12 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 	return nil
 }
 
-// Insert appends one row; values must match the column types: int64 (or
-// int) for Int/Date, float64 for Float, string for Char.
+// Insert appends one row; values coerce to the column types by the same
+// rules as query bind parameters (coerceValue): int/int64/integral
+// float64 for Int and Date, "YYYY-MM-DD" strings for Date, int widening
+// for Float, strings for Char. Strings wider than the CHAR(n) column are
+// rejected with a *WidthError rather than truncated. The row is also
+// registered with every index on the table.
 func (db *DB) Insert(table string, values ...any) error {
 	e, err := db.cat.Lookup(strings.ToLower(table))
 	if err != nil {
@@ -253,42 +268,24 @@ func (db *DB) Insert(table string, values ...any) error {
 	if len(values) != s.NumColumns() {
 		return fmt.Errorf("hique: table %q has %d columns, got %d values", table, s.NumColumns(), len(values))
 	}
+	name := e.Table.Name()
 	row := make([]types.Datum, len(values))
 	for i, v := range values {
-		d, err := toDatum(v, s.Column(i))
+		col := s.Column(i)
+		d, err := coerceValue(v, col.Kind)
 		if err != nil {
-			return fmt.Errorf("hique: column %q: %w", s.Column(i).Name, err)
+			return fmt.Errorf("hique: column %q: %w", col.Name, err)
+		}
+		if err := checkWidth(name, col, d); err != nil {
+			return err
 		}
 		row[i] = d
 	}
 	e.Lock()
-	e.Table.AppendRow(row...)
-	db.staleMu.Lock()
-	db.stale[e.Table.Name()] = true
-	db.staleMu.Unlock()
+	appendRowLocked(e, row)
+	db.markStale(name)
 	e.Unlock()
 	return nil
-}
-
-func toDatum(v any, col types.Column) (types.Datum, error) {
-	switch col.Kind {
-	case types.Int, types.Date:
-		switch x := v.(type) {
-		case int64:
-			return types.Datum{Kind: col.Kind, I: x}, nil
-		case int:
-			return types.Datum{Kind: col.Kind, I: int64(x)}, nil
-		}
-	case types.Float:
-		if x, ok := v.(float64); ok {
-			return types.FloatDatum(x), nil
-		}
-	case types.String:
-		if x, ok := v.(string); ok {
-			return types.StringDatum(x), nil
-		}
-	}
-	return types.Datum{}, fmt.Errorf("value %v (%T) incompatible with %v column", v, v, col.Kind)
 }
 
 // refreshStats recomputes statistics for tables modified since the last
@@ -598,7 +595,12 @@ type queryScratch struct {
 
 var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
-func (db *DB) queryInto(dst *Result, query string, args []any) error {
+func (db *DB) queryInto(dst *Result, query string, args []any) (err error) {
+	// Last-resort containment: execution and materialisation panics are
+	// converted lock-safely inside runCompiled / finishLocked; this outer
+	// recover catches anything unexpected above them so one statement
+	// cannot kill a process serving thousands of sessions.
+	defer containPanic(&err)
 	db.mu.RLock()
 	exec, engine := db.exec, db.engine
 	opts := db.opts
@@ -690,8 +692,15 @@ func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql
 	// version, so the stored stamp no longer matches).
 	for attempt := 0; attempt < 4; attempt++ {
 		db.refreshStats()
-		cq, stored, ok := db.cache.GetStamped(sc.key)
+		cached, stored, ok := db.cache.GetStamped(sc.key)
 		if !ok {
+			break
+		}
+		cq, ok := cached.(*codegen.CompiledQuery)
+		if !ok {
+			// Read keys and write keys occupy distinct spaces, so a
+			// foreign entry type here cannot happen; bail to the miss
+			// path defensively.
 			break
 		}
 		p := cq.Plan
@@ -765,16 +774,22 @@ func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql
 // table reader locks across the call: materialisation may read tuples
 // that alias base-table pages (identity-elided projections), so it must
 // complete before the locks release.
-func (db *DB) runCompiled(dst *Result, cq *codegen.CompiledQuery, params []types.Datum) error {
+func (db *DB) runCompiled(dst *Result, cq *codegen.CompiledQuery, params []types.Datum) (err error) {
+	// Whole-body containment: a panic anywhere here — the engine run or
+	// the materialisation tail — converts to a statement error inside
+	// this frame, so the caller's lock-release paths always execute.
+	defer containPanic(&err)
 	start := time.Now()
 	out, err := cq.RunParams(params)
 	elapsed := time.Since(start)
 	if err != nil {
 		return err
 	}
+	// Deferred so a contained materialisation panic still returns the
+	// pooled frames to the arena (it runs before containPanic recovers).
+	defer out.Release()
 	ensureGrouplessRow(cq.Plan, out)
 	materialiseInto(dst, cq.Plan.OutputNames, out, elapsed)
-	out.Release()
 	return nil
 }
 
@@ -801,17 +816,26 @@ func (db *DB) stampForPlan(p *plan.Plan) uint64 {
 // releases the locks — the shared tail of the uncached Query path and
 // Prepared.Run.
 func (db *DB) finish(dst *Result, p *plan.Plan, unlock func(), run func() (*storage.Table, error)) error {
+	defer unlock()
+	return db.finishLocked(dst, p, run)
+}
+
+// finishLocked is finish's contained body: a panic in the engine run or
+// the materialisation converts to an error in this frame, before finish's
+// deferred unlock runs — a contained panic never leaks a table lock.
+func (db *DB) finishLocked(dst *Result, p *plan.Plan, run func() (*storage.Table, error)) (err error) {
+	defer containPanic(&err)
 	start := time.Now()
 	out, err := run()
 	elapsed := time.Since(start)
 	if err != nil {
-		unlock()
 		return err
 	}
+	// Deferred for the same reason as in runCompiled: frames return to
+	// the arena even when a materialisation panic is contained.
+	defer out.Release()
 	ensureGrouplessRow(p, out)
 	materialiseInto(dst, p.OutputNames, out, elapsed)
-	out.Release()
-	unlock()
 	return nil
 }
 
@@ -1035,6 +1059,8 @@ type DBStats struct {
 	CacheEnabled   bool            `json:"cache_enabled"`
 	AutoParam      bool            `json:"auto_param"`
 	Cache          plancache.Stats `json:"cache"`
+	// WriteCache tracks the DML descriptor cache (see DB.Exec).
+	WriteCache plancache.Stats `json:"write_cache"`
 }
 
 // Stats snapshots catalogue and plan-cache counters.
@@ -1051,6 +1077,9 @@ func (db *DB) Stats() DBStats {
 	if db.cache != nil {
 		s.CacheEnabled = true
 		s.Cache = db.cache.Stats()
+	}
+	if db.writeCache != nil {
+		s.WriteCache = db.writeCache.Stats()
 	}
 	return s
 }

@@ -6,6 +6,7 @@ package serving
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"hique"
@@ -120,6 +121,65 @@ func Micro() []MicroResult {
 		for i := 0; i < b.N; i++ {
 			if _, err := db.Query(servingQuery); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+
+	// Ingest: the write path's batching economics. One op = ingestRows
+	// rows, either as ingestRows single-row INSERT statements (each pays
+	// lock + cache lookup + stats invalidation) or as one multi-VALUES
+	// statement (per-statement costs paid once). The batched shape must
+	// stay >= 5x faster per row.
+	const ingestRows = 1000
+	ingestDB := func() *hique.DB {
+		db := hique.Open(hique.WithPlanCache(64))
+		must(db.CreateTable("bench_ingest", hique.Int("id"), hique.Float("v")))
+		return db
+	}
+	run("Ingest/single-row-statements", func(b *testing.B) {
+		db := ingestDB()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < ingestRows; j++ {
+				if _, err := db.Exec("INSERT INTO bench_ingest VALUES (?, ?)", j, float64(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	run("Ingest/multi-values-batch", func(b *testing.B) {
+		db := ingestDB()
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO bench_ingest VALUES ")
+		for j := 0; j < ingestRows; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %g)", j, float64(j))
+		}
+		stmt := sb.String()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res, err := db.Exec(stmt); err != nil || res.RowsAffected != ingestRows {
+				b.Fatalf("batch insert: %v / %+v", err, res)
+			}
+		}
+	})
+	run("Ingest/prepared-single-row", func(b *testing.B) {
+		db := ingestDB()
+		ins, err := db.PrepareExec("INSERT INTO bench_ingest VALUES (?, ?)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < ingestRows; j++ {
+				if _, err := ins.Run(j, float64(j)); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

@@ -205,21 +205,57 @@ func (c *Catalog) BuildIndex(table, column string) (*btree.Tree, error) {
 	if k := s.Column(ci).Kind; k != types.Int && k != types.Date {
 		return nil, fmt.Errorf("catalog: cannot index %v column %q", k, column)
 	}
+	tree := buildTree(e.Table, ci)
+	c.mu.Lock()
+	e.Indexes[column] = tree
+	c.versions[table]++
+	c.mu.Unlock()
+	return tree, nil
+}
+
+// buildTree scans the heap and constructs a fresh index tree over column
+// ci.
+func buildTree(t *storage.Table, ci int) *btree.Tree {
 	tree := btree.New()
-	off := s.Offset(ci)
-	for p := 0; p < e.Table.NumPages(); p++ {
-		page := e.Table.Page(p)
+	off := t.Schema().Offset(ci)
+	for p := 0; p < t.NumPages(); p++ {
+		page := t.Page(p)
 		n := page.NumTuples()
 		for i := 0; i < n; i++ {
 			key := types.GetInt(page.Tuple(i), off)
 			tree.Insert(key, btree.RID{Page: int32(p), Slot: int32(i)})
 		}
 	}
-	c.mu.Lock()
-	e.Indexes[column] = tree
-	c.versions[table]++
-	c.mu.Unlock()
-	return tree, nil
+	return tree
+}
+
+// RebuildIndexes reconstructs the named indexes of a table from its
+// current heap (every registered index when columns is nil). The caller
+// must hold the entry's writer lock: row identifiers change whenever rows
+// move (DELETE compaction) and index keys change when an UPDATE assigns
+// an indexed column, so the write path rebuilds affected trees before the
+// lock releases. Rebuilding does not bump the table version — the write
+// that made it necessary marks statistics stale, and the refresh bumps
+// the version exactly once per statement.
+func (e *TableEntry) RebuildIndexes(columns []string) {
+	rebuild := func(column string) {
+		ci := e.Table.Schema().ColumnIndex(column)
+		if ci < 0 {
+			return
+		}
+		e.Indexes[column] = buildTree(e.Table, ci)
+	}
+	if columns == nil {
+		for column := range e.Indexes {
+			rebuild(column)
+		}
+		return
+	}
+	for _, column := range columns {
+		if _, ok := e.Indexes[column]; ok {
+			rebuild(column)
+		}
+	}
 }
 
 // Index returns the index on the given column, if any.

@@ -32,6 +32,9 @@ type fusedPred struct {
 	i    int64
 	f    float64
 	s    []byte // baked string value, zero-padded to the column width
+	// sOver marks a baked value wider than the column: s then holds the
+	// width-length prefix and an equal prefix compares as field < value.
+	sOver bool
 }
 
 // fusedQuery is the compiled single-table pipeline.
@@ -101,8 +104,16 @@ func newFused(p *plan.Plan) *fusedQuery {
 			case types.Float:
 				pr.f = flt.Val.F
 			case types.String:
-				pr.s = make([]byte, c.Size)
-				copy(pr.s, flt.Val.S)
+				if len(flt.Val.S) > c.Size {
+					// Wider than the column: never equal, and the stored
+					// field (a proper prefix at best) sorts strictly below
+					// the value. sOver folds that into the comparison.
+					pr.s = []byte(flt.Val.S[:c.Size])
+					pr.sOver = true
+				} else {
+					pr.s = make([]byte, c.Size)
+					copy(pr.s, flt.Val.S)
+				}
 			default:
 				return nil
 			}
@@ -235,7 +246,11 @@ func (f *fusedQuery) match(tup []byte, params []types.Datum) bool {
 				return false
 			}
 		case types.String:
-			if !cmpOrd(bytes.Compare(tup[pr.off:pr.off+len(pr.s)], pr.s), pr.op) {
+			c := bytes.Compare(tup[pr.off:pr.off+len(pr.s)], pr.s)
+			if c == 0 && pr.sOver {
+				c = -1
+			}
+			if !pr.op.Holds(c) {
 				return false
 			}
 		}
@@ -257,22 +272,5 @@ func cmpOrdered[T int64 | float64](x, v T, op sql.CmpOp) bool {
 		return x > v
 	default:
 		return x >= v
-	}
-}
-
-func cmpOrd(c int, op sql.CmpOp) bool {
-	switch op {
-	case sql.CmpEq:
-		return c == 0
-	case sql.CmpNe:
-		return c != 0
-	case sql.CmpLt:
-		return c < 0
-	case sql.CmpLe:
-		return c <= 0
-	case sql.CmpGt:
-		return c > 0
-	default:
-		return c >= 0
 	}
 }

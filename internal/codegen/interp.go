@@ -120,22 +120,7 @@ func evalPredicateO0(row []types.Datum, f *plan.Filter) bool {
 	if slot, ok := f.Slot(); ok {
 		panic(fmt.Sprintf("codegen: O0 filter reads unbound parameter $%d (bind the plan before execution)", slot))
 	}
-	c := types.Compare(row[f.Col], f.Val)
-	switch f.Op {
-	case sql.CmpEq:
-		return c == 0
-	case sql.CmpNe:
-		return c != 0
-	case sql.CmpLt:
-		return c < 0
-	case sql.CmpLe:
-		return c <= 0
-	case sql.CmpGt:
-		return c > 0
-	case sql.CmpGe:
-		return c >= 0
-	}
-	return false
+	return f.Op.Holds(types.Compare(row[f.Col], f.Val))
 }
 
 // evalExprO0 interprets a bound expression over a boxed row.

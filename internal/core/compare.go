@@ -213,9 +213,26 @@ func makePredicate(schema *types.Schema, f plan.Filter) func(tuple []byte) bool 
 			return func(t []byte) bool { return types.GetFloat(t, off) >= v }
 		}
 	case types.String:
+		end := off + c.Size
+		if len(f.Val.S) > c.Size {
+			// A stored field can never equal a value wider than the
+			// column, and for ordering the field sorts strictly below any
+			// oversized value sharing its prefix (the field is a proper
+			// prefix). Fold that into the three-way result instead of
+			// truncating the comparand — truncation made 'zzzzz' equal a
+			// stored 'zzzz'.
+			v := []byte(f.Val.S[:c.Size])
+			cmp := func(t []byte) int {
+				if c := bytes.Compare(t[off:end], v); c != 0 {
+					return c
+				}
+				return -1
+			}
+			op := f.Op
+			return func(t []byte) bool { return op.Holds(cmp(t)) }
+		}
 		v := make([]byte, c.Size)
 		copy(v, f.Val.S)
-		end := off + c.Size
 		switch f.Op {
 		case sql.CmpEq:
 			return func(t []byte) bool { return bytes.Equal(t[off:end], v) }

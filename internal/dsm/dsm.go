@@ -45,27 +45,40 @@ type colTable struct {
 }
 
 // Engine is the DSM execution engine. Vertical decomposition of base
-// tables happens once per table and is cached, mirroring a column store
-// whose base data already lives in DSM.
+// tables happens once per table version and is cached, mirroring a column
+// store whose base data already lives in DSM; a cached decomposition
+// revalidates against the heap's mutation counter, so writes (inserts,
+// deletes, in-place updates) invalidate it instead of serving stale
+// columns.
 type Engine struct {
 	mu    sync.Mutex
-	cache map[*storage.Table]*colTable
+	cache map[*storage.Table]*decomposed
+}
+
+// decomposed is one cache entry: the column vectors plus the heap version
+// they were built at.
+type decomposed struct {
+	ct      *colTable
+	version uint64
 }
 
 // NewEngine creates a DSM engine.
 func NewEngine() *Engine {
-	return &Engine{cache: make(map[*storage.Table]*colTable)}
+	return &Engine{cache: make(map[*storage.Table]*decomposed)}
 }
 
 // Name identifies the engine in experiment output.
 func (e *Engine) Name() string { return "DSM-columnstore" }
 
-// decompose converts an NSM heap into column vectors (cached).
+// decompose converts an NSM heap into column vectors (cached per heap
+// version; the caller holds the table lock, so the version cannot move
+// underneath the conversion).
 func (e *Engine) decompose(t *storage.Table) *colTable {
+	version := t.Version()
 	e.mu.Lock()
-	if ct, ok := e.cache[t]; ok {
+	if d, ok := e.cache[t]; ok && d.version == version {
 		e.mu.Unlock()
-		return ct
+		return d.ct
 	}
 	e.mu.Unlock()
 
@@ -101,7 +114,7 @@ func (e *Engine) decompose(t *storage.Table) *colTable {
 		return true
 	})
 	e.mu.Lock()
-	e.cache[t] = ct
+	e.cache[t] = &decomposed{ct: ct, version: version}
 	e.mu.Unlock()
 	return ct
 }
@@ -171,23 +184,7 @@ func compareString(a, b string) int {
 	return 0
 }
 
-func cmpResult(c int, op sql.CmpOp) bool {
-	switch op {
-	case sql.CmpEq:
-		return c == 0
-	case sql.CmpNe:
-		return c != 0
-	case sql.CmpLt:
-		return c < 0
-	case sql.CmpLe:
-		return c <= 0
-	case sql.CmpGt:
-		return c > 0
-	case sql.CmpGe:
-		return c >= 0
-	}
-	return false
-}
+func cmpResult(c int, op sql.CmpOp) bool { return op.Holds(c) }
 
 // gather materialises col[sel] as a new column.
 func gather(col *column, sel []int32) *column {

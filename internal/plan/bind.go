@@ -1,7 +1,6 @@
 package plan
 
 import (
-	"fmt"
 	"sync"
 
 	"hique/internal/types"
@@ -12,16 +11,7 @@ import (
 // Arguments must already be coerced (Bind and BindInto perform no
 // conversion).
 func (p *Plan) CheckArgs(args []types.Datum) error {
-	if len(args) != len(p.Params) {
-		return fmt.Errorf("plan: statement wants %d parameters, got %d", len(p.Params), len(args))
-	}
-	for i := range args {
-		if args[i].Kind != p.Params[i].Kind {
-			return fmt.Errorf("plan: parameter %d: %v value bound to %v column %s",
-				i+1, args[i].Kind, p.Params[i].Kind, p.Params[i].Column)
-		}
-	}
-	return nil
+	return checkParamArgs(p.Params, args)
 }
 
 // Bind resolves every parameter slot of a parameterized plan against a

@@ -321,6 +321,8 @@ func (b *builder) addFilter(col *sql.ColRef, op sql.CmpOp, operand sql.Expr) err
 		if prm.Index < 0 || prm.Index >= len(b.params) {
 			return fmt.Errorf("plan: placeholder index %d out of range (statement has %d)", prm.Index, len(b.params))
 		}
+		// No Size: comparison slots never width-check — an oversized
+		// string is a legal comparand (it simply never matches equality).
 		b.params[prm.Index] = ParamSlot{Kind: c.Kind, Column: b.tables[ti].Alias + "." + c.Name}
 		b.paramsSeen[prm.Index] = true
 		b.filters[ti] = append(b.filters[ti], filterPred{col: ci, op: op, param: prm.Index + 1})

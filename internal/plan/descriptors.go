@@ -286,9 +286,12 @@ type Sort struct {
 
 // ParamSlot describes one bind-vector position of a parameterized plan:
 // the column kind the parameter compares against (bind-time coercion
-// targets it) and the column's name for error messages.
+// targets it), the column's byte width (write plans enforce CHAR(n)
+// capacity on bound string values; zero means unchecked), and the
+// column's name for error messages.
 type ParamSlot struct {
 	Kind   types.Kind
+	Size   int
 	Column string
 }
 

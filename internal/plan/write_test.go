@@ -1,0 +1,160 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"hique/internal/catalog"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+func writeCat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	cat.Register(storage.NewTable("t", types.NewSchema(
+		types.Col("id", types.Int),
+		types.Col("price", types.Float),
+		types.CharCol("label", 8),
+		types.Col("day", types.Date),
+	)))
+	return cat
+}
+
+func mustStmt(t *testing.T, q string) sql.Stmt {
+	t.Helper()
+	s, err := sql.ParseStmt(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildInsert(t *testing.T) {
+	cat := writeCat(t)
+	w, err := BuildWrite(mustStmt(t, "INSERT INTO t VALUES (1, 2, 'x', DATE '2020-01-02'), (?, ?, ?, ?)"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind != WriteInsert || len(w.Rows) != 2 {
+		t.Fatalf("plan = %+v", w)
+	}
+	// Literal coercion follows the read path's rules: int 2 widens to the
+	// Float column.
+	if d := w.Rows[0][1].Val; d.Kind != types.Float || d.F != 2 {
+		t.Errorf("price literal = %v", d)
+	}
+	if d := w.Rows[0][3].Val; d.Kind != types.Date {
+		t.Errorf("date literal = %v", d)
+	}
+	// Parameter slots carry the target column's kind and width.
+	if len(w.Params) != 4 {
+		t.Fatalf("params = %v", w.Params)
+	}
+	if w.Params[2].Kind != types.String || w.Params[2].Size != 8 {
+		t.Errorf("label slot = %+v", w.Params[2])
+	}
+
+	// Explicit column list permutes into schema order.
+	w, err = BuildWrite(mustStmt(t, "INSERT INTO t (day, label, price, id) VALUES (3, 'y', 1.5, 9)"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := w.Rows[0][0].Val; d.I != 9 {
+		t.Errorf("id = %v", d)
+	}
+	if d := w.Rows[0][2].Val; d.S != "y" {
+		t.Errorf("label = %v", d)
+	}
+}
+
+func TestBuildInsertErrors(t *testing.T) {
+	cat := writeCat(t)
+	cases := []struct{ q, wantSub string }{
+		{"INSERT INTO missing VALUES (1)", "unknown table"},
+		{"INSERT INTO t VALUES (1, 2, 'x')", "has 3 values for 4 columns"},
+		{"INSERT INTO t (id, price) VALUES (1, 2)", "must supply all 4 columns"},
+		{"INSERT INTO t (id, price, label, nope) VALUES (1, 2, 'x', 3)", "no column \"nope\""},
+		{"INSERT INTO t (id, id, label, day) VALUES (1, 2, 'x', 3)", "duplicate INSERT column"},
+		{"INSERT INTO t VALUES ('a', 2, 'x', 3)", "incompatible"},
+	}
+	for _, c := range cases {
+		_, err := BuildWrite(mustStmt(t, c.q), cat)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: err = %v, want mention of %q", c.q, err, c.wantSub)
+		}
+	}
+}
+
+func TestBuildDeleteUpdate(t *testing.T) {
+	cat := writeCat(t)
+	w, err := BuildWrite(mustStmt(t, "DELETE FROM t WHERE 5 < id AND price <= ?"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind != WriteDelete || len(w.Filters) != 2 {
+		t.Fatalf("plan = %+v", w)
+	}
+	// Constant-on-left flips the operator onto the column.
+	if w.Filters[0].Col != 0 || w.Filters[0].Op != sql.CmpGt {
+		t.Errorf("flipped filter = %+v", w.Filters[0])
+	}
+	if slot, ok := w.Filters[1].Slot(); !ok || slot != 0 {
+		t.Errorf("param filter = %+v", w.Filters[1])
+	}
+
+	w, err = BuildWrite(mustStmt(t, "UPDATE t SET price = ?, label = 'z' WHERE t.id = 3"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind != WriteUpdate || len(w.Sets) != 2 || len(w.Filters) != 1 {
+		t.Fatalf("plan = %+v", w)
+	}
+	if w.Sets[0].Col != 1 || w.Sets[1].Col != 2 {
+		t.Errorf("set targets = %+v", w.Sets)
+	}
+
+	for _, c := range []struct{ q, wantSub string }{
+		{"DELETE FROM t WHERE id = price", "column against a constant"},
+		{"UPDATE t SET nope = 1", "no column"},
+		{"UPDATE t SET id = 1, id = 2", "duplicate UPDATE target"},
+		{"DELETE FROM t WHERE u.id = 1", "unknown table alias"},
+	} {
+		if _, err := BuildWrite(mustStmt(t, c.q), cat); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: err = %v, want mention of %q", c.q, err, c.wantSub)
+		}
+	}
+}
+
+func TestWriteBind(t *testing.T) {
+	cat := writeCat(t)
+	w, err := BuildWrite(mustStmt(t, "UPDATE t SET price = ? WHERE id = ?"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := w.Bind([]types.Datum{types.FloatDatum(7.5), types.IntDatum(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound == w {
+		t.Fatal("Bind must copy a parameterized plan")
+	}
+	if d := bound.Sets[0].Val.Val; d.F != 7.5 {
+		t.Errorf("bound set = %v", d)
+	}
+	if bound.Filters[0].Val.I != 3 || bound.Filters[0].Param != 0 {
+		t.Errorf("bound filter = %+v", bound.Filters[0])
+	}
+	// The original stays parameterized (cached plans are shared).
+	if _, ok := w.Sets[0].Val.Slot(); !ok {
+		t.Error("receiver was mutated by Bind")
+	}
+	// Arity and kind mismatches reject.
+	if _, err := w.Bind([]types.Datum{types.FloatDatum(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := w.Bind([]types.Datum{types.IntDatum(1), types.IntDatum(2)}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}

@@ -17,8 +17,6 @@ package plancache
 import (
 	"container/list"
 	"sync"
-
-	"hique/internal/codegen"
 )
 
 // DefaultCapacity is the entry bound used when New is given a
@@ -38,11 +36,14 @@ type Stats struct {
 type entry struct {
 	key   string
 	stamp uint64
-	query *codegen.CompiledQuery
+	value any
 }
 
-// Cache is a fixed-capacity LRU of compiled queries, safe for concurrent
-// use.
+// Cache is a fixed-capacity LRU of compiled artefacts, safe for
+// concurrent use. Values are opaque to the cache: the read path stores
+// *codegen.CompiledQuery, the write path *plan.WritePlan — the two key
+// spaces cannot collide (read keys are length-prefixed, write keys carry
+// a distinct prefix), so each caller type-asserts its own entries.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
@@ -65,13 +66,13 @@ func New(capacity int) *Cache {
 	}
 }
 
-// Get returns the compiled query cached under key, provided its stored
-// stamp matches the value stampOf computes from the cached query (the
-// caller derives the current catalogue stamp from the plan's referenced
+// Get returns the value cached under key, provided its stored stamp
+// matches the value stampOf computes from the cached value (the caller
+// derives the current catalogue stamp from the plan's referenced
 // tables). A mismatch drops the entry (counted as an invalidation) and
 // reports a miss. stampOf runs under the cache lock; it must not call
 // back into the cache.
-func (c *Cache) Get(key string, stampOf func(*codegen.CompiledQuery) uint64) (*codegen.CompiledQuery, bool) {
+func (c *Cache) Get(key string, stampOf func(any) uint64) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -80,7 +81,7 @@ func (c *Cache) Get(key string, stampOf func(*codegen.CompiledQuery) uint64) (*c
 		return nil, false
 	}
 	e := el.Value.(*entry)
-	if e.stamp != stampOf(e.query) {
+	if e.stamp != stampOf(e.value) {
 		c.ll.Remove(el)
 		delete(c.items, key)
 		c.invalidations++
@@ -89,17 +90,17 @@ func (c *Cache) Get(key string, stampOf func(*codegen.CompiledQuery) uint64) (*c
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
-	return e.query, true
+	return e.value, true
 }
 
-// GetStamped returns the compiled query cached under key together with
+// GetStamped returns the value cached under key together with
 // the catalogue stamp it was stored with, leaving validation to the
 // caller: compare the stored stamp against the current catalogue stamp
 // under the table locks and call Invalidate on a mismatch (which
 // reclassifies this hit as a miss). The key is passed as bytes so a warm
 // caller can probe with a pooled buffer — the lookup itself allocates
 // nothing.
-func (c *Cache) GetStamped(key []byte) (*codegen.CompiledQuery, uint64, bool) {
+func (c *Cache) GetStamped(key []byte) (any, uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[string(key)]
@@ -110,19 +111,19 @@ func (c *Cache) GetStamped(key []byte) (*codegen.CompiledQuery, uint64, bool) {
 	e := el.Value.(*entry)
 	c.ll.MoveToFront(el)
 	c.hits++
-	return e.query, e.stamp, true
+	return e.value, e.stamp, true
 }
 
-// Put stores a compiled query under key with the catalogue stamp it was
-// compiled against, evicting the least recently used entry if the cache
-// is full.
-func (c *Cache) Put(key string, stamp uint64, q *codegen.CompiledQuery) {
+// Put stores a compiled artefact under key with the catalogue stamp it
+// was compiled against, evicting the least recently used entry if the
+// cache is full.
+func (c *Cache) Put(key string, stamp uint64, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*entry)
 		e.stamp = stamp
-		e.query = q
+		e.value = v
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -134,7 +135,7 @@ func (c *Cache) Put(key string, stamp uint64, q *codegen.CompiledQuery) {
 			c.evictions++
 		}
 	}
-	c.items[key] = c.ll.PushFront(&entry{key: key, stamp: stamp, query: q})
+	c.items[key] = c.ll.PushFront(&entry{key: key, stamp: stamp, value: v})
 }
 
 // Invalidate drops the entry under key after the caller's post-lookup

@@ -3,15 +3,15 @@ package plancache
 import (
 	"fmt"
 	"testing"
-
-	"hique/internal/codegen"
 )
 
-func dummy() *codegen.CompiledQuery { return &codegen.CompiledQuery{} }
+type artefact struct{ id int }
+
+func dummy() *artefact { return &artefact{} }
 
 // at returns a stamp callback reporting the given current catalogue stamp.
-func at(stamp uint64) func(*codegen.CompiledQuery) uint64 {
-	return func(*codegen.CompiledQuery) uint64 { return stamp }
+func at(stamp uint64) func(any) uint64 {
+	return func(any) uint64 { return stamp }
 }
 
 func TestHitMissCounters(t *testing.T) {

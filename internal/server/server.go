@@ -12,7 +12,13 @@
 // compiled plan in the cache serves the whole query shape. A value that
 // cannot be coerced to the compared column's type (or a wrong parameter
 // count) is the client's fault and returns 400; statement errors keep
-// returning 422.
+// returning 422. DML statements (INSERT INTO ... VALUES, DELETE FROM,
+// UPDATE ... SET, all parameterizable) go through the same endpoint and
+// answer with a rows-affected body instead of a row set.
+//
+// A statement that trips an engine panic (a malformed descriptor
+// combination deep in specialised code) is contained: the worker recovers,
+// the statement reports 422, and the server keeps serving.
 //
 // Concurrency safety of the read path comes from hique.DB itself: query
 // execution holds per-table reader locks while writers (Insert,
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"hique"
+	"hique/internal/sql"
 )
 
 // Config tunes a Server.
@@ -108,13 +115,20 @@ type queryRequest struct {
 	Params []any  `json:"params"`
 }
 
-// queryResponse is the POST /query success body.
+// queryResponse is the POST /query success body for SELECT statements.
 type queryResponse struct {
 	Columns   []string `json:"columns"`
 	Rows      [][]any  `json:"rows"`
 	RowCount  int      `json:"row_count"`
 	ElapsedUs int64    `json:"elapsed_us"`
 	Session   string   `json:"session"`
+}
+
+// execResponse is the POST /query success body for DML statements.
+type execResponse struct {
+	RowsAffected int    `json:"rows_affected"`
+	ElapsedUs    int64  `json:"elapsed_us"`
+	Session      string `json:"session"`
 }
 
 type errorResponse struct {
@@ -155,10 +169,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if sql.IsDML(req.SQL) {
+		s.handleExec(w, r, &req)
+		return
+	}
+
 	res := resultPool.Get().(*hique.Result)
 	defer resultPool.Put(res)
 	var qerr error
 	err := s.pool.Do(func() {
+		// The DB layer already converts engine panics into statement
+		// errors; this recover is the worker's own containment so no
+		// future panic class can take the process down.
+		defer recoverToErr(&qerr)
 		qerr = s.db.QueryInto(res, req.SQL, req.Params...)
 	})
 	if err != nil {
@@ -168,20 +191,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return
 	}
-	sess := s.sessions.Acquire(r.Header.Get(SessionHeader))
-	s.queries.Add(1)
-	w.Header().Set(SessionHeader, sess.ID)
-	if qerr != nil {
-		s.errors.Add(1)
-		sess.note(0, true, time.Now())
-		status := http.StatusUnprocessableEntity
-		var bindErr *hique.BindError
-		if errors.As(qerr, &bindErr) {
-			// The statement may be fine; the supplied parameter values
-			// are not (wrong count or uncoercible type).
-			status = http.StatusBadRequest
-		}
-		writeJSON(w, status, errorResponse{Error: qerr.Error()})
+	sess, ok := s.noteOutcome(w, r, qerr)
+	if !ok {
 		return
 	}
 	sess.note(res.Elapsed, false, time.Now())
@@ -192,6 +203,63 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedUs: res.Elapsed.Microseconds(),
 		Session:   sess.ID,
 	})
+}
+
+// handleExec runs a DML statement through the same admission pool and
+// session accounting as queries, answering with the rows-affected shape.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request, req *queryRequest) {
+	var er hique.ExecResult
+	var qerr error
+	err := s.pool.Do(func() {
+		defer recoverToErr(&qerr)
+		er, qerr = s.db.Exec(req.SQL, req.Params...)
+	})
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	sess, ok := s.noteOutcome(w, r, qerr)
+	if !ok {
+		return
+	}
+	sess.note(er.Elapsed, false, time.Now())
+	writeJSON(w, http.StatusOK, execResponse{
+		RowsAffected: er.RowsAffected,
+		ElapsedUs:    er.Elapsed.Microseconds(),
+		Session:      sess.ID,
+	})
+}
+
+// recoverToErr converts a panic escaping a statement into its error
+// result, keeping the worker (and the process) alive.
+func recoverToErr(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("statement aborted by internal panic: %v", r)
+	}
+}
+
+// noteOutcome mints the session, counts the statement, and writes the
+// error response when qerr is set: BindError means the supplied parameter
+// values are at fault (400), anything else — including a contained engine
+// panic — is a statement error (422). It returns the session and true
+// when the caller should write its success body.
+func (s *Server) noteOutcome(w http.ResponseWriter, r *http.Request, qerr error) (*Session, bool) {
+	sess := s.sessions.Acquire(r.Header.Get(SessionHeader))
+	s.queries.Add(1)
+	w.Header().Set(SessionHeader, sess.ID)
+	if qerr == nil {
+		return sess, true
+	}
+	s.errors.Add(1)
+	sess.note(0, true, time.Now())
+	status := http.StatusUnprocessableEntity
+	var bindErr *hique.BindError
+	if errors.As(qerr, &bindErr) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: qerr.Error()})
+	return sess, false
 }
 
 // handleHealthz is the load-balancer liveness probe: it answers without

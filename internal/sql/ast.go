@@ -41,8 +41,11 @@ func (l *FloatLit) String() string { return fmt.Sprintf("%g", l.Value) }
 // StringLit is a string literal.
 type StringLit struct{ Value string }
 
-func (l *StringLit) exprNode()      {}
-func (l *StringLit) String() string { return "'" + l.Value + "'" }
+func (l *StringLit) exprNode() {}
+func (l *StringLit) String() string {
+	// Escape embedded quotes so the rendering re-lexes to the same value.
+	return "'" + strings.ReplaceAll(l.Value, "'", "''") + "'"
+}
 
 // Param is a positional bind-parameter placeholder ('?'). Index is the
 // zero-based position of the placeholder in the statement text; the value
@@ -164,6 +167,27 @@ func (o CmpOp) Negate() CmpOp {
 // Flip returns the operator with operands swapped (a op b == b flip(op) a).
 func (o CmpOp) Flip() CmpOp {
 	return [...]CmpOp{CmpEq, CmpNe, CmpGt, CmpGe, CmpLt, CmpLe}[o]
+}
+
+// Holds interprets a three-way comparison result (-1, 0, +1) against the
+// operator — the one place the "c op 0" truth table lives; engines that
+// compare generically delegate here.
+func (o CmpOp) Holds(c int) bool {
+	switch o {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	}
+	return false
 }
 
 // Predicate is one conjunct of the WHERE clause: Left op Right.

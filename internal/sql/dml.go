@@ -1,0 +1,366 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is any parsed SQL statement: a SELECT query or one of the DML
+// forms (INSERT, DELETE, UPDATE). ParseStmt returns this interface;
+// callers that accept only queries keep using Parse.
+type Stmt interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+func (s *SelectStmt) stmtNode() {}
+func (s *InsertStmt) stmtNode() {}
+func (s *DeleteStmt) stmtNode() {}
+func (s *UpdateStmt) stmtNode() {}
+
+// InsertStmt is a parsed INSERT INTO ... VALUES statement. Each row holds
+// one expression per target column: a literal or a '?' placeholder (the
+// paper's engine evaluates queries; value expressions in DML stay
+// constants, so a multi-VALUES batch plans without touching the
+// optimizer).
+type InsertStmt struct {
+	Table string
+	// Columns is the explicit target column list, lowercased; empty means
+	// schema order.
+	Columns []string
+	// Rows are the VALUES tuples, one slice per parenthesised row.
+	Rows [][]Expr
+	// NumParams counts '?' placeholders in statement order.
+	NumParams int
+}
+
+// String renders the statement back to SQL (normalised).
+func (s *InsertStmt) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// DeleteStmt is a parsed DELETE FROM statement. An empty Where deletes
+// every row.
+type DeleteStmt struct {
+	Table     string
+	Where     []Predicate // implicit conjunction
+	NumParams int
+}
+
+// String renders the statement back to SQL (normalised).
+func (s *DeleteStmt) String() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	writeWhere(&b, s.Where)
+	return b.String()
+}
+
+// SetClause is one UPDATE assignment: column = constant expression.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is a parsed UPDATE ... SET statement. An empty Where updates
+// every row.
+type UpdateStmt struct {
+	Table     string
+	Set       []SetClause
+	Where     []Predicate // implicit conjunction
+	NumParams int
+}
+
+// String renders the statement back to SQL (normalised).
+func (s *UpdateStmt) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Set[i].Column)
+		b.WriteString(" = ")
+		b.WriteString(s.Set[i].Value.String())
+	}
+	writeWhere(&b, s.Where)
+	return b.String()
+}
+
+func writeWhere(b *strings.Builder, preds []Predicate) {
+	if len(preds) == 0 {
+		return
+	}
+	b.WriteString(" WHERE ")
+	for i := range preds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(preds[i].String())
+	}
+}
+
+// IsDML reports whether the statement's leading keyword is one of the DML
+// verbs (INSERT, UPDATE, DELETE). It inspects the raw text only — a
+// single pass over the first word — so a serving layer can route a
+// request to the read or write path without lexing it twice.
+func IsDML(query string) bool {
+	i := 0
+	for i < len(query) {
+		switch query[i] {
+		case ' ', '\t', '\n', '\r', ';':
+			i++
+			continue
+		}
+		break
+	}
+	j := i
+	for j < len(query) {
+		c := query[j]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			j++
+			continue
+		}
+		break
+	}
+	switch strings.ToLower(query[i:j]) {
+	case "insert", "update", "delete":
+		return true
+	}
+	return false
+}
+
+// ParseStmt parses a single statement of any supported kind, dispatching
+// on the leading keyword: SELECT statements parse exactly as Parse does,
+// and INSERT / DELETE / UPDATE parse into their DML forms.
+func ParseStmt(input string) (Stmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Stmt
+	switch t := p.peek(); {
+	case t.Kind == TokIdent && strings.EqualFold(t.Text, "insert"):
+		stmt, err = p.parseInsert()
+	case t.Kind == TokIdent && strings.EqualFold(t.Text, "delete"):
+		stmt, err = p.parseDelete()
+	case t.Kind == TokIdent && strings.EqualFold(t.Text, "update"):
+		stmt, err = p.parseUpdate()
+	default:
+		stmt, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input starting at %q", p.peek().Text)
+	}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		s.NumParams = p.params
+	case *InsertStmt:
+		s.NumParams = p.params
+	case *DeleteStmt:
+		s.NumParams = p.params
+	case *UpdateStmt:
+		s.NumParams = p.params
+	}
+	return stmt, nil
+}
+
+// isConstExpr accepts a DML value expression: a literal or a placeholder.
+func isConstExpr(e Expr) bool {
+	if _, ok := e.(*Param); ok {
+		return true
+	}
+	switch e.(type) {
+	case *IntLit, *FloatLit, *StringLit, *DateLit:
+		return true
+	}
+	return false
+}
+
+// parseTableName consumes a bare table identifier (no alias).
+func (p *parser) parseTableName() (string, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return "", p.errorf("expected table name, found %q", t.Text)
+	}
+	return strings.ToLower(t.Text), nil
+}
+
+// parseInsert parses
+//
+//	INSERT INTO table [ '(' col (',' col)* ')' ]
+//	VALUES '(' value (',' value)* ')' [ ',' '(' ... ')' ]*
+//
+// where each value is a literal (number, string, DATE 'x', unary-minus
+// number) or a '?' placeholder.
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name}
+	if p.symbol("(") {
+		for {
+			t := p.next()
+			if t.Kind != TokIdent {
+				return nil, p.errorf("expected column name, found %q", t.Text)
+			}
+			stmt.Columns = append(stmt.Columns, strings.ToLower(t.Text))
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			if !isConstExpr(e) {
+				return nil, p.errorf("INSERT values must be literals or '?' placeholders, found %s", e)
+			}
+			row = append(row, e)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if len(stmt.Rows) > 0 && len(row) != len(stmt.Rows[0]) {
+			return nil, p.errorf("VALUES rows must have equal arity: row %d has %d values, row 1 has %d",
+				len(stmt.Rows)+1, len(row), len(stmt.Rows[0]))
+		}
+		if len(stmt.Columns) > 0 && len(row) != len(stmt.Columns) {
+			return nil, p.errorf("VALUES row has %d values for %d named columns", len(row), len(stmt.Columns))
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+// parseDelete parses DELETE FROM table [WHERE pred (AND pred)*].
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: name}
+	stmt.Where, err = p.parseWhere()
+	return stmt, err
+}
+
+// parseUpdate parses
+//
+//	UPDATE table SET col '=' value (',' col '=' value)* [WHERE ...]
+//
+// with the same constant-value restriction as INSERT.
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("update"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: name}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, p.errorf("expected column name, found %q", t.Text)
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if !isConstExpr(v) {
+			return nil, p.errorf("UPDATE values must be literals or '?' placeholders, found %s", v)
+		}
+		stmt.Set = append(stmt.Set, SetClause{Column: strings.ToLower(t.Text), Value: v})
+		if !p.symbol(",") {
+			break
+		}
+	}
+	stmt.Where, err = p.parseWhere()
+	return stmt, err
+}
+
+// parseWhere parses an optional WHERE conjunction (shared by SELECT,
+// DELETE, and UPDATE).
+func (p *parser) parseWhere() ([]Predicate, error) {
+	if !p.keyword("where") {
+		return nil, nil
+	}
+	var preds []Predicate
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, *pred)
+		if !p.keyword("and") {
+			break
+		}
+	}
+	return preds, nil
+}

@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInsert(t *testing.T) {
+	s, err := ParseStmt("INSERT INTO T VALUES (1, 2.5, 'x'), (-2, ?, 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := s.(*InsertStmt)
+	if !ok {
+		t.Fatalf("got %T, want *InsertStmt", s)
+	}
+	if ins.Table != "t" {
+		t.Errorf("table = %q", ins.Table)
+	}
+	if len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("rows = %d x %d", len(ins.Rows), len(ins.Rows[0]))
+	}
+	if ins.NumParams != 1 {
+		t.Errorf("NumParams = %d, want 1", ins.NumParams)
+	}
+	if lit, ok := ins.Rows[1][0].(*IntLit); !ok || lit.Value != -2 {
+		t.Errorf("row 2 col 1 = %v, want -2", ins.Rows[1][0])
+	}
+	if _, ok := ins.Rows[1][1].(*Param); !ok {
+		t.Errorf("row 2 col 2 = %T, want *Param", ins.Rows[1][1])
+	}
+}
+
+func TestParseInsertColumns(t *testing.T) {
+	s, err := ParseStmt("insert into t (b, A) values (DATE '2024-06-01', 7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.(*InsertStmt)
+	if len(ins.Columns) != 2 || ins.Columns[0] != "b" || ins.Columns[1] != "a" {
+		t.Fatalf("columns = %v", ins.Columns)
+	}
+	if _, ok := ins.Rows[0][0].(*DateLit); !ok {
+		t.Errorf("col 1 = %T, want *DateLit", ins.Rows[0][0])
+	}
+}
+
+func TestParseDeleteUpdate(t *testing.T) {
+	s, err := ParseStmt("DELETE FROM t WHERE id = ? AND price > 3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := s.(*DeleteStmt)
+	if del.Table != "t" || len(del.Where) != 2 || del.NumParams != 1 {
+		t.Fatalf("delete = %+v", del)
+	}
+
+	s, err = ParseStmt("UPDATE t SET price = ?, label = 'z' WHERE id <= 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := s.(*UpdateStmt)
+	if upd.Table != "t" || len(upd.Set) != 2 || len(upd.Where) != 1 || upd.NumParams != 1 {
+		t.Fatalf("update = %+v", upd)
+	}
+	if upd.Set[0].Column != "price" || upd.Set[1].Column != "label" {
+		t.Fatalf("set targets = %v, %v", upd.Set[0].Column, upd.Set[1].Column)
+	}
+
+	// No WHERE clause: affects every row.
+	if s, err = ParseStmt("delete from t"); err != nil {
+		t.Fatal(err)
+	}
+	if del := s.(*DeleteStmt); del.Where != nil {
+		t.Fatalf("bare delete Where = %v", del.Where)
+	}
+}
+
+func TestParseStmtSelect(t *testing.T) {
+	s, err := ParseStmt("SELECT a FROM t WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := s.(*SelectStmt)
+	if !ok || sel.NumParams != 1 {
+		t.Fatalf("got %T NumParams=%d", s, sel.NumParams)
+	}
+}
+
+func TestParseDMLErrors(t *testing.T) {
+	cases := []struct{ in, wantSub string }{
+		{"INSERT INTO t VALUES (1 + 2)", "expected \")\""},
+		{"INSERT INTO t VALUES (a)", "literals or '?'"},
+		{"INSERT INTO t VALUES (1), (2, 3)", "equal arity"},
+		{"INSERT INTO t (a, b) VALUES (1)", "named columns"},
+		{"INSERT INTO t SELECT 1", "expected VALUES"},
+		{"UPDATE t SET a = b", "literals or '?'"},
+		{"UPDATE t WHERE a = 1", "expected SET"},
+		{"DELETE t WHERE a = 1", "expected FROM"},
+		{"INSERT INTO t VALUES (1) garbage", "trailing input"},
+	}
+	for _, c := range cases {
+		_, err := ParseStmt(c.in)
+		if err == nil {
+			t.Errorf("%q: expected error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+// TestDMLStringRoundTrip pins that the rendered form re-parses to the
+// same statement (the analogue of Normalize's parse-equivalence for
+// SELECTs).
+func TestDMLStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"INSERT INTO t VALUES (1, 'a''b'), (?, ?)",
+		"insert into t (x, y) values (-1.5, date '2020-01-02')",
+		"DELETE FROM t WHERE id <> ?",
+		"UPDATE t SET v = 9 WHERE k >= 2 AND k < 10",
+	} {
+		s1, err := ParseStmt(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		s2, err := ParseStmt(s1.String())
+		if err != nil {
+			t.Fatalf("%q rendered as %q: %v", in, s1.String(), err)
+		}
+		if s1.String() != s2.String() {
+			t.Errorf("%q: round trip %q != %q", in, s1.String(), s2.String())
+		}
+	}
+}
+
+func TestIsDML(t *testing.T) {
+	cases := map[string]bool{
+		"INSERT INTO t VALUES (1)": true,
+		"  \n\tupdate t set a = 1": true,
+		";delete from t":           true,
+		"SELECT * FROM t":          false,
+		"  select 1":               false,
+		"":                         false,
+		"insertx into t":           false,
+	}
+	for in, want := range cases {
+		if got := IsDML(in); got != want {
+			t.Errorf("IsDML(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -118,7 +118,11 @@ func LexInto(toks []Token, input string) ([]Token, error) {
 			}
 			toks = append(toks, Token{Kind: TokSymbol, Text: input[start:i], Pos: start})
 		case strings.ContainsRune(",()*+-/=.?", rune(c)):
-			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			// Slice the input rather than string(c): the one-byte text
+			// shares the statement's backing array, so symbol-heavy
+			// statements (a multi-VALUES insert is ~4 symbols per row)
+			// lex without allocating.
+			toks = append(toks, Token{Kind: TokSymbol, Text: input[i : i+1], Pos: i})
 			i++
 		case c == ';':
 			i++ // statement terminator is optional and ignored

@@ -107,6 +107,44 @@ func NormalizeShape(query string) (string, []Expr, error) {
 	return string(b.Out), lifted, nil
 }
 
+// NormBuf holds the reusable buffers of repeated plain normalization —
+// the token scratch and the rendered bytes — so a hot caller (the write
+// path's cache-key computation) normalises a statement with no
+// allocations. It is Normalize/NormalizeArity with pooled memory, without
+// shape extraction.
+type NormBuf struct {
+	// Out is the normalised statement, rendered as bytes.
+	Out []byte
+
+	toks []Token
+}
+
+// Normalize renders query's canonical token stream into the buffer and
+// reports its placeholder arity.
+func (b *NormBuf) Normalize(query string) (arity int, err error) {
+	toks, err := LexInto(b.toks, query)
+	b.toks = toks
+	if err != nil {
+		return 0, err
+	}
+	out := b.Out[:0]
+	if cap(out) < len(query) {
+		out = make([]byte, 0, len(query)+16)
+	}
+	for _, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		if t.Kind == TokSymbol && t.Text == "?" {
+			arity++
+		}
+		out = appendSep(out)
+		out = appendTok(out, t)
+	}
+	b.Out = out
+	return arity, nil
+}
+
 // LitKind discriminates the value held by a LiftedLit.
 type LitKind uint8
 

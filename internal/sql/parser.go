@@ -122,17 +122,10 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 
-	if p.keyword("where") {
-		for {
-			pred, err := p.parsePredicate()
-			if err != nil {
-				return nil, err
-			}
-			stmt.Where = append(stmt.Where, *pred)
-			if !p.keyword("and") {
-				break
-			}
-		}
+	var err2 error
+	stmt.Where, err2 = p.parseWhere()
+	if err2 != nil {
+		return nil, err2
 	}
 
 	if p.keyword("group") {

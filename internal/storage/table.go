@@ -15,6 +15,10 @@ type Table struct {
 	schema *types.Schema
 	pages  []*Page
 	rows   int
+	// version counts mutations (appends, truncations, and explicitly
+	// recorded in-place updates), letting engines that cache derived
+	// representations of the heap revalidate them. See Version.
+	version uint64
 	// pooled marks tables created by NewPooledTable: their pages come
 	// from the page arena and return to it on Release.
 	pooled bool
@@ -57,12 +61,26 @@ func (t *Table) lastPage() *Page {
 	return p
 }
 
+// Version returns the table's mutation counter. It advances on every
+// append and truncate, and on BumpVersion for in-place page mutations, so
+// a cached derived form of the heap (e.g. the DSM engine's vertical
+// decomposition) is valid exactly while the version it was built at still
+// matches. Readers observe it under the same table lock that orders the
+// mutations themselves.
+func (t *Table) Version() uint64 { return t.version }
+
+// BumpVersion records a mutation performed directly on page bytes (the
+// SQL UPDATE path writes fields in place), invalidating cached derived
+// forms. Call once per mutation batch under the writer lock.
+func (t *Table) BumpVersion() { t.version++ }
+
 // Append adds a tuple (raw bytes of schema width) to the table.
 func (t *Table) Append(tuple []byte) {
 	if !t.lastPage().Append(tuple) {
 		panic("storage.Table.Append: fresh page rejected tuple")
 	}
 	t.rows++
+	t.version++
 }
 
 // AppendRow encodes and appends a row of datums.
@@ -81,6 +99,7 @@ func (t *Table) AppendSlot() []byte {
 	off := HeaderSize + n*ts
 	p.setNumTuples(n + 1)
 	t.rows++
+	t.version++
 	return p.buf[off : off+ts : off+ts]
 }
 
@@ -126,4 +145,5 @@ func (t *Table) Rows() [][]types.Datum {
 func (t *Table) Truncate() {
 	t.pages = nil
 	t.rows = 0
+	t.version++
 }

@@ -71,23 +71,7 @@ func compilePredicates(mode Mode, filters []plan.Filter) func(Row) bool {
 
 // genericCompareOp interprets a comparison result against an operator at
 // run time (the generic engine cannot inline this decision).
-func genericCompareOp(c int, op sql.CmpOp) bool {
-	switch op {
-	case sql.CmpEq:
-		return c == 0
-	case sql.CmpNe:
-		return c != 0
-	case sql.CmpLt:
-		return c < 0
-	case sql.CmpLe:
-		return c <= 0
-	case sql.CmpGt:
-		return c > 0
-	case sql.CmpGe:
-		return c >= 0
-	}
-	return false
-}
+func genericCompareOp(c int, op sql.CmpOp) bool { return op.Holds(c) }
 
 func specializedPredicate(f plan.Filter) func(Row) bool {
 	col := f.Col

@@ -103,31 +103,48 @@ func liftedDatum(l sql.LiftedLit, kind types.Kind) (types.Datum, bool) {
 }
 
 // coerceParam converts a caller-supplied value to a datum of the slot's
+// column kind, enforcing CHAR(n) capacity when the slot carries a width
+// (write-path slots do; read-path comparisons never truncate).
+func coerceParam(v any, slot plan.ParamSlot) (types.Datum, error) {
+	d, err := coerceValue(v, slot.Kind)
+	if err != nil {
+		return types.Datum{}, err
+	}
+	if d.Kind == types.String && slot.Size > 0 && len(d.S) > slot.Size {
+		return types.Datum{}, fmt.Errorf("string %q (%d bytes) exceeds CHAR(%d)", d.S, len(d.S), slot.Size)
+	}
+	return d, nil
+}
+
+// coerceValue converts a caller-supplied Go value to a datum of the given
 // column kind. Integral float64 values convert to Int/Date columns (JSON
 // has only one number type), date strings parse as YYYY-MM-DD, and Int
 // values widen to Float — the same conversions a literal in the statement
-// text would get.
-func coerceParam(v any, slot plan.ParamSlot) (types.Datum, error) {
+// text would get. It is the single coercion rule for every value entering
+// the engine from Go: query bind parameters, DML bind parameters, and the
+// Go-API Insert all route through it, so the write side accepts exactly
+// what the read side would match.
+func coerceValue(v any, kind types.Kind) (types.Datum, error) {
 	if d, ok := v.(types.Datum); ok {
-		if d.Kind != slot.Kind {
-			return types.Datum{}, fmt.Errorf("datum kind %v incompatible with %v column", d.Kind, slot.Kind)
+		if d.Kind != kind {
+			return types.Datum{}, fmt.Errorf("datum kind %v incompatible with %v column", d.Kind, kind)
 		}
 		return d, nil
 	}
-	switch slot.Kind {
+	switch kind {
 	case types.Int, types.Date:
 		switch x := v.(type) {
 		case int64:
-			return types.Datum{Kind: slot.Kind, I: x}, nil
+			return types.Datum{Kind: kind, I: x}, nil
 		case int:
-			return types.Datum{Kind: slot.Kind, I: int64(x)}, nil
+			return types.Datum{Kind: kind, I: int64(x)}, nil
 		case float64:
 			if x != math.Trunc(x) || x < math.MinInt64 || x >= math.MaxInt64 {
 				return types.Datum{}, fmt.Errorf("value %v is not an integer", x)
 			}
-			return types.Datum{Kind: slot.Kind, I: int64(x)}, nil
+			return types.Datum{Kind: kind, I: int64(x)}, nil
 		case string:
-			if slot.Kind == types.Date {
+			if kind == types.Date {
 				days, err := sql.ParseDate(x)
 				if err != nil {
 					return types.Datum{}, err
@@ -149,7 +166,7 @@ func coerceParam(v any, slot plan.ParamSlot) (types.Datum, error) {
 			return types.StringDatum(x), nil
 		}
 	}
-	return types.Datum{}, fmt.Errorf("cannot use %v (%T) as %v", v, v, slot.Kind)
+	return types.Datum{}, fmt.Errorf("cannot use %v (%T) as %v", v, v, kind)
 }
 
 // liftedAny reports whether auto-parameterization actually lifted a
