@@ -299,6 +299,62 @@ func BenchmarkServingColdVsWarm(b *testing.B) {
 	})
 }
 
+// BenchmarkJoinAggServing measures the fused join+aggregation pipeline
+// (DESIGN.md §4.5) against the general operator walk on the exact same
+// plan: the warm analytics shape — two-table equi-join with GROUP BY —
+// runs fused by default; SetFusion(false) forces the staged engine. The
+// authoritative recorded numbers live in BENCH_serving.json (JoinAgg/*,
+// via cmd/hique-bench -json); this wrapper keeps the shape in the
+// `go test -bench` smoke.
+func BenchmarkJoinAggServing(b *testing.B) {
+	const rows = 4096
+	joinDB := func(b *testing.B) *DB {
+		b.Helper()
+		db := Open(WithPlanCache(64))
+		if err := db.CreateTable("bench_items", Int("id"), Int("grp"), Float("price")); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.CreateTable("bench_dims", Int("id"), Char("label", 16)); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if err := db.Insert("bench_items", int64(i), int64(i%16), float64(i%1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 16; i++ {
+			if err := db.Insert("bench_dims", int64(i), fmt.Sprintf("dim-%02d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	const q = "SELECT d.label, COUNT(*) AS n, SUM(f.price) AS total " +
+		"FROM bench_items f, bench_dims d WHERE f.grp = d.id AND f.price > 10.0 GROUP BY d.label"
+	warm := func(b *testing.B, db *DB) {
+		b.Helper()
+		var res Result
+		if err := db.QueryInto(&res, q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.QueryInto(&res, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("warm-fused", func(b *testing.B) {
+		warm(b, joinDB(b))
+	})
+	b.Run("warm-general", func(b *testing.B) {
+		codegen.SetFusion(false)
+		defer codegen.SetFusion(true)
+		warm(b, joinDB(b))
+	})
+}
+
 // BenchmarkPointQueryShapeCache measures the production shape the plan
 // cache existed for: N same-shape point queries with N distinct literals
 // (`SELECT ... WHERE id = <value>`, a different value every call).

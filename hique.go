@@ -354,33 +354,37 @@ func (db *DB) anyStale(names []string) bool {
 	return false
 }
 
-// lockTables acquires locks on the named tables in sorted order (writers
-// lock single tables, so a global order precludes deadlock) and returns
-// the matching unlock plus the set of names actually locked — a name
-// missing from the catalogue is skipped, and callers that later resolve
-// it (a table registered mid-flight) must notice and retry.
+// lockTables acquires locks on the named tables in ascending table-ID
+// order — the single global acquisition order every multi-lock path
+// shares (the warm-hit fast path orders its direct entry locks the same
+// way), which precludes deadlock against the single-table writer locks
+// of the DML path. It returns the matching unlock plus the set of names
+// actually locked — a name missing from the catalogue is skipped, and
+// callers that later resolve it (a table registered mid-flight) must
+// notice and retry.
 func (db *DB) lockTables(names []string, write bool) (unlock func(), locked map[string]bool) {
-	uniq := make([]string, 0, len(names))
 	seen := make(map[string]bool, len(names))
+	locked = make(map[string]bool, len(names))
+	entries := make([]*catalog.TableEntry, 0, len(names))
+	entryNames := make([]string, 0, len(names))
 	for _, n := range names {
-		if !seen[n] {
-			seen[n] = true
-			uniq = append(uniq, n)
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if e, err := db.cat.Lookup(n); err == nil {
+			entries = append(entries, e)
+			entryNames = append(entryNames, n)
 		}
 	}
-	sort.Strings(uniq)
-	locked = make(map[string]bool, len(uniq))
-	entries := make([]*catalog.TableEntry, 0, len(uniq))
-	for _, n := range uniq {
-		if e, err := db.cat.Lookup(n); err == nil {
-			if write {
-				e.Lock()
-			} else {
-				e.RLock()
-			}
-			entries = append(entries, e)
-			locked[n] = true
+	sort.Sort(&entriesByID{entries, entryNames})
+	for i, e := range entries {
+		if write {
+			e.Lock()
+		} else {
+			e.RLock()
 		}
+		locked[entryNames[i]] = true
 	}
 	return func() {
 		for i := len(entries) - 1; i >= 0; i-- {
@@ -391,6 +395,20 @@ func (db *DB) lockTables(names []string, write bool) (unlock func(), locked map[
 			}
 		}
 	}, locked
+}
+
+// entriesByID sorts catalogue entries (and their parallel name slice) by
+// table ID, the global lock acquisition order.
+type entriesByID struct {
+	entries []*catalog.TableEntry
+	names   []string
+}
+
+func (s *entriesByID) Len() int           { return len(s.entries) }
+func (s *entriesByID) Less(i, j int) bool { return s.entries[i].ID() < s.entries[j].ID() }
+func (s *entriesByID) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.names[i], s.names[j] = s.names[j], s.names[i]
 }
 
 // rlockTables acquires reader locks on the named tables.
@@ -704,24 +722,45 @@ func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql
 			break
 		}
 		p := cq.Plan
-		if len(p.Tables) == 1 {
-			// Single-table fast path: lock the plan's entry directly —
-			// no name slice, no lock-ordering bookkeeping.
-			e := p.Tables[0].Entry
-			e.RLock()
-			if db.nameStale(p.Tables[0].Name) || db.stampForPlan(p) != stored {
-				e.RUnlock()
+		if len(p.Tables) <= 2 {
+			// One- and two-table fast path (point lookups and the fused
+			// join shapes): lock the plan's entries directly in table-ID
+			// order — no name slice, no lock-ordering bookkeeping — and
+			// validate the stored stamp against the per-table version sum
+			// under the locks. Two aliases of the same table share one
+			// entry, which is locked once (a recursive RLock could
+			// deadlock against a queued writer).
+			e0 := p.Tables[0].Entry
+			var e1 *catalog.TableEntry
+			if len(p.Tables) == 2 && p.Tables[1].Entry != e0 {
+				e1 = p.Tables[1].Entry
+				if e1.ID() < e0.ID() {
+					e0, e1 = e1, e0
+				}
+			}
+			e0.RLock()
+			if e1 != nil {
+				e1.RLock()
+			}
+			runlock := func() {
+				if e1 != nil {
+					e1.RUnlock()
+				}
+				e0.RUnlock()
+			}
+			if db.planStale(p) || db.stampForPlan(p) != stored {
+				runlock()
 				db.cache.Invalidate(string(sc.key))
 				continue
 			}
 			params, err := bindValuesInto(sc.params[:0], p.Params, lits, auto, args)
 			sc.params = params
 			if err != nil {
-				e.RUnlock()
+				runlock()
 				return fail(err)
 			}
 			err = db.runCompiled(dst, cq, params)
-			e.RUnlock()
+			runlock()
 			return false, err
 		}
 		names := planTables(p)
@@ -793,11 +832,18 @@ func (db *DB) runCompiled(dst *Result, cq *codegen.CompiledQuery, params []types
 	return nil
 }
 
-// nameStale reports pending statistics work for one table.
-func (db *DB) nameStale(name string) bool {
+// planStale reports pending statistics work for any of a plan's tables
+// (anyStale without materialising a name slice, one mutex acquisition).
+func (db *DB) planStale(p *plan.Plan) bool {
 	db.staleMu.Lock()
 	defer db.staleMu.Unlock()
-	return db.stale[name] || db.refreshing[name]
+	for i := range p.Tables {
+		n := p.Tables[i].Name
+		if db.stale[n] || db.refreshing[n] {
+			return true
+		}
+	}
+	return false
 }
 
 // stampForPlan is cat.StampFor over the plan's table list without

@@ -2,6 +2,8 @@
 // behind cmd/hique-bench -json. It lives apart from internal/bench
 // because it drives the public hique API (which internal/bench must not
 // import: the root package's benchmark file imports internal/bench).
+// The one internal import, codegen.SetFusion, pins the fused-vs-general
+// comparison to the exact same cached plan.
 package serving
 
 import (
@@ -10,6 +12,7 @@ import (
 	"testing"
 
 	"hique"
+	"hique/internal/codegen"
 )
 
 // MicroResult is one machine-readable serving micro-benchmark row: the
@@ -120,6 +123,91 @@ func Micro() []MicroResult {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := db.Query(servingQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// JoinAgg: the fused join+aggregation pipeline against the general
+	// operator walk on the same plan (codegen.SetFusion toggles it), the
+	// analytics serving shape of DESIGN.md §4.5. warm-fused-indexed adds
+	// B+-trees on both join keys, which flips the planner to the merge
+	// join with the dimension side streamed off the index in key order.
+	const joinRows = 4096
+	joinDB := func(options ...hique.Option) *hique.DB {
+		db := hique.Open(options...)
+		must(db.CreateTable("bench_items", hique.Int("id"), hique.Int("grp"), hique.Float("price")))
+		must(db.CreateTable("bench_dims", hique.Int("id"), hique.Char("label", 16)))
+		for i := 0; i < joinRows; i++ {
+			must(db.Insert("bench_items", int64(i), int64(i%16), float64(i%1000)))
+		}
+		for i := 0; i < 16; i++ {
+			must(db.Insert("bench_dims", int64(i), fmt.Sprintf("dim-%02d", i)))
+		}
+		return db
+	}
+	const joinAggQuery = "SELECT d.label, COUNT(*) AS n, SUM(f.price) AS total " +
+		"FROM bench_items f, bench_dims d WHERE f.grp = d.id AND f.price > 10.0 GROUP BY d.label"
+	const joinLimitQuery = "SELECT f.id, d.label FROM bench_items f, bench_dims d " +
+		"WHERE f.grp = d.id AND f.price > 900.0 LIMIT 32"
+	warmJoin := func(b *testing.B, db *hique.DB, query string) {
+		if _, err := db.Query(query); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	run("JoinAgg/warm-fused", func(b *testing.B) {
+		warmJoin(b, joinDB(hique.WithPlanCache(64)), joinAggQuery)
+	})
+	run("JoinAgg/warm-general", func(b *testing.B) {
+		codegen.SetFusion(false)
+		defer codegen.SetFusion(true)
+		warmJoin(b, joinDB(hique.WithPlanCache(64)), joinAggQuery)
+	})
+	run("JoinAgg/warm-merge-indexed", func(b *testing.B) {
+		// Both join keys unique and indexed: the planner selects the
+		// merge join and the fused pipeline streams both sides off the
+		// B+-trees in key order, with no sort at all.
+		db := joinDB(hique.WithPlanCache(64))
+		must(db.BuildIndex("bench_items", "id"))
+		must(db.BuildIndex("bench_dims", "id"))
+		warmJoin(b, db, "SELECT f.id, d.label FROM bench_items f, bench_dims d WHERE f.id = d.id AND f.price > 10.0")
+	})
+	run("JoinAgg/warm-join-limit", func(b *testing.B) {
+		warmJoin(b, joinDB(hique.WithPlanCache(64)), joinLimitQuery)
+	})
+	// The serving-loop spelling: a pooled Result recycled across calls
+	// (QueryInto, the HTTP handler's pattern), measuring the warm-hit
+	// allocation floor of a fused join + GROUP BY aggregate.
+	run("JoinAgg/warm-hit-into", func(b *testing.B) {
+		const q = "SELECT d.id, COUNT(*) AS n, SUM(f.price) AS total " +
+			"FROM bench_items f, bench_dims d WHERE f.grp = d.id AND f.price > 10.0 GROUP BY d.id LIMIT 4"
+		db := joinDB(hique.WithPlanCache(64))
+		var res hique.Result
+		if err := db.QueryInto(&res, q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.QueryInto(&res, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("JoinAgg/cold", func(b *testing.B) {
+		db := joinDB(hique.WithPlanCache(64))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.Catalog().BumpVersion()
+			if _, err := db.Query(joinAggQuery); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -39,11 +39,20 @@ type TableStats struct {
 	Columns []ColumnStats
 }
 
+// entryIDs hands out process-unique table identifiers; see TableEntry.ID.
+var entryIDs atomic.Uint64
+
 // TableEntry is a catalogued table: heap, stats, and any indexes.
 type TableEntry struct {
 	Table   *storage.Table
 	Stats   TableStats
 	Indexes map[string]*btree.Tree // column name -> index
+
+	// id is a process-unique identifier assigned at registration. Every
+	// code path that locks more than one entry acquires the locks in
+	// ascending ID order (hique.DB's lock helpers), which precludes
+	// deadlock against the single-table writer locks of the DML path.
+	id uint64
 
 	// mu serialises writers (row appends, stats refresh, index builds)
 	// against concurrent readers of this entry. The planner and the
@@ -53,6 +62,12 @@ type TableEntry struct {
 	// Lock around every mutation.
 	mu sync.RWMutex
 }
+
+// ID returns the entry's process-unique identifier: the global lock
+// acquisition order for code paths that hold more than one table lock at
+// once. Re-registering a name creates a new entry with a new (larger)
+// ID.
+func (e *TableEntry) ID() uint64 { return e.id }
 
 // Lock acquires the entry's writer lock (inserts, stats refresh, index
 // builds).
@@ -133,6 +148,7 @@ func (c *Catalog) Register(t *storage.Table) *TableEntry {
 		Table:   t,
 		Stats:   ComputeStats(t),
 		Indexes: make(map[string]*btree.Tree),
+		id:      entryIDs.Add(1),
 	}
 	c.mu.Lock()
 	c.tables[t.Name()] = entry
@@ -149,6 +165,7 @@ func (c *Catalog) RegisterWithoutStats(t *storage.Table) *TableEntry {
 		Table:   t,
 		Stats:   TableStats{Rows: t.NumRows(), Columns: make([]ColumnStats, t.Schema().NumColumns())},
 		Indexes: make(map[string]*btree.Tree),
+		id:      entryIDs.Add(1),
 	}
 	c.mu.Lock()
 	c.tables[t.Name()] = entry

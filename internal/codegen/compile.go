@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/parser"
 	"go/token"
+	"sync/atomic"
 	"time"
 
 	"hique/internal/core"
@@ -11,6 +12,18 @@ import (
 	"hique/internal/storage"
 	"hique/internal/types"
 )
+
+// fusionDisabled gates the -O2 fused pipelines (single-table and join).
+// It exists for benchmarks and differential tests that need the general
+// operator walk for the exact plan a fused pipeline would claim; serving
+// code never touches it.
+var fusionDisabled atomic.Bool
+
+// SetFusion enables or disables the fused -O2 pipelines process-wide.
+// Fusion is on by default; disabling it forces every plan through the
+// general engine walk. Only already-compiled queries keep their original
+// strategy — the toggle affects subsequent Generate calls.
+func SetFusion(enabled bool) { fusionDisabled.Store(!enabled) }
 
 // OptLevel is the post-generation optimisation level, the analogue of the
 // paper's gcc -O0 / -O2 axis (Table II).
@@ -74,13 +87,21 @@ func Generate(p *plan.Plan, level OptLevel) (*CompiledQuery, error) {
 	}
 	switch level {
 	case OptO2:
-		// Fused fast path: single-table plans compile to one pipeline
+		// Fused fast paths: single-table plans compile to one pipeline
 		// that probes/scans, filters, and projects straight into the
-		// result table, reading parameters from the bind vector without
-		// an execution copy of the plan.
-		if f := newFused(p); f != nil {
-			q.run = f.run
-			break
+		// result table; two-table equi-join plans (with optional GROUP BY
+		// aggregation, ORDER BY, and LIMIT) compile to one fused
+		// probe→join→filter→aggregate→emit loop. Both read parameters
+		// from the bind vector without an execution copy of the plan.
+		if !fusionDisabled.Load() {
+			if f := newFused(p); f != nil {
+				q.run = f.run
+				break
+			}
+			if fj := newFusedJoin(p); fj != nil {
+				q.run = fj.run
+				break
+			}
 		}
 		eng := core.NewEngine()
 		q.run = func(params []types.Datum) (*storage.Table, error) {

@@ -8,6 +8,7 @@
 // execution strategy the generator selects when the plan's shape allows
 // it, never a semantic fork, so every engine keeps byte-identical
 // results.
+
 package codegen
 
 import (
@@ -89,37 +90,11 @@ func newFused(p *plan.Plan) *fusedQuery {
 		idxSlot: -1,
 		limit:   p.Limit,
 	}
-	for _, flt := range st.Filters {
-		c := in.Column(flt.Col)
-		pr := fusedPred{off: in.Offset(flt.Col), op: flt.Op, kind: c.Kind, slot: -1}
-		if slot, ok := flt.Slot(); ok {
-			if c.Kind == types.String {
-				return nil
-			}
-			pr.slot = slot
-		} else {
-			switch c.Kind {
-			case types.Int, types.Date:
-				pr.i = flt.Val.I
-			case types.Float:
-				pr.f = flt.Val.F
-			case types.String:
-				if len(flt.Val.S) > c.Size {
-					// Wider than the column: never equal, and the stored
-					// field (a proper prefix at best) sorts strictly below
-					// the value. sOver folds that into the comparison.
-					pr.s = []byte(flt.Val.S[:c.Size])
-					pr.sOver = true
-				} else {
-					pr.s = make([]byte, c.Size)
-					copy(pr.s, flt.Val.S)
-				}
-			default:
-				return nil
-			}
-		}
-		f.preds = append(f.preds, pr)
+	preds, ok := compileFusedPreds(in, st.Filters)
+	if !ok {
+		return nil
 	}
+	f.preds = preds
 	if st.IndexScan != nil {
 		f.idx = st.IndexScan
 		if slot, ok := st.IndexScan.Slot(); ok {
@@ -224,10 +199,52 @@ func (f *fusedQuery) scan(t *storage.Table, params []types.Datum, out *storage.T
 	}
 }
 
-// match evaluates the predicate conjunction against one tuple.
-func (f *fusedQuery) match(tup []byte, params []types.Datum) bool {
-	for i := range f.preds {
-		pr := &f.preds[i]
+// compileFusedPreds lowers a stage's filters to the baked-offset form the
+// fused pipelines evaluate. ok is false when a filter needs per-execution
+// allocation — a parameterized string comparison requires padding the
+// bound value to the column width — in which case the caller declines
+// fusion and the general path handles the plan.
+func compileFusedPreds(in *types.Schema, filters []plan.Filter) ([]fusedPred, bool) {
+	var preds []fusedPred
+	for _, flt := range filters {
+		c := in.Column(flt.Col)
+		pr := fusedPred{off: in.Offset(flt.Col), op: flt.Op, kind: c.Kind, slot: -1}
+		if slot, ok := flt.Slot(); ok {
+			if c.Kind == types.String {
+				return nil, false
+			}
+			pr.slot = slot
+		} else {
+			switch c.Kind {
+			case types.Int, types.Date:
+				pr.i = flt.Val.I
+			case types.Float:
+				pr.f = flt.Val.F
+			case types.String:
+				if len(flt.Val.S) > c.Size {
+					// Wider than the column: never equal, and the stored
+					// field (a proper prefix at best) sorts strictly below
+					// the value. sOver folds that into the comparison.
+					pr.s = []byte(flt.Val.S[:c.Size])
+					pr.sOver = true
+				} else {
+					pr.s = make([]byte, c.Size)
+					copy(pr.s, flt.Val.S)
+				}
+			default:
+				return nil, false
+			}
+		}
+		preds = append(preds, pr)
+	}
+	return preds, true
+}
+
+// matchPreds evaluates a compiled predicate conjunction against one
+// tuple, reading parameterized comparison values from the bind vector.
+func matchPreds(preds []fusedPred, tup []byte, params []types.Datum) bool {
+	for i := range preds {
+		pr := &preds[i]
 		switch pr.kind {
 		case types.Int, types.Date:
 			v := pr.i
@@ -256,6 +273,11 @@ func (f *fusedQuery) match(tup []byte, params []types.Datum) bool {
 		}
 	}
 	return true
+}
+
+// match evaluates the predicate conjunction against one tuple.
+func (f *fusedQuery) match(tup []byte, params []types.Datum) bool {
+	return matchPreds(f.preds, tup, params)
 }
 
 func cmpOrdered[T int64 | float64](x, v T, op sql.CmpOp) bool {

@@ -1,0 +1,1571 @@
+// The fused join+aggregation pipeline: the paper's headline claim is
+// that holistically generated code for *whole* plans — joins and grouped
+// aggregation fused into tight loops, not just single-table scans —
+// beats iterator and vectorised engines. This file extends the PR 3 fast
+// path past single tables: a two-table equi-join plan (merge join for
+// index-ordered inputs, hybrid hash-sort-merge for unsorted ones, per
+// the planner's staged-algorithm selection) with optional GROUP BY
+// aggregation, ORDER BY, and LIMIT compiles into one
+// probe→join→filter→aggregate→emit pipeline.
+//
+// Like the single-table pipeline, this is an execution strategy, never a
+// semantic fork: every loop replicates the operator algorithms of
+// internal/core exactly — same staging scan order, same sort, same
+// partition hash and count, same merge traversal, same accumulator
+// arithmetic — so fused results are byte-identical to the general
+// engines, row order included. What the fusion removes is materialised
+// state and per-execution setup: no Plan.Bind copy (parameters are read
+// from the bind vector), no staged intermediate tables (tuples stage
+// into a pooled flat arena), no join-output table (joined tuples feed
+// the aggregation or the final projection directly), and a pooled
+// hash/partition scratch sized from the catalogue's cardinality
+// estimates.
+
+package codegen
+
+import (
+	"math"
+	"sync"
+
+	"hique/internal/btree"
+	"hique/internal/core"
+	"hique/internal/plan"
+	"hique/internal/sql"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// copyRange is one coalesced byte-range copy from a staged input tuple
+// into the assembled join tuple (the inlined add_to_result of the
+// paper's Listing 2).
+type copyRange struct{ srcOff, dstOff, size int }
+
+// fusedSide is one compiled join input: how to fetch base tuples (scan,
+// index probe, or ordered index traversal), the residual predicates, the
+// staging projection, and the key/partition geometry.
+type fusedSide struct {
+	base    int // index into Plan.Tables
+	preds   []fusedPred
+	project func(src, dst []byte)
+	schema  *types.Schema
+	width   int // staged tuple width
+	inWidth int // base tuple width
+
+	key    int // join-key column in the staged schema
+	keyCmp core.Compare
+
+	// idx, when non-nil, replaces the scan with equality probes through
+	// the fractal B+-tree (the stage's IndexScan spec); idxSlot is the
+	// bind slot of the probe key, -1 when baked.
+	idx     *plan.IndexScanSpec
+	idxSlot int
+
+	// orderedCol, when non-empty, names a base column whose B+-tree
+	// yields the staged tuples already in join-key order (merge join, no
+	// filters, unique key — ties would otherwise need the sort's
+	// permutation), eliding the sort entirely.
+	orderedCol string
+
+	// Partitioning (hybrid and fine joins): route maps a staged tuple to
+	// its partition — hash-and-modulo for coarse, value-directory binary
+	// search for fine (-1 drops the tuple: a key outside the directory
+	// cannot join). nil for merge join.
+	partitions int
+	route      func(t []byte) int32
+
+	// estRows is the optimizer's post-filter cardinality estimate; the
+	// staging arena pre-sizes from it.
+	estRows int
+}
+
+// aggWrite emits one aggregate's final value into an output tuple slot
+// (the compiled form of core's aggResult).
+type aggWrite struct {
+	fn      sql.AggFunc
+	star    bool
+	idx     int // aggregate position (accumulator index)
+	dstOff  int
+	isFloat bool // the staged argument column is Float
+}
+
+// fusedAgg is the compiled aggregation tail of a fused join: the staging
+// projection from the join tuple, the grouping comparator, the staging
+// action geometry, and the accumulator update/emit programs.
+type fusedAgg struct {
+	project  func(src, dst []byte) // join tuple -> staged agg tuple
+	schema   *types.Schema
+	width    int
+	nAggs    int
+	groupCmp core.Compare
+
+	// Exactly one of the four modes applies, mirroring the algorithm and
+	// the agg input stage's action: stream (StageNone sort aggregation —
+	// the interesting-order case: groups close in join emit order),
+	// sorted (StageSort), partitioned (StagePartitionCoarse, the hybrid
+	// hash-sort strategy), or mapped (map aggregation: the Figure 4
+	// offset formula updates flat aggregate arrays inside the join loop,
+	// no staging at all).
+	stream    bool
+	sorted    bool
+	sortCmp   core.Compare
+	parts     int
+	route     func(t []byte) int32
+	sortParts bool
+	mapped    bool
+
+	// Map-aggregation geometry: one value-directory lookup per grouping
+	// attribute, the Figure 4 strides, and the directory datums for group
+	// column emission. With a direct tail (every staged aggregation
+	// column a plain copy of a join input column), lookups and updates
+	// are compiled against the staged *side* tuples instead of a
+	// composed aggregation tuple: the group contribution of a side is
+	// loop-invariant while that side's tuple is fixed, so the join loop
+	// memoises it per side and the inner loop touches only the
+	// aggregate-argument bytes.
+	direct  bool
+	sideLk  [2][]sideLookup
+	lookups []func(t []byte) int32 // composed-tuple fallback
+	strides []int
+	nGroups int
+	dirCols []mapGroupCol
+
+	updates    []func(st *aggState, t []byte)
+	mapUpdates []sideUpdate
+	copies     []copyRange // rep tuple -> output tuple (group columns)
+	writes     []aggWrite
+
+	estRows int
+}
+
+// sideLookup is one group-directory probe bound to a staged side tuple,
+// pre-multiplied by its Figure 4 stride.
+type sideLookup struct {
+	fn     func(t []byte) int32
+	stride int32
+}
+
+// sideUpdate is one aggregate update bound to its source tuple: a staged
+// side (0/1) under a direct tail, or the composed aggregation tuple (-1).
+type sideUpdate struct {
+	side int8
+	fn   func(m *mapState, base int, t []byte)
+}
+
+// mapGroupCol emits one group column of a map aggregation from the
+// decoded directory indexes.
+type mapGroupCol struct {
+	dir    []types.Datum
+	refIdx int // index into the decoded idxs (GroupCols position)
+	dstOff int
+	kind   types.Kind
+	size   int
+}
+
+// mapState is the pooled flat-array state of a fused map aggregation
+// (core's RunMapAgg arrays, recycled across executions).
+type mapState struct {
+	sumI, cnt, minI, maxI []int64
+	sumF, minF, maxF      []float64
+	tuples                []int64
+	idxs                  []int
+}
+
+func (m *mapState) init(groups, aggs, groupCols int) {
+	n := groups * aggs
+	m.sumI = growZeroI(m.sumI, n, 0)
+	m.cnt = growZeroI(m.cnt, n, 0)
+	m.minI = growZeroI(m.minI, n, math.MaxInt64)
+	m.maxI = growZeroI(m.maxI, n, math.MinInt64)
+	m.sumF = growZeroF(m.sumF, n, 0)
+	m.minF = growZeroF(m.minF, n, math.Inf(1))
+	m.maxF = growZeroF(m.maxF, n, math.Inf(-1))
+	m.tuples = growZeroI(m.tuples, groups, 0)
+	if cap(m.idxs) < groupCols {
+		m.idxs = make([]int, groupCols)
+	}
+	m.idxs = m.idxs[:groupCols]
+}
+
+func growZeroI(s []int64, n int, v int64) []int64 {
+	if cap(s) < n {
+		s = make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func growZeroF(s []float64, n int, v float64) []float64 {
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// aggState is the per-execution accumulator state for one open group,
+// drawn from the pooled join scratch. Slices are indexed by aggregate
+// position; reset values mirror core's aggAccum exactly so MIN/MAX of
+// any non-empty group agree bit-for-bit.
+type aggState struct {
+	sumI, cnt, minI, maxI []int64
+	sumF, minF, maxF      []float64
+	tuples                int64
+	rep                   []byte
+	open                  bool
+	groups                int
+}
+
+func (st *aggState) init(n int) {
+	if cap(st.sumI) < n {
+		st.sumI = make([]int64, n)
+		st.cnt = make([]int64, n)
+		st.minI = make([]int64, n)
+		st.maxI = make([]int64, n)
+		st.sumF = make([]float64, n)
+		st.minF = make([]float64, n)
+		st.maxF = make([]float64, n)
+	}
+	st.sumI, st.cnt = st.sumI[:n], st.cnt[:n]
+	st.minI, st.maxI = st.minI[:n], st.maxI[:n]
+	st.sumF, st.minF, st.maxF = st.sumF[:n], st.minF[:n], st.maxF[:n]
+	st.groups = 0
+	st.open = false
+	st.reset()
+}
+
+func (st *aggState) reset() {
+	for i := range st.sumI {
+		st.sumI[i], st.sumF[i], st.cnt[i] = 0, 0, 0
+		st.minI[i], st.maxI[i] = math.MaxInt64, math.MinInt64
+		st.minF[i], st.maxF[i] = math.Inf(1), math.Inf(-1)
+	}
+	st.tuples = 0
+}
+
+// fusedJoin is the compiled two-table pipeline.
+type fusedJoin struct {
+	p     *plan.Plan
+	alg   plan.JoinAlgorithm
+	sides [2]fusedSide
+
+	copySpec  [2][]copyRange // staged tuple -> join tuple
+	joinWidth int
+	crossCmp  func(b, a []byte) int // side-1 tuple vs side-0 tuple
+
+	// tailCopy, when non-nil, is the fully-fused emit: the tail's output
+	// columns are all direct copies, so the pipeline composes the join's
+	// column mapping with the tail's projection at generation time and
+	// copies staged bytes straight into the output (or aggregation
+	// staging) slot — the assembled join tuple never materialises, not
+	// even in a buffer. Computed output columns fall back to the
+	// joinBuf + projector path.
+	tailCopy   [2][]copyRange
+	tailDirect bool
+
+	// Non-aggregate tail: the final projection from the join tuple.
+	project func(src, dst []byte)
+	// Aggregate tail.
+	agg *fusedAgg
+
+	outSchema *types.Schema
+	sortCmp   core.Compare // final ORDER BY, nil when absent
+	limit     int
+}
+
+// joinScratch holds every transient a fused join execution needs: the
+// per-side staging arenas and tuple references, the partition scratch
+// (the pooled analogue of a hash table, pre-sized from catalogue
+// estimates), the assembled join tuple, the aggregation staging arena,
+// and the accumulator state. One scratch serves one execution, drawn
+// from a process-wide pool, so a warm analytics query allocates
+// (amortised) nothing.
+type joinScratch struct {
+	arena   [2][]byte
+	partIdx [2][]int32
+	refs    [2][][]byte
+	parts   [2][][][]byte
+	counts  [2][]int
+	rows    [2]int
+
+	joinBuf []byte
+
+	aggBuf     []byte
+	aggArena   []byte
+	aggPartIdx []int32
+	aggRefs    [][]byte
+	aggParts   [][][]byte
+	aggCounts  []int
+	aggRows    int
+	agg        aggState
+	mapAgg     mapState
+
+	// Per-side memo of the map aggregation's partial group index: valid
+	// while the side's staged tuple (identified by its first byte's
+	// address, stable for the whole execution) is unchanged.
+	lastPtr [2]*byte
+	lastG   [2]int32
+}
+
+var joinScratchPool = sync.Pool{New: func() any { return new(joinScratch) }}
+
+// newFusedJoin compiles the fused pipeline for a two-table equi-join
+// plan, or returns nil when the plan's shape needs the general operator
+// walk: more tables, a string computed output, a parameterized string
+// filter, or an empty fine-partition value directory (a plan-level
+// error the general path reports).
+func newFusedJoin(p *plan.Plan) *fusedJoin {
+	if len(p.Tables) != 2 || len(p.Joins) != 1 {
+		return nil
+	}
+	j := p.Joins[0]
+	if !j.FusionEligible() {
+		return nil
+	}
+	f := &fusedJoin{p: p, alg: j.Alg, limit: p.Limit}
+	for i := 0; i < 2; i++ {
+		st := &j.Inputs[i]
+		s := &f.sides[i]
+		s.base = st.Input.Base
+		entry := p.Tables[s.base].Entry
+		in := entry.Table.Schema()
+		preds, ok := compileFusedPreds(in, st.Filters)
+		if !ok {
+			return nil
+		}
+		s.preds = preds
+		s.project = core.MakeProjector(in, st.Cols, st.Schema)
+		s.schema = st.Schema
+		s.width = st.Schema.TupleSize()
+		s.inWidth = in.TupleSize()
+		s.key = j.Keys[i]
+		s.keyCmp = core.MakeKeyCompare(st.Schema, []int{s.key})
+		s.idxSlot = -1
+		if st.IndexScan != nil {
+			s.idx = st.IndexScan
+			if slot, ok := st.IndexScan.Slot(); ok {
+				s.idxSlot = slot
+			}
+		}
+		switch st.Action {
+		case plan.StageSort:
+			// Merge join. If the base table carries a B+-tree on the
+			// join-key column, the key is unique, and nothing filters the
+			// side, the ordered leaf traversal replaces the sort: tuples
+			// arrive in exactly the order the sort would establish
+			// (uniqueness means no ties, so no permutation ambiguity).
+			if len(st.Filters) == 0 && st.IndexScan == nil {
+				kc := st.Cols[s.key].Source
+				name := in.Column(kc).Name
+				stats := &entry.Stats
+				if entry.Index(name) != nil && stats.Rows > 0 &&
+					stats.Columns[kc].DistinctValues == stats.Rows {
+					s.orderedCol = name
+				}
+			}
+		case plan.StagePartitionCoarse:
+			s.partitions = st.Partitions
+			s.route = makeCoarseRoute(st.Schema, st.PartitionKey, st.Partitions)
+		case plan.StagePartitionFine:
+			s.partitions = len(st.FineValues)
+			s.route = makeFineRoute(st.Schema, st.PartitionKey, st.FineValues)
+			if s.route == nil {
+				return nil
+			}
+		}
+		if s.estRows = int(st.EstRows); s.estRows < 0 {
+			s.estRows = 0
+		}
+	}
+	f.crossCmp = core.CrossCompare(j.Inputs[1].Schema, j.Keys[1], j.Inputs[0].Schema, j.Keys[0])
+
+	f.joinWidth = j.Schema.TupleSize()
+	for pos, o := range j.Out {
+		src := j.Inputs[o.Input].Schema
+		r := copyRange{src.Offset(o.Col), j.Schema.Offset(pos), src.Column(o.Col).Size}
+		specs := f.copySpec[o.Input]
+		if n := len(specs); n > 0 {
+			last := &specs[n-1]
+			if last.srcOff+last.size == r.srcOff && last.dstOff+last.size == r.dstOff {
+				last.size += r.size
+				continue
+			}
+		}
+		f.copySpec[o.Input] = append(specs, r)
+	}
+
+	switch {
+	case p.Agg != nil:
+		f.tailCopy, f.tailDirect = makeTailCopy(j, p.Agg.Input.Cols, p.Agg.Input.Schema)
+		fa := newFusedAgg(p.Agg, j, f.tailDirect)
+		if fa == nil {
+			return nil
+		}
+		f.agg = fa
+		f.outSchema = p.Agg.Schema
+	case p.Final != nil:
+		st := p.Final
+		if st.Input.Base >= 0 || st.Input.Join != 0 ||
+			st.Action != plan.StageNone || len(st.Filters) != 0 || st.IndexScan != nil {
+			return nil
+		}
+		if !projectableCols(st.Cols) {
+			return nil
+		}
+		f.project = core.MakeProjector(j.Schema, st.Cols, st.Schema)
+		f.outSchema = st.Schema
+		f.tailCopy, f.tailDirect = makeTailCopy(j, st.Cols, st.Schema)
+	default:
+		return nil
+	}
+	if p.Sort != nil {
+		f.sortCmp = core.MakeSortCompare(f.outSchema, p.Sort.Keys)
+	}
+	return f
+}
+
+// projectableCols reports whether every computed output column has a
+// kind the compiled projector supports (String computes would need
+// per-tuple allocation).
+func projectableCols(cols []plan.OutputColumn) bool {
+	for i := range cols {
+		c := &cols[i]
+		if c.Source >= 0 && c.Compute == nil {
+			continue
+		}
+		switch c.Compute.Kind() {
+		case types.Int, types.Float, types.Date:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// newFusedAgg compiles the aggregation tail over the join's output
+// schema, or returns nil when the algorithm or staging shape is outside
+// the fused pipeline. tailDirect reports that every staged aggregation
+// column is a plain copy of a join input column, which lets map
+// aggregation bind its directory lookups and updates to the staged side
+// tuples directly.
+func newFusedAgg(a *plan.Agg, j *plan.Join, tailDirect bool) *fusedAgg {
+	if !a.FusionEligible() {
+		return nil
+	}
+	st := &a.Input
+	if st.Input.Base >= 0 || st.Input.Join != 0 || len(st.Filters) != 0 || st.IndexScan != nil {
+		return nil
+	}
+	if !projectableCols(st.Cols) {
+		return nil
+	}
+	fa := &fusedAgg{
+		project:  core.MakeProjector(j.Schema, st.Cols, st.Schema),
+		schema:   st.Schema,
+		width:    st.Schema.TupleSize(),
+		nAggs:    len(a.Aggs),
+		groupCmp: core.MakeKeyCompare(st.Schema, a.GroupCols),
+	}
+	switch {
+	case a.Alg == plan.MapAggregation:
+		fa.mapped = true
+		fa.direct = tailDirect
+		fa.strides = make([]int, len(a.GroupCols))
+		s := 1
+		for i := len(a.GroupCols) - 1; i >= 0; i-- {
+			fa.strides[i] = s
+			s *= len(a.Directories[i])
+		}
+		fa.nGroups = s
+		// sideAt maps a staged column to its (join input, source offset);
+		// valid whenever the tail is direct (makeTailCopy proved every
+		// column a width-matched copy).
+		sideAt := func(col int) (int8, int) {
+			o := j.Out[st.Cols[col].Source]
+			return int8(o.Input), j.Inputs[o.Input].Schema.Offset(o.Col)
+		}
+		if fa.direct {
+			for i, gc := range a.GroupCols {
+				side, off := sideAt(gc)
+				c := st.Schema.Column(gc)
+				lk := makeDirLookupAt(c.Kind, off, c.Size, a.Directories[i])
+				if lk == nil {
+					return nil
+				}
+				fa.sideLk[side] = append(fa.sideLk[side], sideLookup{fn: lk, stride: int32(fa.strides[i])})
+			}
+		} else {
+			fa.lookups = make([]func(t []byte) int32, len(a.GroupCols))
+			for i, gc := range a.GroupCols {
+				fa.lookups[i] = makeFineRoute(st.Schema, gc, a.Directories[i])
+				if fa.lookups[i] == nil {
+					return nil
+				}
+			}
+		}
+	case st.Action == plan.StageNone:
+		fa.stream = true
+	case st.Action == plan.StageSort:
+		fa.sorted = true
+		fa.sortCmp = core.MakeKeyCompare(st.Schema, st.SortKeys)
+	case st.Action == plan.StagePartitionCoarse:
+		fa.parts = st.Partitions
+		fa.sortParts = st.SortPartitions
+		fa.sortCmp = core.MakeKeyCompare(st.Schema, st.SortKeys)
+		fa.route = makeCoarseRoute(st.Schema, st.PartitionKey, st.Partitions)
+	}
+	if fa.estRows = int(st.EstRows); fa.estRows < 0 {
+		fa.estRows = 0
+	}
+
+	// Per-tuple accumulator updates (core.compileUpdates, with the state
+	// passed in instead of captured, so one compiled program serves
+	// concurrent executions through pooled scratches). Map aggregation
+	// gets the flat-array flavour (indexed by group slot, Figure 4),
+	// bound to side tuples when the tail is direct.
+	if fa.mapped {
+		at := func(col int) (int8, int) { return -1, st.Schema.Offset(col) }
+		if fa.direct {
+			at = func(col int) (int8, int) {
+				o := j.Out[st.Cols[col].Source]
+				return int8(o.Input), j.Inputs[o.Input].Schema.Offset(o.Col)
+			}
+		}
+		fa.compileMapUpdates(a, st.Schema, at)
+	}
+	for i := range a.Aggs {
+		spec := &a.Aggs[i]
+		idx := i
+		if spec.Star {
+			continue // covered by aggState.tuples
+		}
+		off := st.Schema.Offset(spec.Col)
+		isFloat := st.Schema.Column(spec.Col).Kind == types.Float
+		switch spec.Func {
+		case sql.AggSum:
+			if isFloat {
+				fa.updates = append(fa.updates, func(st *aggState, t []byte) { st.sumF[idx] += types.GetFloat(t, off) })
+			} else {
+				fa.updates = append(fa.updates, func(st *aggState, t []byte) { st.sumI[idx] += types.GetInt(t, off) })
+			}
+		case sql.AggAvg:
+			if isFloat {
+				fa.updates = append(fa.updates, func(st *aggState, t []byte) { st.sumF[idx] += types.GetFloat(t, off); st.cnt[idx]++ })
+			} else {
+				fa.updates = append(fa.updates, func(st *aggState, t []byte) { st.sumF[idx] += float64(types.GetInt(t, off)); st.cnt[idx]++ })
+			}
+		case sql.AggCount:
+			fa.updates = append(fa.updates, func(st *aggState, t []byte) { st.cnt[idx]++ })
+		case sql.AggMin:
+			if isFloat {
+				fa.updates = append(fa.updates, func(st *aggState, t []byte) {
+					if v := types.GetFloat(t, off); v < st.minF[idx] {
+						st.minF[idx] = v
+					}
+				})
+			} else {
+				fa.updates = append(fa.updates, func(st *aggState, t []byte) {
+					if v := types.GetInt(t, off); v < st.minI[idx] {
+						st.minI[idx] = v
+					}
+				})
+			}
+		case sql.AggMax:
+			if isFloat {
+				fa.updates = append(fa.updates, func(st *aggState, t []byte) {
+					if v := types.GetFloat(t, off); v > st.maxF[idx] {
+						st.maxF[idx] = v
+					}
+				})
+			} else {
+				fa.updates = append(fa.updates, func(st *aggState, t []byte) {
+					if v := types.GetInt(t, off); v > st.maxI[idx] {
+						st.maxI[idx] = v
+					}
+				})
+			}
+		}
+	}
+
+	// Group emission program (core.makeGroupWriter / RunMapAgg's output
+	// loop): group columns copy from the representative tuple (or decode
+	// from the value directories under map aggregation), aggregates
+	// finalise from the state.
+	for pos, ref := range a.Output {
+		dstOff := a.Schema.Offset(pos)
+		if ref.IsAgg {
+			spec := &a.Aggs[ref.Index]
+			isFloat := false
+			if spec.Col >= 0 {
+				isFloat = st.Schema.Column(spec.Col).Kind == types.Float
+			}
+			fa.writes = append(fa.writes, aggWrite{fn: spec.Func, star: spec.Star, idx: ref.Index, dstOff: dstOff, isFloat: isFloat})
+			continue
+		}
+		if fa.mapped {
+			c := a.Schema.Column(pos)
+			fa.dirCols = append(fa.dirCols, mapGroupCol{
+				dir: a.Directories[ref.Index], refIdx: ref.Index,
+				dstOff: dstOff, kind: c.Kind, size: c.Size,
+			})
+		} else {
+			src := a.GroupCols[ref.Index]
+			fa.copies = append(fa.copies, copyRange{st.Schema.Offset(src), dstOff, st.Schema.Column(src).Size})
+		}
+	}
+	return fa
+}
+
+// compileMapUpdates builds the flat-array per-tuple updates of map
+// aggregation, replicating core.RunMapAgg's accumulation exactly. at
+// resolves an aggregate argument's staged column to the tuple the
+// update reads: a join side (direct tails) or the composed aggregation
+// tuple (side -1).
+func (fa *fusedAgg) compileMapUpdates(a *plan.Agg, schema *types.Schema, at func(col int) (int8, int)) {
+	for i := range a.Aggs {
+		spec := &a.Aggs[i]
+		idx := i
+		if spec.Star {
+			continue // covered by mapState.tuples
+		}
+		side, off := at(spec.Col)
+		isFloat := schema.Column(spec.Col).Kind == types.Float
+		var fn func(m *mapState, base int, t []byte)
+		switch spec.Func {
+		case sql.AggSum:
+			if isFloat {
+				fn = func(m *mapState, base int, t []byte) { m.sumF[base+idx] += types.GetFloat(t, off) }
+			} else {
+				fn = func(m *mapState, base int, t []byte) { m.sumI[base+idx] += types.GetInt(t, off) }
+			}
+		case sql.AggAvg:
+			if isFloat {
+				fn = func(m *mapState, base int, t []byte) { m.sumF[base+idx] += types.GetFloat(t, off); m.cnt[base+idx]++ }
+			} else {
+				fn = func(m *mapState, base int, t []byte) { m.sumF[base+idx] += float64(types.GetInt(t, off)); m.cnt[base+idx]++ }
+			}
+		case sql.AggCount:
+			fn = func(m *mapState, base int, t []byte) { m.cnt[base+idx]++ }
+		case sql.AggMin:
+			if isFloat {
+				fn = func(m *mapState, base int, t []byte) {
+					if v := types.GetFloat(t, off); v < m.minF[base+idx] {
+						m.minF[base+idx] = v
+					}
+				}
+			} else {
+				fn = func(m *mapState, base int, t []byte) {
+					if v := types.GetInt(t, off); v < m.minI[base+idx] {
+						m.minI[base+idx] = v
+					}
+				}
+			}
+		case sql.AggMax:
+			if isFloat {
+				fn = func(m *mapState, base int, t []byte) {
+					if v := types.GetFloat(t, off); v > m.maxF[base+idx] {
+						m.maxF[base+idx] = v
+					}
+				}
+			} else {
+				fn = func(m *mapState, base int, t []byte) {
+					if v := types.GetInt(t, off); v > m.maxI[base+idx] {
+						m.maxI[base+idx] = v
+					}
+				}
+			}
+		}
+		fa.mapUpdates = append(fa.mapUpdates, sideUpdate{side: side, fn: fn})
+	}
+}
+
+// push feeds one staged tuple, ordered by group, into the accumulator,
+// emitting the previous group when it closes. It returns false once the
+// group limit is reached (the caller aborts the pipeline).
+func (fa *fusedAgg) push(st *aggState, t []byte, out *storage.Table, limit int) bool {
+	if !st.open {
+		st.rep = append(st.rep[:0], t...)
+		st.open = true
+	} else if fa.groupCmp(st.rep, t) != 0 {
+		fa.emitGroup(st, out)
+		if limit >= 0 && st.groups >= limit {
+			st.open = false
+			return false
+		}
+		st.reset()
+		st.rep = append(st.rep[:0], t...)
+	}
+	st.tuples++
+	for _, u := range fa.updates {
+		u(st, t)
+	}
+	return true
+}
+
+// flush closes the open group at a partition boundary (hash partitioning
+// routes whole groups to one partition, so a group never spans parts).
+// It returns false once the group limit is reached.
+func (fa *fusedAgg) flush(st *aggState, out *storage.Table, limit int) bool {
+	if !st.open {
+		return true
+	}
+	fa.emitGroup(st, out)
+	st.reset()
+	st.open = false
+	return limit < 0 || st.groups < limit
+}
+
+// emitGroup writes one finished group straight into the result table.
+func (fa *fusedAgg) emitGroup(st *aggState, out *storage.Table) {
+	dst := out.AppendSlot()
+	for _, c := range fa.copies {
+		copy(dst[c.dstOff:c.dstOff+c.size], st.rep[c.srcOff:c.srcOff+c.size])
+	}
+	for _, w := range fa.writes {
+		switch w.fn {
+		case sql.AggSum:
+			if w.isFloat {
+				types.PutFloat(dst, w.dstOff, st.sumF[w.idx])
+			} else {
+				types.PutInt(dst, w.dstOff, st.sumI[w.idx])
+			}
+		case sql.AggAvg:
+			if st.cnt[w.idx] > 0 {
+				types.PutFloat(dst, w.dstOff, st.sumF[w.idx]/float64(st.cnt[w.idx]))
+			} else {
+				types.PutFloat(dst, w.dstOff, 0)
+			}
+		case sql.AggCount:
+			if w.star {
+				types.PutInt(dst, w.dstOff, st.tuples)
+			} else {
+				types.PutInt(dst, w.dstOff, st.cnt[w.idx])
+			}
+		case sql.AggMin:
+			if w.isFloat {
+				types.PutFloat(dst, w.dstOff, st.minF[w.idx])
+			} else {
+				types.PutInt(dst, w.dstOff, st.minI[w.idx])
+			}
+		case sql.AggMax:
+			if w.isFloat {
+				types.PutFloat(dst, w.dstOff, st.maxF[w.idx])
+			} else {
+				types.PutInt(dst, w.dstOff, st.maxI[w.idx])
+			}
+		}
+	}
+	st.groups++
+}
+
+// run executes the fused pipeline against a bind vector. The result
+// table draws its pages from the storage arena; the caller owns it and
+// releases it after draining.
+func (f *fusedJoin) run(params []types.Datum) (*storage.Table, error) {
+	if err := f.p.CheckArgs(params); err != nil {
+		return nil, err
+	}
+	out := storage.NewPooledTable("result", f.outSchema)
+	if f.limit == 0 {
+		return out, nil
+	}
+	sc := joinScratchPool.Get().(*joinScratch)
+	f.exec(sc, params, out)
+	joinScratchPool.Put(sc)
+
+	if f.sortCmp != nil {
+		sorted := core.SortTablePooled("result", out, f.sortCmp)
+		out.Release()
+		out = sorted
+		if f.limit >= 0 && out.NumRows() > f.limit {
+			truncated := storage.NewPooledTable("result", out.Schema())
+			n := 0
+			out.Scan(func(t []byte) bool {
+				if n >= f.limit {
+					return false
+				}
+				truncated.Append(t)
+				n++
+				return true
+			})
+			out.Release()
+			out = truncated
+		}
+	}
+	return out, nil
+}
+
+// exec stages both sides and drives the join loop into the output (or
+// the aggregation tail).
+func (f *fusedJoin) exec(sc *joinScratch, params []types.Datum, out *storage.Table) {
+	limit := f.limit
+	if f.sortCmp != nil {
+		limit = -1 // ORDER BY needs every row; LIMIT truncates after the sort
+	}
+	sorted := [2]bool{}
+	for i := 0; i < 2; i++ {
+		sorted[i] = f.stageSide(sc, i, params)
+	}
+	if cap(sc.joinBuf) < f.joinWidth {
+		sc.joinBuf = make([]byte, f.joinWidth)
+	}
+	sc.joinBuf = sc.joinBuf[:f.joinWidth]
+
+	if f.agg != nil {
+		if cap(sc.aggBuf) < f.agg.width {
+			sc.aggBuf = make([]byte, f.agg.width)
+		}
+		sc.aggBuf = sc.aggBuf[:f.agg.width]
+		if f.agg.mapped {
+			sc.mapAgg.init(f.agg.nGroups, f.agg.nAggs, len(f.agg.strides))
+			sc.lastPtr[0], sc.lastPtr[1] = nil, nil
+		} else {
+			sc.agg.init(f.agg.nAggs)
+			sc.aggArena = sc.aggArena[:0]
+			sc.aggPartIdx = sc.aggPartIdx[:0]
+			sc.aggRows = 0
+			if want := preSize(f.agg.estRows, f.agg.width); want > 0 && cap(sc.aggArena) < want {
+				sc.aggArena = make([]byte, 0, want)
+			}
+		}
+	}
+
+	switch f.alg {
+	case plan.MergeJoin:
+		in0 := f.buildRefs(sc, 0)
+		in1 := f.buildRefs(sc, 1)
+		if !sorted[0] {
+			core.SortTuples(in0, f.sides[0].keyCmp)
+		}
+		if !sorted[1] {
+			core.SortTuples(in1, f.sides[1].keyCmp)
+		}
+		f.mergeJoin(sc, in0, in1, out, limit)
+	case plan.HybridJoin:
+		p0 := f.partitionSide(sc, 0)
+		p1 := f.partitionSide(sc, 1)
+		for p := range p0 {
+			left, right := p0[p], p1[p]
+			if len(left) == 0 || len(right) == 0 {
+				continue
+			}
+			// Sort corresponding partitions just before merging them so
+			// the pair is L2-resident (§V-B).
+			core.SortTuples(left, f.sides[0].keyCmp)
+			core.SortTuples(right, f.sides[1].keyCmp)
+			if !f.mergeJoin(sc, left, right, out, limit) {
+				break
+			}
+		}
+	case plan.FinePartitionJoin:
+		// Corresponding partitions hold exactly one key value, so all
+		// tuples match: a pure nested loop per partition pair.
+		p0 := f.partitionSide(sc, 0)
+		p1 := f.partitionSide(sc, 1)
+	fine:
+		for p := range p0 {
+			left, right := p0[p], p1[p]
+			if len(left) == 0 || len(right) == 0 {
+				continue
+			}
+			for _, a := range left {
+				for _, b := range right {
+					if !f.emit(sc, a, b, out, limit) {
+						break fine
+					}
+				}
+			}
+		}
+	}
+
+	if f.agg != nil {
+		f.finishAgg(sc, out, limit)
+	}
+}
+
+// finishAgg completes the aggregation tail: a streaming aggregation just
+// flushes its last group; collect modes sort (or partition-sort) the
+// staged aggregation input and stream the groups out.
+func (f *fusedJoin) finishAgg(sc *joinScratch, out *storage.Table, limit int) {
+	fa := f.agg
+	st := &sc.agg
+	switch {
+	case fa.mapped:
+		f.emitMapGroups(sc, out, limit)
+	case fa.stream:
+		fa.flush(st, out, limit)
+	case fa.sorted:
+		refs := f.buildAggRefs(sc)
+		core.SortTuples(refs, fa.sortCmp)
+		for _, t := range refs {
+			if !fa.push(st, t, out, limit) {
+				return
+			}
+		}
+		fa.flush(st, out, limit)
+	default: // coarse partitions (hybrid hash-sort aggregation)
+		parts := f.partitionAgg(sc)
+		for _, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			if fa.sortParts {
+				core.SortTuples(part, fa.sortCmp)
+			}
+			for _, t := range part {
+				if !fa.push(st, t, out, limit) {
+					return
+				}
+			}
+			if !fa.flush(st, out, limit) {
+				return
+			}
+		}
+	}
+}
+
+// emitMapGroups writes the map aggregation's groups in directory order
+// (which is sorted order — an interesting order for a downstream ORDER
+// BY), skipping empty slots, exactly as core.RunMapAgg emits them.
+func (f *fusedJoin) emitMapGroups(sc *joinScratch, out *storage.Table, limit int) {
+	fa := f.agg
+	m := &sc.mapAgg
+	emitted := 0
+	for g := 0; g < fa.nGroups; g++ {
+		if m.tuples[g] == 0 {
+			continue
+		}
+		if limit >= 0 && emitted >= limit {
+			return
+		}
+		rem := g
+		for i := range m.idxs {
+			m.idxs[i] = rem / fa.strides[i]
+			rem %= fa.strides[i]
+		}
+		dst := out.AppendSlot()
+		for _, gc := range fa.dirCols {
+			d := gc.dir[m.idxs[gc.refIdx]]
+			switch gc.kind {
+			case types.Float:
+				types.PutFloat(dst, gc.dstOff, d.F)
+			case types.String:
+				types.PutString(dst, gc.dstOff, gc.size, d.S)
+			default:
+				types.PutInt(dst, gc.dstOff, d.I)
+			}
+		}
+		base := g * fa.nAggs
+		for _, w := range fa.writes {
+			i := base + w.idx
+			switch w.fn {
+			case sql.AggSum:
+				if w.isFloat {
+					types.PutFloat(dst, w.dstOff, m.sumF[i])
+				} else {
+					types.PutInt(dst, w.dstOff, m.sumI[i])
+				}
+			case sql.AggAvg:
+				if m.cnt[i] > 0 {
+					types.PutFloat(dst, w.dstOff, m.sumF[i]/float64(m.cnt[i]))
+				} else {
+					types.PutFloat(dst, w.dstOff, 0)
+				}
+			case sql.AggCount:
+				if w.star {
+					types.PutInt(dst, w.dstOff, m.tuples[g])
+				} else {
+					types.PutInt(dst, w.dstOff, m.cnt[i])
+				}
+			case sql.AggMin:
+				if w.isFloat {
+					types.PutFloat(dst, w.dstOff, m.minF[i])
+				} else {
+					types.PutInt(dst, w.dstOff, m.minI[i])
+				}
+			case sql.AggMax:
+				if w.isFloat {
+					types.PutFloat(dst, w.dstOff, m.maxF[i])
+				} else {
+					types.PutInt(dst, w.dstOff, m.maxI[i])
+				}
+			}
+		}
+		emitted++
+	}
+}
+
+// emit hands one joined pair to the pipeline tail: the final projection
+// for plain joins, the aggregation staging for GROUP BY. When the tail
+// is all direct copies (tailDirect), staged bytes copy straight into the
+// destination slot and the join tuple never materialises; otherwise the
+// pair is assembled into joinBuf and run through the compiled projector.
+// It returns false when the pipeline is complete (row limit hit, or the
+// streaming aggregation reached its group limit).
+func (f *fusedJoin) emit(sc *joinScratch, t0, t1 []byte, out *storage.Table, limit int) bool {
+	fa := f.agg
+	if fa == nil {
+		f.fillTail(sc, t0, t1, out.AppendSlot())
+		return limit < 0 || out.NumRows() < limit
+	}
+	if fa.mapped {
+		// The fully-fused pipeline: locate the group slot via the value
+		// directories and update the flat aggregate arrays right here in
+		// the join loop (paper Fig. 4) — no staging, no sort, no state
+		// but the arrays.
+		m := &sc.mapAgg
+		g := 0
+		if fa.direct {
+			// Side-bound lookups with a per-side memo: a side's group
+			// contribution is invariant while its tuple is fixed, which
+			// hoists the directory probe out of the join's inner loop.
+			for s := 0; s < 2; s++ {
+				lks := fa.sideLk[s]
+				if len(lks) == 0 {
+					continue
+				}
+				t := t0
+				if s == 1 {
+					t = t1
+				}
+				var pg int32
+				if sc.lastPtr[s] == &t[0] {
+					pg = sc.lastG[s]
+				} else {
+					for _, l := range lks {
+						di := l.fn(t)
+						if di < 0 {
+							pg = -1
+							break
+						}
+						pg += di * l.stride
+					}
+					sc.lastPtr[s], sc.lastG[s] = &t[0], pg
+				}
+				if pg < 0 {
+					return true // value outside directory: stale stats; skip
+				}
+				g += int(pg)
+			}
+			m.tuples[g]++
+			base := g * fa.nAggs
+			for _, u := range fa.mapUpdates {
+				if u.side == 1 {
+					u.fn(m, base, t1)
+				} else {
+					u.fn(m, base, t0)
+				}
+			}
+			return true
+		}
+		f.fillTail(sc, t0, t1, sc.aggBuf)
+		for i, lk := range fa.lookups {
+			di := lk(sc.aggBuf)
+			if di < 0 {
+				return true // value outside directory: stale stats; skip
+			}
+			g += int(di) * fa.strides[i]
+		}
+		m.tuples[g]++
+		base := g * fa.nAggs
+		for _, u := range fa.mapUpdates {
+			u.fn(m, base, sc.aggBuf)
+		}
+		return true
+	}
+	if fa.stream {
+		f.fillTail(sc, t0, t1, sc.aggBuf)
+		return fa.push(&sc.agg, sc.aggBuf, out, limit)
+	}
+	// Collect mode: stage the aggregation input tuple into the arena
+	// (and its partition route), deferring group evaluation to finishAgg.
+	w := fa.width
+	if w > 0 {
+		off := len(sc.aggArena)
+		sc.aggArena = extendArena(sc.aggArena, w)
+		slot := sc.aggArena[off : off+w]
+		f.fillTail(sc, t0, t1, slot)
+		if fa.parts > 0 {
+			sc.aggPartIdx = append(sc.aggPartIdx, fa.route(slot))
+		}
+	} else if fa.parts > 0 {
+		sc.aggPartIdx = append(sc.aggPartIdx, 0)
+	}
+	sc.aggRows++
+	return true
+}
+
+// fillTail writes the tail's output tuple for one joined pair.
+func (f *fusedJoin) fillTail(sc *joinScratch, t0, t1, dst []byte) {
+	if f.tailDirect {
+		for _, c := range f.tailCopy[0] {
+			copy(dst[c.dstOff:c.dstOff+c.size], t0[c.srcOff:c.srcOff+c.size])
+		}
+		for _, c := range f.tailCopy[1] {
+			copy(dst[c.dstOff:c.dstOff+c.size], t1[c.srcOff:c.srcOff+c.size])
+		}
+		return
+	}
+	buf := sc.joinBuf
+	for _, c := range f.copySpec[0] {
+		copy(buf[c.dstOff:c.dstOff+c.size], t0[c.srcOff:c.srcOff+c.size])
+	}
+	for _, c := range f.copySpec[1] {
+		copy(buf[c.dstOff:c.dstOff+c.size], t1[c.srcOff:c.srcOff+c.size])
+	}
+	if f.agg != nil {
+		f.agg.project(buf, dst)
+	} else {
+		f.project(buf, dst)
+	}
+}
+
+// makeTailCopy composes the join's column mapping with a tail stage's
+// projection: when every tail output column is a direct copy of a join
+// column (itself a direct copy of a staged column), the result is a pair
+// of coalesced staged→output byte-range lists and the join tuple needs
+// no buffer at all. ok is false when any column is computed or widths
+// disagree.
+func makeTailCopy(j *plan.Join, cols []plan.OutputColumn, out *types.Schema) ([2][]copyRange, bool) {
+	var spec [2][]copyRange
+	for i := range cols {
+		c := &cols[i]
+		if c.Source < 0 || c.Compute != nil {
+			return spec, false
+		}
+		o := j.Out[c.Source]
+		src := j.Inputs[o.Input].Schema
+		size := out.Column(i).Size
+		if src.Column(o.Col).Size != size {
+			return spec, false
+		}
+		r := copyRange{src.Offset(o.Col), out.Offset(i), size}
+		s := spec[o.Input]
+		if n := len(s); n > 0 {
+			last := &s[n-1]
+			if last.srcOff+last.size == r.srcOff && last.dstOff+last.size == r.dstOff {
+				last.size += r.size
+				continue
+			}
+		}
+		spec[o.Input] = append(s, r)
+	}
+	return spec, true
+}
+
+// mergeJoin is the two-way sorted merge: advance both inputs to the next
+// common key, delimit the matching group in each, and emit the product —
+// exactly core's mergeJoinK specialised to k = 2, so emit order matches
+// the general engine byte-for-byte.
+func (f *fusedJoin) mergeJoin(sc *joinScratch, in0, in1 [][]byte, out *storage.Table, limit int) bool {
+	if len(in0) == 0 || len(in1) == 0 {
+		return true
+	}
+	cross := f.crossCmp
+	same0, same1 := f.sides[0].keyCmp, f.sides[1].keyCmp
+	pos0, pos1 := 0, 0
+	for {
+		// Align both inputs on a common key.
+		for {
+			c := cross(in1[pos1], in0[pos0])
+			for c < 0 {
+				pos1++
+				if pos1 >= len(in1) {
+					return true
+				}
+				c = cross(in1[pos1], in0[pos0])
+			}
+			if c > 0 {
+				pos0++
+				if pos0 >= len(in0) {
+					return true
+				}
+				continue
+			}
+			break
+		}
+		// Delimit the matching group in each input.
+		e0 := pos0 + 1
+		head0 := in0[pos0]
+		for e0 < len(in0) && same0(in0[e0], head0) == 0 {
+			e0++
+		}
+		e1 := pos1 + 1
+		head1 := in1[pos1]
+		for e1 < len(in1) && same1(in1[e1], head1) == 0 {
+			e1++
+		}
+		// Emit the product of the groups; singleton groups (the
+		// key/foreign-key case) skip the inner loops.
+		if e0-pos0 == 1 && e1-pos1 == 1 {
+			if !f.emit(sc, head0, head1, out, limit) {
+				return false
+			}
+		} else {
+			for a := pos0; a < e0; a++ {
+				for b := pos1; b < e1; b++ {
+					if !f.emit(sc, in0[a], in1[b], out, limit) {
+						return false
+					}
+				}
+			}
+		}
+		pos0, pos1 = e0, e1
+		if pos0 >= len(in0) || pos1 >= len(in1) {
+			return true
+		}
+	}
+}
+
+// stageSide fetches, filters, and projects one join input into the
+// scratch arena — the staging pass of the generated code (Listing 1
+// extended with the join pre-processing). It reports whether the staged
+// tuples are already in key order (the ordered index traversal).
+func (f *fusedJoin) stageSide(sc *joinScratch, i int, params []types.Datum) bool {
+	s := &f.sides[i]
+	entry := f.p.Tables[s.base].Entry
+	t := entry.Table
+	sc.arena[i] = sc.arena[i][:0]
+	sc.partIdx[i] = sc.partIdx[i][:0]
+	sc.rows[i] = 0
+	if want := preSize(s.estRows, s.width); want > 0 && cap(sc.arena[i]) < want {
+		sc.arena[i] = make([]byte, 0, want)
+	}
+
+	if s.idx != nil {
+		if tree := entry.Index(s.idx.Column); tree != nil {
+			f.probeSide(sc, i, tree, t, params)
+			return false
+		}
+		// Index dropped since planning: the equality filter is still in
+		// preds, so the scan below stays correct.
+	} else if s.orderedCol != "" {
+		if tree := entry.Index(s.orderedCol); tree != nil {
+			f.orderedSide(sc, i, tree, t)
+			return true
+		}
+	}
+	f.scanSide(sc, i, t, params)
+	return false
+}
+
+// scanSide is the full-scan staging loop: direct page iteration with
+// offset arithmetic, predicates evaluated against the bind vector.
+func (f *fusedJoin) scanSide(sc *joinScratch, i int, t *storage.Table, params []types.Datum) {
+	s := &f.sides[i]
+	w, inW := s.width, s.inWidth
+	for pi := 0; pi < t.NumPages(); pi++ {
+		pg := t.Page(pi)
+		n := pg.NumTuples()
+		data := pg.Data()
+		for k, base := 0, 0; k < n; k, base = k+1, base+inW {
+			tup := data[base : base+inW : base+inW]
+			if len(s.preds) > 0 && !matchPreds(s.preds, tup, params) {
+				continue
+			}
+			off := len(sc.arena[i])
+			sc.arena[i] = extendArena(sc.arena[i], w)
+			slot := sc.arena[i][off : off+w]
+			s.project(tup, slot)
+			if s.route != nil {
+				p := s.route(slot)
+				if p < 0 {
+					sc.arena[i] = sc.arena[i][:off]
+					continue
+				}
+				sc.partIdx[i] = append(sc.partIdx[i], p)
+			}
+			sc.rows[i]++
+		}
+	}
+}
+
+// probeSide stages through the fractal B+-tree: equality lookups in RID
+// order, residual predicates re-applied, projection into the arena — the
+// same tuple order core's ApplyIndexScan materialises, so the subsequent
+// sort permutes identically.
+func (f *fusedJoin) probeSide(sc *joinScratch, i int, tree *btree.Tree, t *storage.Table, params []types.Datum) {
+	s := &f.sides[i]
+	key := s.idx.Value.I
+	if s.idxSlot >= 0 {
+		key = params[s.idxSlot].I
+	}
+	w := s.width
+	tree.Range(key, key, func(_ int64, rid btree.RID) bool {
+		if int(rid.Page) >= t.NumPages() {
+			return true
+		}
+		page := t.Page(int(rid.Page))
+		if int(rid.Slot) >= page.NumTuples() {
+			return true
+		}
+		tup := page.Tuple(int(rid.Slot))
+		if len(s.preds) > 0 && !matchPreds(s.preds, tup, params) {
+			return true
+		}
+		off := len(sc.arena[i])
+		sc.arena[i] = extendArena(sc.arena[i], w)
+		slot := sc.arena[i][off : off+w]
+		s.project(tup, slot)
+		if s.route != nil {
+			p := s.route(slot)
+			if p < 0 {
+				sc.arena[i] = sc.arena[i][:off]
+				return true
+			}
+			sc.partIdx[i] = append(sc.partIdx[i], p)
+		}
+		sc.rows[i]++
+		return true
+	})
+}
+
+// orderedSide stages through the B+-tree's ordered leaf traversal: the
+// staged tuples arrive already sorted on the join key, so the merge join
+// starts without a sort — the paper's case for index-ordered inputs.
+func (f *fusedJoin) orderedSide(sc *joinScratch, i int, tree *btree.Tree, t *storage.Table) {
+	s := &f.sides[i]
+	w := s.width
+	tree.Ascend(func(_ int64, rid btree.RID) bool {
+		if int(rid.Page) >= t.NumPages() {
+			return true
+		}
+		page := t.Page(int(rid.Page))
+		if int(rid.Slot) >= page.NumTuples() {
+			return true
+		}
+		off := len(sc.arena[i])
+		sc.arena[i] = extendArena(sc.arena[i], w)
+		s.project(page.Tuple(int(rid.Slot)), sc.arena[i][off:off+w])
+		sc.rows[i]++
+		return true
+	})
+}
+
+// buildRefs slices the staged arena into per-tuple references.
+func (f *fusedJoin) buildRefs(sc *joinScratch, i int) [][]byte {
+	return sliceRefs(&sc.refs[i], sc.arena[i], f.sides[i].width, sc.rows[i])
+}
+
+// buildAggRefs slices the aggregation staging arena into references.
+func (f *fusedJoin) buildAggRefs(sc *joinScratch) [][]byte {
+	return sliceRefs(&sc.aggRefs, sc.aggArena, f.agg.width, sc.aggRows)
+}
+
+func sliceRefs(dst *[][]byte, arena []byte, w, n int) [][]byte {
+	refs := (*dst)[:0]
+	if cap(refs) < n {
+		refs = make([][]byte, 0, n)
+	}
+	if w == 0 {
+		// Zero-width tuples (group-less aggregation): n empty references.
+		for k := 0; k < n; k++ {
+			refs = append(refs, nil)
+		}
+	} else {
+		for k, off := 0, 0; k < n; k, off = k+1, off+w {
+			refs = append(refs, arena[off:off+w:off+w])
+		}
+	}
+	*dst = refs
+	return refs
+}
+
+// partitionSide groups a staged side's tuples by their recorded
+// partition route (a counting sort over the flat arena, preserving scan
+// order within each partition exactly as core's per-partition appends
+// do). The reference and count arrays live in the pooled scratch.
+func (f *fusedJoin) partitionSide(sc *joinScratch, i int) [][][]byte {
+	return bucketArena(&sc.parts[i], &sc.counts[i], &sc.refs[i],
+		sc.arena[i], f.sides[i].width, sc.rows[i], sc.partIdx[i], f.sides[i].partitions)
+}
+
+// partitionAgg is partitionSide for the aggregation staging arena.
+func (f *fusedJoin) partitionAgg(sc *joinScratch) [][][]byte {
+	return bucketArena(&sc.aggParts, &sc.aggCounts, &sc.aggRefs,
+		sc.aggArena, f.agg.width, sc.aggRows, sc.aggPartIdx, f.agg.parts)
+}
+
+func bucketArena(partsDst *[][][]byte, countsDst *[]int, refsDst *[][]byte, arena []byte, w, n int, idx []int32, m int) [][][]byte {
+	if m <= 1 {
+		// One partition: the bucket is the staging order itself.
+		refs := sliceRefs(refsDst, arena, w, n)
+		parts := (*partsDst)[:0]
+		parts = append(parts, refs)
+		*partsDst = parts
+		return parts
+	}
+	counts := *countsDst
+	if cap(counts) < m {
+		counts = make([]int, m)
+	} else {
+		counts = counts[:m]
+		for p := range counts {
+			counts[p] = 0
+		}
+	}
+	for _, p := range idx {
+		counts[p]++
+	}
+	// Prefix sums -> per-partition start offsets.
+	start := 0
+	for p := range counts {
+		c := counts[p]
+		counts[p] = start
+		start += c
+	}
+	// Stable scatter into the pooled reference array, laid out partition
+	// by partition.
+	ordered := *refsDst
+	if cap(ordered) < n {
+		ordered = make([][]byte, n)
+	} else {
+		ordered = ordered[:n]
+	}
+	for k := 0; k < n; k++ {
+		var t []byte
+		if w > 0 {
+			off := k * w
+			t = arena[off : off+w : off+w]
+		}
+		p := idx[k]
+		ordered[counts[p]] = t
+		counts[p]++
+	}
+	parts := (*partsDst)[:0]
+	if cap(parts) < m {
+		parts = make([][][]byte, 0, m)
+	}
+	prev := 0
+	for p := 0; p < m; p++ {
+		end := counts[p]
+		parts = append(parts, ordered[prev:end])
+		prev = end
+	}
+	*partsDst = parts
+	*countsDst = counts
+	*refsDst = ordered
+	return parts
+}
+
+// makeCoarseRoute compiles the hash-and-modulo partition route,
+// bit-identically to core's coarseRouter (§V-B). A partition key outside
+// the schema (group-less aggregation staging) routes everything to 0,
+// and a single partition skips the hash entirely — the route is total
+// either way, so the shortcut cannot change which bucket a tuple lands
+// in.
+func makeCoarseRoute(schema *types.Schema, key, m int) func(t []byte) int32 {
+	if key >= schema.NumColumns() || m <= 1 {
+		return func([]byte) int32 { return 0 }
+	}
+	c := schema.Column(key)
+	off := schema.Offset(key)
+	mask := uint64(m - 1)
+	if c.Kind == types.String {
+		end := off + c.Size
+		return func(t []byte) int32 { return int32(core.HashBytes(t[off:end]) & mask) }
+	}
+	// Int, Date, and Float (raw bits; equal floats have equal bits).
+	return func(t []byte) int32 { return int32(core.HashInt(types.GetInt(t, off)) & mask) }
+}
+
+// makeFineRoute compiles the value-directory route of the fine-partition
+// join: binary search over the sorted directory, -1 for keys outside it
+// (they cannot produce a match; core's fineRouter drops them the same
+// way). nil when the key kind has no directory form.
+func makeFineRoute(schema *types.Schema, key int, dir []types.Datum) func(t []byte) int32 {
+	c := schema.Column(key)
+	return makeDirLookupAt(c.Kind, schema.Offset(key), c.Size, dir)
+}
+
+// makeDirLookupAt is makeFineRoute with the column geometry explicit, so
+// the same directory probe compiles against either a staged schema or a
+// join input's tuple layout (the direct map-aggregation path).
+func makeDirLookupAt(kind types.Kind, off, size int, dir []types.Datum) func(t []byte) int32 {
+	switch kind {
+	case types.Int, types.Date:
+		vals := make([]int64, len(dir))
+		for i, d := range dir {
+			vals[i] = d.I
+		}
+		// Dense contiguous domains (surrogate keys) route by offset; the
+		// directory is sorted and distinct, so span == n-1 proves it.
+		if n := len(vals); vals[n-1]-vals[0] == int64(n-1) {
+			lo := vals[0]
+			hi := int64(n)
+			return func(t []byte) int32 {
+				v := types.GetInt(t, off) - lo
+				if v < 0 || v >= hi {
+					return -1
+				}
+				return int32(v)
+			}
+		}
+		return func(t []byte) int32 {
+			v := types.GetInt(t, off)
+			lo, hi := 0, len(vals)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if vals[mid] < v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(vals) && vals[lo] == v {
+				return int32(lo)
+			}
+			return -1
+		}
+	case types.String:
+		vals := make([]string, len(dir))
+		for i, d := range dir {
+			vals[i] = d.S
+		}
+		return func(t []byte) int32 {
+			v := types.GetString(t, off, size)
+			lo, hi := 0, len(vals)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if vals[mid] < v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(vals) && vals[lo] == v {
+				return int32(lo)
+			}
+			return -1
+		}
+	}
+	return nil
+}
+
+// preSize converts the optimizer's cardinality estimate into an initial
+// arena capacity, capped so a wild estimate cannot front-load a huge
+// allocation (past the cap the arena grows geometrically as staged
+// tuples actually arrive).
+func preSize(estRows, width int) int {
+	const maxPreSize = 1 << 20
+	want := estRows * width
+	if want > maxPreSize {
+		return maxPreSize
+	}
+	return want
+}
+
+// extendArena grows a flat staging arena by w bytes, reusing capacity.
+func extendArena(b []byte, w int) []byte {
+	if len(b)+w <= cap(b) {
+		return b[:len(b)+w]
+	}
+	nb := make([]byte, len(b)+w, 2*(len(b)+w)+256)
+	copy(nb, b)
+	return nb
+}

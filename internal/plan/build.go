@@ -831,6 +831,19 @@ func (b *builder) chooseBinaryAlgorithm(e joinEdge, cur *relation) JoinAlgorithm
 	if cur != nil && cur.sortedBy >= 0 && cur.sortedBy == b.classOf[[2]int{e.lt, e.lc}] {
 		return MergeJoin
 	}
+	// Index order: when both sides are base tables carrying a fractal
+	// B+-tree on a *unique* join key, both inputs stream in key order
+	// without paying the sort — an interesting *physical* order (§IV), so
+	// merging wins regardless of input size. Uniqueness is what makes the
+	// tree order exploitable: with duplicate keys the leaf order differs
+	// from the sort's tie permutation, so the executor would have to sort
+	// anyway and the small-domain (fine-partition) choice below is better.
+	// The fused executor exploits the traversal directly; staged engines
+	// still sort, which costs them nothing they would not have paid under
+	// the hybrid choice.
+	if cur == nil && b.joinKeyIndexOrdered(e.lt, e.lc) && b.joinKeyIndexOrdered(e.rt, e.rc) {
+		return MergeJoin
+	}
 	// Fine partitioning when the key domain is small enough for a
 	// cache-resident value directory.
 	rightDV := b.tables[e.rt].Entry.Stats.Columns[e.rc].DistinctValues
@@ -849,6 +862,18 @@ func (b *builder) chooseBinaryAlgorithm(e joinEdge, cur *relation) JoinAlgorithm
 		return MergeJoin
 	}
 	return HybridJoin
+}
+
+// joinKeyIndexOrdered reports whether a base table's join-key column is
+// indexed AND unique, i.e. the B+-tree's leaf traversal is a total key
+// order usable as a staging order (only Int/Date columns are indexable).
+func (b *builder) joinKeyIndexOrdered(ti, ci int) bool {
+	entry := b.tables[ti].Entry
+	stats := &entry.Stats
+	if stats.Rows == 0 || stats.Columns[ci].DistinctValues != stats.Rows {
+		return false
+	}
+	return entry.Index(entry.Table.Schema().Column(ci).Name) != nil
 }
 
 // reconcilePartitions forces every coarse-partitioned input of a join to

@@ -214,6 +214,53 @@ type Join struct {
 	EstRows float64
 }
 
+// FusionEligible reports whether the join's shape allows the holistic
+// fused pipeline: a binary join over two base-table inputs whose staging
+// matches the algorithm (sorted inputs for merge join, coarse partitions
+// for the hybrid hash-sort-merge join, a non-empty value directory for
+// the fine-partition join) and whose staged columns are all direct
+// copies. Filters and index specs on the inputs may carry parameter
+// slots — including on the join-key columns themselves — since the fused
+// executor reads the bind vector at run time. The generator applies
+// further checks of its own (predicate compilability, computed output
+// kinds); this method captures the structural half so the planner and
+// the generator agree on what "fusible" means.
+func (j *Join) FusionEligible() bool {
+	if len(j.Inputs) != 2 || len(j.Keys) != 2 {
+		return false
+	}
+	for i := range j.Inputs {
+		st := &j.Inputs[i]
+		if st.Input.Base < 0 {
+			return false
+		}
+		switch j.Alg {
+		case MergeJoin:
+			if st.Action != StageSort {
+				return false
+			}
+		case HybridJoin:
+			if st.Action != StagePartitionCoarse || st.Partitions <= 0 {
+				return false
+			}
+		case FinePartitionJoin:
+			// An empty value directory is a plan-level error the general
+			// path reports; decline so the message stays identical.
+			if st.Action != StagePartitionFine || len(st.FineValues) == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+		for k := range st.Cols {
+			if st.Cols[k].Source < 0 || st.Cols[k].Compute != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // AggAlgorithm enumerates the aggregation strategies of §V-B.
 type AggAlgorithm int
 
@@ -271,6 +318,26 @@ type Agg struct {
 	Directories [][]types.Datum
 	// EstGroups is the optimizer's estimate of the group count.
 	EstGroups float64
+}
+
+// FusionEligible reports whether the aggregation's algorithm and staging
+// action are ones the fused pipeline can evaluate: sort aggregation over
+// an input that is already ordered (StageNone, the interesting-order
+// case) or explicitly sorted (StageSort), hybrid hash-sort aggregation
+// over coarse partitions, and map aggregation through its value
+// directories (the Figure 4 offset formula updates aggregate arrays
+// inside the join loop — the fully-fused headline pipeline).
+func (a *Agg) FusionEligible() bool {
+	switch a.Alg {
+	case SortAggregation:
+		return a.Input.Action == StageNone || a.Input.Action == StageSort
+	case HybridAggregation:
+		return a.Input.Action == StagePartitionCoarse && a.Input.Partitions > 0
+	case MapAggregation:
+		return a.Input.Action == StageNone &&
+			len(a.GroupCols) > 0 && len(a.Directories) == len(a.GroupCols)
+	}
+	return false
 }
 
 // SortKey is one ORDER BY key over the final result schema.

@@ -1,10 +1,26 @@
 // Package plan implements HIQUE's query optimizer (paper §IV): it binds a
 // parsed statement against the catalogue, classifies predicates into
 // selections and equi-joins, orders joins greedily to minimise intermediate
-// result size, detects join teams and interesting orders, selects the
-// evaluation algorithm for every operator, and emits the topologically
-// sorted list of operator descriptors that the code generator instantiates
-// (the input of Figure 3).
+// result size, detects join teams and interesting orders (including
+// physical index order on unique join keys), selects the evaluation
+// algorithm for every operator, and emits the topologically sorted list of
+// operator descriptors that the code generator instantiates (the input of
+// Figure 3). DML statements lower to the flat WritePlan descriptor
+// (write.go) instead of the operator list.
+//
+// Callers: hique.DB plans under the referenced tables' reader locks (the
+// statistics a plan bakes in must match the data the locks pin); every
+// engine — core, volcano, dsm, and the codegen pipelines — consumes the
+// same descriptors. The Fusion-eligibility methods (Join.FusionEligible,
+// Agg.FusionEligible) tell the generator which shapes its fused pipelines
+// may claim.
+//
+// Ownership and pooling: a built Plan is immutable once cached — parameter
+// slots (ParamSlot, the Filter/IndexScanSpec Param encoding) are resolved
+// by Bind into a copy, never in place, and the serving path recycles those
+// copies through the pooled BindScratch (GetBindScratch/PutBindScratch,
+// one per concurrent caller). The fused pipelines skip Bind entirely and
+// read the bind vector at execution time.
 package plan
 
 import (

@@ -289,10 +289,12 @@ func (b *builder) chooseAggAlgorithm(agg *Agg, st *Stage, rel *relation, groupRe
 	}
 
 	// Map aggregation requires value directories for every grouping
-	// attribute; those exist only for base-table inputs with small
-	// domains. The cache rule of §V-B: directories plus aggregate arrays
-	// must fit in the lowest cache level.
-	if rel.ref.Base >= 0 && len(agg.GroupCols) > 0 {
+	// attribute; those exist for grouping columns that resolve to base
+	// table columns with small domains — including through a join, since
+	// a join never widens a column's value domain. The cache rule of
+	// §V-B: directories plus aggregate arrays must fit in the lowest
+	// cache level.
+	if len(agg.GroupCols) > 0 {
 		if dirs, product, ok := b.aggDirectories(rel); ok {
 			dirBytes := 0
 			for _, d := range dirs {
@@ -330,16 +332,22 @@ func (b *builder) chooseAggAlgorithm(agg *Agg, st *Stage, rel *relation, groupRe
 
 // aggDirectories collects the per-attribute value directories for map
 // aggregation. It returns ok=false if any grouping attribute lacks a
-// directory (large domain or non-base input).
+// directory (large domain, or a column the catalogue keeps no values
+// for). Grouping columns are resolved to their base-table origin — a
+// join restricts but never widens a column's domain, so the base
+// directory stays a valid (possibly sparse) group index.
 func (b *builder) aggDirectories(rel *relation) ([][]types.Datum, float64, bool) {
-	if rel.ref.Base < 0 || len(b.stmt.GroupBy) == 0 {
+	if len(b.stmt.GroupBy) == 0 {
 		return nil, 0, false
 	}
 	dirs := make([][]types.Datum, len(b.stmt.GroupBy))
 	product := 1.0
 	for i := range b.stmt.GroupBy {
 		ti, ci, err := b.resolveColumn(&b.stmt.GroupBy[i])
-		if err != nil || ti != rel.ref.Base {
+		if err != nil {
+			return nil, 0, false
+		}
+		if rel.ref.Base >= 0 && ti != rel.ref.Base {
 			return nil, 0, false
 		}
 		dir := b.fineDirectory(ti, ci)

@@ -12,6 +12,16 @@
 // differs from the current stamp evicts the entry and reports a miss —
 // stale plans self-invalidate on the next touch, no invalidation
 // broadcast needed. Eviction is LRU.
+//
+// Callers: hique.DB owns two instances — the read cache
+// (*codegen.CompiledQuery values) and the write cache (*plan.WritePlan
+// values, "dml\0"-prefixed keys; the key spaces cannot collide). Cached
+// values are immutable and shared across concurrent executions: the
+// cache hands out the same pointer to every hitter, so anything
+// per-execution (bind vectors, scratches, results) lives outside the
+// cached artefact. GetStamped is the warm path's spelling: it takes the
+// key as bytes from a pooled buffer and leaves stamp validation to the
+// caller, which re-checks under the table locks it holds.
 package plancache
 
 import (

@@ -5,6 +5,18 @@
 // Tuples within a page are stored consecutively, so the i-th tuple of a page
 // lives at data[HeaderSize + i*tupleSize] — the array layout the generated
 // code exploits through direct offset arithmetic (paper Listing 1).
+//
+// Callers: base tables are owned by the catalogue (internal/catalog) and
+// mutated only under their entry's writer lock; engines read them under
+// reader locks held by hique.DB for the whole plan+execute+materialise
+// span. Transient tables — staged intermediates, sorted copies, partition
+// sets, materialised results — draw their frames from the process-wide
+// page arena (pool.go): NewPooledTable acquires, Release returns, and
+// ownership is explicit — exactly one owner per acquisition, release only
+// after the last read, never while the tuples might still be aliased
+// (identity-elided stages alias base pages, which is why materialisation
+// happens under the table locks). ArenaStats exposes the gets−puts
+// balance; a quiesced serving path drives it back to zero.
 package storage
 
 import (
