@@ -1,0 +1,152 @@
+package hique
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hique/internal/codegen"
+	"hique/internal/plan"
+	"hique/internal/storage"
+)
+
+// StageStats is one recorded pipeline stage of an EXPLAIN ANALYZE run.
+// Names are canonical across engines (join[J].stage[K], join[J],
+// aggregate, project, sort); RowsOut of the join and terminal stages is
+// the operator's output cardinality on every engine, while RowsIn and
+// Elapsed describe how this engine decomposed the work.
+type StageStats struct {
+	Name      string `json:"name"`
+	RowsIn    int64  `json:"rows_in"`
+	RowsOut   int64  `json:"rows_out"`
+	ElapsedUs int64  `json:"elapsed_us"`
+}
+
+// AnalyzeResult is the outcome of DB.ExplainAnalyze: the optimizer's
+// plan, the per-stage execution statistics, and the totals of the actual
+// run that produced them.
+type AnalyzeResult struct {
+	Engine  string        `json:"engine"`
+	Plan    string        `json:"plan"`
+	Stages  []StageStats  `json:"stages"`
+	Rows    int           `json:"rows"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// String renders the plan followed by the stage table.
+func (a *AnalyzeResult) String() string {
+	var b strings.Builder
+	b.WriteString(a.Plan)
+	if !strings.HasSuffix(a.Plan, "\n") {
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "engine: %s\n", a.Engine)
+	for _, s := range a.Stages {
+		fmt.Fprintf(&b, "%-18s rows_in=%-10d rows_out=%-10d elapsed=%s\n",
+			s.Name, s.RowsIn, s.RowsOut, time.Duration(s.ElapsedUs)*time.Microsecond)
+	}
+	fmt.Fprintf(&b, "result: %d rows in %s\n", a.Rows, a.Elapsed)
+	return b.String()
+}
+
+// ExplainAnalyze plans, executes, and profiles a SELECT statement: the
+// engines record per-stage row counts and timings into a pooled trace
+// attached to this execution only. The statement actually runs (its
+// result is drained to count rows), on the engine currently selected —
+// holistic engines compile a dedicated traced pipeline, so cached
+// serving pipelines never carry trace branches and pay nothing when
+// tracing is not requested.
+func (db *DB) ExplainAnalyze(query string, args ...any) (res *AnalyzeResult, err error) {
+	defer db.met.noteQuery(&err)
+	defer containPanic(&err)
+	db.mu.RLock()
+	exec, engine := db.exec, db.engine
+	db.mu.RUnlock()
+
+	p, unlock, err := db.planLocked(query)
+	if err != nil {
+		return nil, err
+	}
+	planText := p.Explain()
+	params, err := bindValuesInto(nil, p.Params, nil, false, args)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+
+	tr := plan.GetTrace()
+	defer plan.PutTrace(tr)
+	p.Trace = tr
+
+	var run func() (*storage.Table, error)
+	engineName := exec.Name()
+	if level, compiled := cacheLevel(engine); compiled {
+		// The serving path for holistic engines is the codegen pipeline;
+		// compile a fresh artefact against the traced plan so fused loops
+		// bake their trace hooks in (codegen.fusedQuery.traced).
+		cq, gerr := codegen.Generate(p, level)
+		if gerr != nil {
+			unlock()
+			return nil, gerr
+		}
+		run = func() (*storage.Table, error) { return cq.RunParams(params) }
+	} else {
+		bp, berr := p.Bind(params)
+		if berr != nil {
+			unlock()
+			return nil, berr
+		}
+		run = func() (*storage.Table, error) { return exec.Execute(bp) }
+	}
+
+	var dst Result
+	if err := db.finish(&dst, p, unlock, run); err != nil {
+		return nil, err
+	}
+	out := &AnalyzeResult{
+		Engine:  engineName,
+		Plan:    planText,
+		Stages:  make([]StageStats, len(tr.Stages)),
+		Rows:    len(dst.Rows),
+		Elapsed: dst.Elapsed,
+	}
+	for i, s := range tr.Stages {
+		out.Stages[i] = StageStats{
+			Name:      s.Name,
+			RowsIn:    s.RowsIn,
+			RowsOut:   s.RowsOut,
+			ElapsedUs: s.Elapsed.Microseconds(),
+		}
+	}
+	return out, nil
+}
+
+// StripExplainAnalyze reports whether stmt starts with the EXPLAIN
+// ANALYZE keywords (case-insensitive) and returns the statement that
+// follows them — the SQL front ends use it to route the analyze form of
+// a query.
+func StripExplainAnalyze(stmt string) (string, bool) {
+	rest, ok := stripKeyword(stmt, "explain")
+	if !ok {
+		return stmt, false
+	}
+	rest, ok = stripKeyword(rest, "analyze")
+	if !ok {
+		return stmt, false
+	}
+	return strings.TrimLeft(rest, " \t\r\n"), true
+}
+
+// stripKeyword removes one leading keyword (case-insensitive, must be
+// followed by whitespace) after trimming leading space.
+func stripKeyword(s, kw string) (string, bool) {
+	s = strings.TrimLeft(s, " \t\r\n")
+	if len(s) <= len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return s, false
+	}
+	switch s[len(kw)] {
+	case ' ', '\t', '\r', '\n':
+		return s[len(kw)+1:], true
+	}
+	return s, false
+}

@@ -1,0 +1,191 @@
+package hique
+
+// Differential tests for EXPLAIN ANALYZE: every engine must report the
+// same stage-name set, and the cross-engine invariant columns — join
+// RowsOut and terminal-stage RowsOut — must agree with each other and
+// with the actual result cardinality. RowsIn and Elapsed are advisory
+// (engines differ in where they apply filters), so they are only checked
+// for sanity, never for equality.
+//
+// The query list deliberately avoids LIMIT (the fused pipeline stops
+// early while general engines truncate after the fact, so intermediate
+// counts legitimately differ) and group-less aggregates over empty
+// inputs (the identity row is appended after the engines run).
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+var analyzeEngines = []Engine{Holistic, GenericIterators, OptimizedIterators, ColumnStore, HolisticUnoptimized}
+
+var analyzeQueries = []struct {
+	name string
+	sql  string
+	args []any
+}{
+	{name: "scan", sql: "SELECT id, price FROM fact WHERE id < 50 ORDER BY id"},
+	{name: "agg", sql: "SELECT grp, COUNT(*) AS n, SUM(price) AS s FROM fact GROUP BY grp ORDER BY grp"},
+	{name: "join", sql: "SELECT f.id, d.label FROM fact f, dim d WHERE f.grp = d.id ORDER BY f.id"},
+	{name: "join-agg", sql: "SELECT d.label, COUNT(*) AS n FROM fact f, dim d WHERE f.grp = d.id GROUP BY d.label ORDER BY d.label"},
+	{name: "join-param", sql: "SELECT f.id, d.label FROM fact f, dim d WHERE f.grp = d.id AND f.price > ? ORDER BY f.id", args: []any{500.0}},
+}
+
+func stageNames(stages []StageStats) []string {
+	names := make([]string, len(stages))
+	for i, s := range stages {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func stageByName(stages []StageStats, name string) (StageStats, bool) {
+	for _, s := range stages {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StageStats{}, false
+}
+
+// terminalStage picks the stage whose RowsOut must equal the result
+// cardinality: sort if present, else aggregate, else project.
+func terminalStage(stages []StageStats) (StageStats, bool) {
+	for _, name := range []string{"sort", "aggregate", "project"} {
+		if s, ok := stageByName(stages, name); ok {
+			return s, true
+		}
+	}
+	return StageStats{}, false
+}
+
+func TestExplainAnalyzeDifferential(t *testing.T) {
+	for _, q := range analyzeQueries {
+		t.Run(q.name, func(t *testing.T) {
+			type run struct {
+				engine string
+				a      *AnalyzeResult
+			}
+			var runs []run
+			for _, e := range analyzeEngines {
+				db := joinTestDB(t, WithEngine(e))
+				a, err := db.ExplainAnalyze(q.sql, q.args...)
+				if err != nil {
+					t.Fatalf("%s: %v", e, err)
+				}
+				runs = append(runs, run{engine: e.String(), a: a})
+			}
+			base := runs[0]
+			if base.a.Rows == 0 {
+				t.Fatalf("degenerate test query: 0 rows")
+			}
+			baseNames := stageNames(base.a.Stages)
+			baseTerm, ok := terminalStage(base.a.Stages)
+			if !ok {
+				t.Fatalf("%s: no terminal stage in %v", base.engine, baseNames)
+			}
+			if baseTerm.RowsOut != int64(base.a.Rows) {
+				t.Errorf("%s: terminal stage %s RowsOut %d != result rows %d",
+					base.engine, baseTerm.Name, baseTerm.RowsOut, base.a.Rows)
+			}
+			for _, r := range runs[1:] {
+				if r.a.Rows != base.a.Rows {
+					t.Errorf("%s: %d rows, %s: %d rows", base.engine, base.a.Rows, r.engine, r.a.Rows)
+				}
+				if names := stageNames(r.a.Stages); !reflect.DeepEqual(names, baseNames) {
+					t.Errorf("stage sets differ: %s=%v %s=%v", base.engine, baseNames, r.engine, names)
+					continue
+				}
+				term, _ := terminalStage(r.a.Stages)
+				if term.RowsOut != baseTerm.RowsOut {
+					t.Errorf("terminal RowsOut differ: %s=%d %s=%d",
+						base.engine, baseTerm.RowsOut, r.engine, term.RowsOut)
+				}
+				// Every join stage's output cardinality is an invariant of
+				// the query, not of the engine.
+				for _, s := range base.a.Stages {
+					if len(s.Name) < 4 || s.Name[:4] != "join" {
+						continue
+					}
+					rs, ok := stageByName(r.a.Stages, s.Name)
+					if !ok {
+						t.Errorf("%s missing stage %s", r.engine, s.Name)
+						continue
+					}
+					if rs.RowsOut != s.RowsOut {
+						t.Errorf("stage %s RowsOut differ: %s=%d %s=%d",
+							s.Name, base.engine, s.RowsOut, r.engine, rs.RowsOut)
+					}
+				}
+				for _, s := range r.a.Stages {
+					if s.RowsOut < 0 || s.RowsIn < 0 || s.ElapsedUs < 0 {
+						t.Errorf("%s stage %s has negative fields: %+v", r.engine, s.Name, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzeMatchesQuery asserts EXPLAIN ANALYZE returns the same
+// cardinality as the plain query path, and that running it does not
+// poison the plan cache for subsequent untraced queries.
+func TestExplainAnalyzeMatchesQuery(t *testing.T) {
+	db := joinTestDB(t, WithPlanCache(16))
+	const q = "SELECT d.label, COUNT(*) AS n FROM fact f, dim d WHERE f.grp = d.id GROUP BY d.label ORDER BY d.label"
+
+	a, err := db.ExplainAnalyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != len(res.Rows) {
+		t.Fatalf("analyze rows %d != query rows %d", a.Rows, len(res.Rows))
+	}
+	// Warm the cache and re-query: the cached plan must not carry a trace.
+	for i := 0; i < 3; i++ {
+		res2, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res2.Rows, res.Rows) {
+			t.Fatal("cached query result drifted after EXPLAIN ANALYZE")
+		}
+	}
+	if a.Plan == "" {
+		t.Error("missing plan text")
+	}
+	if a.String() == "" {
+		t.Error("empty renderer output")
+	}
+}
+
+func TestStripExplainAnalyze(t *testing.T) {
+	cases := []struct {
+		in   string
+		rest string
+		ok   bool
+	}{
+		{"EXPLAIN ANALYZE SELECT 1 FROM fact", "SELECT 1 FROM fact", true},
+		{"explain analyze\n SELECT id FROM fact", "SELECT id FROM fact", true},
+		{"  Explain   Analyze SELECT id FROM fact", "SELECT id FROM fact", true},
+		{"SELECT id FROM fact", "", false},
+		{"EXPLAIN SELECT id FROM fact", "", false},
+		{"EXPLAINANALYZE SELECT 1", "", false},
+	}
+	for _, c := range cases {
+		rest, ok := StripExplainAnalyze(c.in)
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && rest != c.rest {
+			t.Errorf("%q: rest = %q, want %q", c.in, rest, c.rest)
+		}
+	}
+}

@@ -15,6 +15,14 @@
 // allocs_per_op / bytes_per_op rows to the given file ("-" for stdout),
 // so the serving-path perf trajectory can be tracked across revisions as
 // committed BENCH_*.json snapshots.
+//
+// -gate compares the freshly measured warm-path rows against a committed
+// snapshot and exits non-zero on regression: allocs/op must not exceed
+// the recorded value at all (allocation counts are deterministic), and
+// ns/op must stay within -gate-slack of it (latency is noisy on shared
+// runners, so the default slack is generous; tighten it on quiet
+// hardware). This is the CI perf gate: telemetry is always on, so a pass
+// means the serving path carries its metrics within the envelope.
 package main
 
 import (
@@ -29,24 +37,44 @@ import (
 	"hique/internal/bench/serving"
 )
 
+// gatedWorkloads are the warm serving-path rows the -gate flag enforces:
+// the shapes a query-serving deployment actually sits in steady-state.
+var gatedWorkloads = []string{
+	"PointQueryShapeCache/auto-param",
+	"PointQueryShapeCache/explicit-params",
+	"ServingColdVsWarm/warm",
+	"JoinAgg/warm-fused",
+	"JoinAgg/warm-hit-into",
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id ("+strings.Join(bench.Experiments(), ", ")+", or all)")
 	scale := flag.Float64("scale", 0.1, "microbenchmark scale relative to the paper's workloads (1.0 = paper size)")
 	sf := flag.Float64("sf", 0.1, "TPC-H scale factor (1.0 = paper size, ~6M lineitems)")
 	jsonOut := flag.String("json", "", "run the serving micro-benchmarks and write JSON results to this file (\"-\" for stdout)")
+	gate := flag.String("gate", "", "compare warm-path results against this BENCH_*.json snapshot and fail on regression")
+	gateSlack := flag.Float64("gate-slack", 2.0, "latency regression factor tolerated by -gate (allocs are gated exactly)")
 	flag.Parse()
 
-	if *jsonOut != "" {
+	if *jsonOut != "" || *gate != "" {
 		results := serving.Micro()
-		data, err := json.MarshalIndent(results, "", "  ")
-		if err != nil {
-			fatal(err)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(results, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			data = append(data, '\n')
+			if *jsonOut == "-" {
+				os.Stdout.Write(data)
+			} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fatal(err)
+			}
 		}
-		data = append(data, '\n')
-		if *jsonOut == "-" {
-			os.Stdout.Write(data)
-		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			fatal(err)
+		if *gate != "" {
+			if err := runGate(*gate, *gateSlack, results); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "gate: warm serving path within envelope of %s (slack %.2gx)\n", *gate, *gateSlack)
 		}
 		return
 	}
@@ -68,6 +96,50 @@ func main() {
 		fmt.Println(r.Format())
 	}
 	fmt.Printf("total harness time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runGate checks the measured warm-path rows against the committed
+// snapshot at path.
+func runGate(path string, slack float64, results []serving.MicroResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var envelope []serving.MicroResult
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		return fmt.Errorf("gate: parsing %s: %w", path, err)
+	}
+	byName := make(map[string]serving.MicroResult, len(envelope))
+	for _, e := range envelope {
+		byName[e.Name] = e
+	}
+	measured := make(map[string]serving.MicroResult, len(results))
+	for _, r := range results {
+		measured[r.Name] = r
+	}
+	var failures []string
+	for _, name := range gatedWorkloads {
+		want, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("gate: %s has no row %q — regenerate the snapshot", path, name)
+		}
+		got, ok := measured[name]
+		if !ok {
+			return fmt.Errorf("gate: benchmark %q did not run", name)
+		}
+		if got.AllocsPerOp > want.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, envelope %d",
+				name, got.AllocsPerOp, want.AllocsPerOp))
+		}
+		if limit := want.NsPerOp * slack; got.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op, envelope %.0f x %.2g = %.0f",
+				name, got.NsPerOp, want.NsPerOp, slack, limit))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate: serving path regressed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func fatal(err error) {

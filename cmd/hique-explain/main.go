@@ -7,6 +7,7 @@
 //	hique-explain -sf 0.01 "SELECT ... FROM lineitem ..."
 //	hique-explain -sf 0.01 -q 1          # TPC-H Query 1
 //	hique-explain -dir ./data "SELECT ..."   # against hique-gen output
+//	hique-explain -analyze -q 1          # EXPLAIN ANALYZE: run + stage stats
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"hique"
 	"hique/internal/catalog"
 	"hique/internal/codegen"
 	"hique/internal/plan"
@@ -27,6 +29,8 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "generate an in-memory TPC-H catalogue at this scale factor")
 	dir := flag.String("dir", "", "load tables from this directory instead of generating TPC-H")
 	qnum := flag.Int("q", 0, "use TPC-H query 1, 3 or 10 instead of a SQL argument")
+	analyze := flag.Bool("analyze", false, "execute the query and report per-stage rows and timings (EXPLAIN ANALYZE)")
+	engine := flag.String("engine", "holistic", "engine for -analyze: holistic, generic-iterators, optimized-iterators, column-store, holistic-O0")
 	flag.Parse()
 
 	query := strings.Join(flag.Args(), " ")
@@ -66,6 +70,28 @@ func main() {
 		}
 	} else {
 		cat = tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: 42})
+	}
+
+	if *analyze {
+		eng, ok := hique.EngineByName(*engine)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+			os.Exit(2)
+		}
+		// An "EXPLAIN ANALYZE SELECT ..." argument is accepted too — the
+		// keywords are implied by -analyze.
+		if rest, ok := hique.StripExplainAnalyze(query); ok {
+			query = rest
+		}
+		db := hique.Open(hique.WithCatalog(cat), hique.WithEngine(eng))
+		a, err := db.ExplainAnalyze(query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("--- EXPLAIN ANALYZE ---")
+		fmt.Print(a.String())
+		return
 	}
 
 	stmt, err := sql.Parse(query)

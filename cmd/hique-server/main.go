@@ -9,6 +9,9 @@
 //	hique-server -dir ./data              # open tables written by hique-gen
 //	hique-server -workers 16 -cache 512   # tune admission + plan cache
 //	hique-server -pprof                   # expose /debug/pprof/ endpoints
+//	hique-server -pprof -mutexprofile 100 -blockprofile 10000
+//	                                      # + lock-contention / blocking profiles
+//	hique-server -slow-query 50ms -slow-query-log slow.jsonl
 //
 // Endpoints:
 //
@@ -21,8 +24,11 @@
 //	                {"rows_affected","elapsed_us","session"}; a whole
 //	                statement applies under one writer-lock acquisition.
 //	                Engine panics are contained per statement (422).
+//	                "EXPLAIN ANALYZE SELECT ..." runs the statement with
+//	                per-stage tracing and answers with the stage table.
 //	GET  /healthz   load-balancer liveness probe (no pool slot)
-//	GET  /stats     serving + plan-cache counters
+//	GET  /metrics   Prometheus text exposition (no pool slot)
+//	GET  /stats     serving + plan-cache + arena counters
 //	GET  /tables    catalogued tables with schemata
 //	GET  /sessions  live client sessions
 //
@@ -36,6 +42,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 
 	"hique"
@@ -53,6 +60,10 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
 	engine := flag.String("engine", "holistic", "execution engine (holistic, generic-iterators, optimized-iterators, column-store, holistic-O0)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+	mutexFrac := flag.Int("mutexprofile", 0, "mutex profile sampling fraction (runtime.SetMutexProfileFraction; 0 disables)")
+	blockRate := flag.Int("blockprofile", 0, "block profile sampling rate in ns (runtime.SetBlockProfileRate; 0 disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log statements slower than this threshold (0 disables)")
+	slowLog := flag.String("slow-query-log", "", "slow-query log file (JSON lines; default stderr)")
 	flag.Parse()
 
 	e, ok := hique.EngineByName(*engine)
@@ -92,7 +103,26 @@ func main() {
 	}
 	fmt.Printf("hique-server: engine=%s workers=%d cache=%d listening on %s\n",
 		db.EngineName(), *workers, *cacheSize, *addr)
-	srv := server.New(db, server.Config{Workers: *workers, QueueWait: *queueWait})
+	cfg := server.Config{Workers: *workers, QueueWait: *queueWait, SlowQueryThreshold: *slowQuery}
+	if *slowLog != "" {
+		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SlowQueryLog = f
+	}
+	if *slowQuery > 0 {
+		fmt.Printf("hique-server: slow-query log enabled, threshold %s\n", *slowQuery)
+	}
+	if *mutexFrac > 0 {
+		// Lock-contention profiling for /debug/pprof/mutex: sampled, so a
+		// small fraction is safe to leave on in production.
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	srv := server.New(db, cfg)
 	handler := srv.Handler()
 	if *pprofOn {
 		// Production-shaped profiling without a rebuild: CPU/heap/alloc

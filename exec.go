@@ -92,6 +92,9 @@ var execScratchPool = sync.Pool{New: func() any { return new(execScratch) }}
 // parameterized INSERT, the hot ingest shape, skips re-parsing and
 // re-planning entirely.
 func (db *DB) Exec(query string, args ...any) (res ExecResult, err error) {
+	// Statement accounting, registered before containPanic so a contained
+	// panic is classified as such (LIFO defer order).
+	defer db.met.noteQuery(&err)
 	defer containPanic(&err)
 
 	sc := execScratchPool.Get().(*execScratch)
@@ -118,6 +121,12 @@ func (db *DB) Exec(query string, args ...any) (res ExecResult, err error) {
 		}
 		return w, nil
 	}
+	// A write-cache hit is the warm DML shape (the repeated parameterized
+	// INSERT); a miss pays parse + plan, the cold shape.
+	temp := tempCold
+	if wp != nil {
+		temp = tempWarm
+	}
 	if wp == nil {
 		if wp, err = replan(); err != nil {
 			return ExecResult{}, err
@@ -128,7 +137,11 @@ func (db *DB) Exec(query string, args ...any) (res ExecResult, err error) {
 			db.writeCache.Invalidate(string(sc.key))
 		}
 	}
-	return db.execWrite(wp, args, sc, invalidate, replan)
+	res, err = db.execWrite(wp, args, sc, invalidate, replan)
+	if err == nil {
+		db.met.lat[classDML][pathGeneral][temp].Observe(res.Elapsed)
+	}
+	return res, err
 }
 
 // planWrite parses and plans a DML statement, validating literal widths
@@ -171,6 +184,7 @@ func (db *DB) execWrite(wp *plan.WritePlan, args []any, sc *execScratch, invalid
 		e := wp.Entry
 		start := time.Now()
 		e.Lock()
+		db.met.lockWait.Observe(time.Since(start))
 		if cur, lerr := db.cat.Lookup(wp.Table); lerr != nil || cur != e {
 			e.Unlock()
 			invalidate()
@@ -431,13 +445,14 @@ type PreparedExec struct {
 // Run executes the prepared statement with the given parameter values
 // (one per '?' placeholder).
 func (p *PreparedExec) Run(args ...any) (res ExecResult, err error) {
+	defer p.db.met.noteQuery(&err)
 	defer containPanic(&err)
 	sc := execScratchPool.Get().(*execScratch)
 	defer execScratchPool.Put(sc)
 	p.mu.Lock()
 	wp := p.plan
 	p.mu.Unlock()
-	return p.db.execWrite(wp, args, sc, func() {}, func() (*plan.WritePlan, error) {
+	res, err = p.db.execWrite(wp, args, sc, func() {}, func() (*plan.WritePlan, error) {
 		w, err := p.db.planWrite(p.query)
 		if err != nil {
 			return nil, err
@@ -447,4 +462,9 @@ func (p *PreparedExec) Run(args ...any) (res ExecResult, err error) {
 		p.mu.Unlock()
 		return w, nil
 	})
+	if err == nil {
+		// A prepared handle skips parse and plan every Run: warm.
+		p.db.met.lat[classDML][pathGeneral][tempWarm].Observe(res.Elapsed)
+	}
+	return res, err
 }

@@ -37,6 +37,7 @@ import (
 	"hique/internal/codegen"
 	"hique/internal/core"
 	"hique/internal/dsm"
+	"hique/internal/obs"
 	"hique/internal/plan"
 	"hique/internal/plancache"
 	"hique/internal/sql"
@@ -141,6 +142,10 @@ type DB struct {
 	// statements so one compiled plan serves the whole query shape.
 	// Guarded by mu; on by default.
 	autoParam bool
+
+	// met is the always-on serving telemetry (see metrics.go); set once
+	// in Open, immutable afterwards.
+	met *dbMetrics
 }
 
 // Option configures a DB at Open time.
@@ -191,8 +196,14 @@ func Open(options ...Option) *DB {
 	for _, o := range options {
 		o(db)
 	}
+	db.met = newDBMetrics(db)
 	return db
 }
+
+// Metrics exposes the DB's telemetry registry for exposition (the HTTP
+// server's GET /metrics writes it in the Prometheus text format).
+// Telemetry is always on; recording costs a few atomic adds per query.
+func (db *DB) Metrics() *obs.Registry { return db.met.reg }
 
 // SetEngine switches the execution engine.
 func (db *DB) SetEngine(e Engine) {
@@ -614,6 +625,10 @@ type queryScratch struct {
 var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
 func (db *DB) queryInto(dst *Result, query string, args []any) (err error) {
+	// Count the statement and classify its failure on the way out;
+	// registered before containPanic so the LIFO defer order lets the
+	// panic convert to an error first.
+	defer db.met.noteQuery(&err)
 	// Last-resort containment: execution and materialisation panics are
 	// converted lock-safely inside runCompiled / finishLocked; this outer
 	// recover catches anything unexpected above them so one statement
@@ -669,7 +684,14 @@ func (db *DB) queryInto(dst *Result, query string, args []any) (err error) {
 		unlock()
 		return err
 	}
-	return db.finish(dst, bp, unlock, func() (*storage.Table, error) { return exec.Execute(bp) })
+	err = db.finish(dst, bp, unlock, func() (*storage.Table, error) { return exec.Execute(bp) })
+	if err == nil {
+		// The uncached path re-plans every execution (cold) and runs the
+		// general engine walk; classification here is amortised against
+		// the full parse→plan pipeline it just paid for.
+		db.met.lat[classifyPlan(p)][pathGeneral][tempCold].Observe(dst.Elapsed)
+	}
+	return err
 }
 
 // queryLiteralKeyed runs the cached path without auto-parameterization:
@@ -714,13 +736,14 @@ func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql
 		if !ok {
 			break
 		}
-		cq, ok := cached.(*codegen.CompiledQuery)
+		ent, ok := cached.(*cachedQuery)
 		if !ok {
 			// Read keys and write keys occupy distinct spaces, so a
 			// foreign entry type here cannot happen; bail to the miss
 			// path defensively.
 			break
 		}
+		cq := ent.cq
 		p := cq.Plan
 		if len(p.Tables) <= 2 {
 			// One- and two-table fast path (point lookups and the fused
@@ -738,10 +761,12 @@ func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql
 					e0, e1 = e1, e0
 				}
 			}
+			lockStart := time.Now()
 			e0.RLock()
 			if e1 != nil {
 				e1.RLock()
 			}
+			db.met.lockWait.Observe(time.Since(lockStart))
 			runlock := func() {
 				if e1 != nil {
 					e1.RUnlock()
@@ -761,10 +786,15 @@ func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql
 			}
 			err = db.runCompiled(dst, cq, params)
 			runlock()
+			if err == nil {
+				ent.lat[tempWarm].Observe(dst.Elapsed)
+			}
 			return false, err
 		}
 		names := planTables(p)
+		lockStart := time.Now()
 		unlock := db.rlockTables(names)
+		db.met.lockWait.Observe(time.Since(lockStart))
 		if db.anyStale(names) || db.cat.StampFor(names) != stored {
 			// A writer slipped in after the lookup: the entry is
 			// stale, so reclassify the premature hit and retry.
@@ -780,6 +810,9 @@ func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql
 		}
 		err = db.runCompiled(dst, cq, params)
 		unlock()
+		if err == nil {
+			ent.lat[tempWarm].Observe(dst.Elapsed)
+		}
 		return false, err
 	}
 	// Miss: prepare once under the reader locks and populate the cache
@@ -802,9 +835,15 @@ func (db *DB) queryCached(dst *Result, stmt string, sc *queryScratch, lits []sql
 		unlock()
 		return fail(err)
 	}
-	db.cache.Put(string(sc.key), stamp, cq)
+	// The latency handles resolve here, once per compilation; warm hits
+	// record through the cached pair without re-classifying the plan.
+	ent := &cachedQuery{cq: cq, lat: db.met.latFor(p, cq.Fused)}
+	db.cache.Put(string(sc.key), stamp, ent)
 	err = db.runCompiled(dst, cq, params)
 	unlock()
+	if err == nil {
+		ent.lat[tempCold].Observe(dst.Elapsed)
+	}
 	return false, err
 }
 
@@ -950,10 +989,14 @@ type Prepared struct {
 	db    *DB
 	query string
 
-	// mu guards compiled and stamp across Run's transparent re-prepares.
+	// mu guards compiled, stamp, and lat across Run's transparent
+	// re-prepares.
 	mu       sync.Mutex
 	compiled *codegen.CompiledQuery
 	stamp    uint64
+	// lat is the cold/warm latency pair for the compiled plan, resolved
+	// at prepare time (see dbMetrics.latFor); Run records warm.
+	lat *[nTemp]*obs.Histogram
 }
 
 // snapshot returns the current compiled artefact and its stamp.
@@ -981,6 +1024,7 @@ func (p *Prepared) prepareLocked() (*plan.Plan, *codegen.CompiledQuery, func(), 
 	}
 	p.mu.Lock()
 	p.compiled, p.stamp = cq, stamp
+	p.lat = p.db.met.latFor(pl, cq.Fused)
 	p.mu.Unlock()
 	return pl, cq, unlock, nil
 }
@@ -1031,8 +1075,20 @@ func (p *Prepared) Run(args ...any) (*Result, error) {
 // RunInto is Run materialising into a caller-supplied result (see
 // DB.QueryInto); a serving loop reusing one Result per worker executes a
 // prepared statement with no per-call materialisation allocations.
-func (p *Prepared) RunInto(res *Result, args ...any) error {
+func (p *Prepared) RunInto(res *Result, args ...any) (err error) {
+	defer p.db.met.noteQuery(&err)
 	res.Reset()
+	// noteWarm records a successful run against the handle's latency
+	// pair: warm, since preparation was paid at Prepare (or in a
+	// transparent re-prepare, whose cost Run excludes anyway).
+	noteWarm := func(err error) {
+		if err == nil {
+			p.mu.Lock()
+			lat := p.lat
+			p.mu.Unlock()
+			lat[tempWarm].Observe(res.Elapsed)
+		}
+	}
 	for attempt := 0; attempt < 4; attempt++ {
 		cq, stamp := p.snapshot()
 		p.db.refreshStats()
@@ -1052,6 +1108,7 @@ func (p *Prepared) RunInto(res *Result, args ...any) error {
 		}
 		err = p.db.runCompiled(res, cq, params)
 		unlock()
+		noteWarm(err)
 		return err
 	}
 	// Sustained writer pressure kept invalidating the artefact between
@@ -1068,6 +1125,7 @@ func (p *Prepared) RunInto(res *Result, args ...any) error {
 	}
 	err = p.db.runCompiled(res, cq, params)
 	unlock()
+	noteWarm(err)
 	return err
 }
 
@@ -1107,6 +1165,15 @@ type DBStats struct {
 	Cache          plancache.Stats `json:"cache"`
 	// WriteCache tracks the DML descriptor cache (see DB.Exec).
 	WriteCache plancache.Stats `json:"write_cache"`
+	// Arena snapshots the page-arena balance (see storage.ArenaStats).
+	Arena ArenaStats `json:"arena"`
+}
+
+// ArenaStats is the page-arena balance: frames currently held by live
+// pooled tables and the cumulative count returned for reuse.
+type ArenaStats struct {
+	PagesInUse    int64 `json:"pages_in_use"`
+	PagesRecycled int64 `json:"pages_recycled"`
 }
 
 // Stats snapshots catalogue and plan-cache counters.
@@ -1127,6 +1194,7 @@ func (db *DB) Stats() DBStats {
 	if db.writeCache != nil {
 		s.WriteCache = db.writeCache.Stats()
 	}
+	s.Arena.PagesInUse, s.Arena.PagesRecycled = storage.ArenaStats()
 	return s
 }
 

@@ -64,6 +64,10 @@ type CompiledQuery struct {
 	Source string
 	Level  OptLevel
 	Prep   Timings
+	// Fused reports whether Generate selected a fused pipeline (single
+	// pipeline, no staged intermediates) rather than the general operator
+	// walk — the execution-path axis of the serving metrics.
+	Fused bool
 
 	run func(params []types.Datum) (*storage.Table, error)
 }
@@ -96,10 +100,12 @@ func Generate(p *plan.Plan, level OptLevel) (*CompiledQuery, error) {
 		if !fusionDisabled.Load() {
 			if f := newFused(p); f != nil {
 				q.run = f.run
+				q.Fused = true
 				break
 			}
 			if fj := newFusedJoin(p); fj != nil {
 				q.run = fj.run
+				q.Fused = true
 				break
 			}
 		}

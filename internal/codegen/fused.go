@@ -13,6 +13,7 @@ package codegen
 
 import (
 	"bytes"
+	"time"
 
 	"hique/internal/btree"
 	"hique/internal/core"
@@ -54,6 +55,10 @@ type fusedQuery struct {
 	idx     *plan.IndexScanSpec
 	idxSlot int // bind slot of the probe key, -1 when baked
 	limit   int
+	// traced is baked at generation time: EXPLAIN ANALYZE compiles its
+	// own pipeline against a plan carrying a Trace, so the serving path's
+	// cached pipelines pay nothing — not even a pointer load — per run.
+	traced bool
 }
 
 // newFused compiles the fused pipeline for a plan, or returns nil when
@@ -89,6 +94,7 @@ func newFused(p *plan.Plan) *fusedQuery {
 		width:   in.TupleSize(),
 		idxSlot: -1,
 		limit:   p.Limit,
+		traced:  p.Trace != nil,
 	}
 	preds, ok := compileFusedPreds(in, st.Filters)
 	if !ok {
@@ -116,17 +122,28 @@ func (f *fusedQuery) run(params []types.Datum) (*storage.Table, error) {
 	if f.limit == 0 {
 		return out, nil
 	}
+	var t0 time.Time
+	if f.traced {
+		t0 = time.Now()
+	}
 	t := f.p.Tables[f.base].Entry.Table
+	probed := false
 	if f.idx != nil {
 		entry := f.p.Tables[f.base].Entry
 		if tree := entry.Index(f.idx.Column); tree != nil {
 			f.probe(tree, t, params, out)
-			return out, nil
+			probed = true
 		}
 		// Index dropped since planning: the equality filter is still in
 		// preds, so the scan below stays correct.
 	}
-	f.scan(t, params, out)
+	if !probed {
+		f.scan(t, params, out)
+	}
+	if f.traced {
+		f.p.Trace.Observe(plan.TraceStageProject,
+			int64(t.NumRows()), int64(out.NumRows()), time.Since(t0))
+	}
 	return out, nil
 }
 

@@ -26,6 +26,7 @@ package codegen
 import (
 	"math"
 	"sync"
+	"time"
 
 	"hique/internal/btree"
 	"hique/internal/core"
@@ -276,6 +277,10 @@ type fusedJoin struct {
 	outSchema *types.Schema
 	sortCmp   core.Compare // final ORDER BY, nil when absent
 	limit     int
+	// traced is baked at generation time (see fusedQuery.traced): the
+	// serving path's cached pipelines never carry a trace, so every
+	// trace branch below is statically false for them.
+	traced bool
 }
 
 // joinScratch holds every transient a fused join execution needs: the
@@ -294,6 +299,9 @@ type joinScratch struct {
 	rows    [2]int
 
 	joinBuf []byte
+	// pairs counts joined tuples handed to the tail, maintained only on
+	// traced executions (join rows-out for EXPLAIN ANALYZE).
+	pairs int64
 
 	aggBuf     []byte
 	aggArena   []byte
@@ -327,7 +335,7 @@ func newFusedJoin(p *plan.Plan) *fusedJoin {
 	if !j.FusionEligible() {
 		return nil
 	}
-	f := &fusedJoin{p: p, alg: j.Alg, limit: p.Limit}
+	f := &fusedJoin{p: p, alg: j.Alg, limit: p.Limit, traced: p.Trace != nil}
 	for i := 0; i < 2; i++ {
 		st := &j.Inputs[i]
 		s := &f.sides[i]
@@ -779,9 +787,17 @@ func (f *fusedJoin) run(params []types.Datum) (*storage.Table, error) {
 	joinScratchPool.Put(sc)
 
 	if f.sortCmp != nil {
+		var t0 time.Time
+		if f.traced {
+			t0 = time.Now()
+		}
 		sorted := core.SortTablePooled("result", out, f.sortCmp)
 		out.Release()
 		out = sorted
+		if f.traced {
+			n := int64(out.NumRows())
+			f.p.Trace.Observe(plan.TraceStageSort, n, n, time.Since(t0))
+		}
 		if f.limit >= 0 && out.NumRows() > f.limit {
 			truncated := storage.NewPooledTable("result", out.Schema())
 			n := 0
@@ -807,9 +823,18 @@ func (f *fusedJoin) exec(sc *joinScratch, params []types.Datum, out *storage.Tab
 	if f.sortCmp != nil {
 		limit = -1 // ORDER BY needs every row; LIMIT truncates after the sort
 	}
+	var t0 time.Time
 	sorted := [2]bool{}
 	for i := 0; i < 2; i++ {
+		if f.traced {
+			t0 = time.Now()
+		}
 		sorted[i] = f.stageSide(sc, i, params)
+		if f.traced {
+			f.p.Trace.Observe(plan.TraceJoinStage(0, i),
+				int64(f.p.Tables[f.sides[i].base].Entry.Table.NumRows()),
+				int64(sc.rows[i]), time.Since(t0))
+		}
 	}
 	if cap(sc.joinBuf) < f.joinWidth {
 		sc.joinBuf = make([]byte, f.joinWidth)
@@ -835,6 +860,10 @@ func (f *fusedJoin) exec(sc *joinScratch, params []types.Datum, out *storage.Tab
 		}
 	}
 
+	sc.pairs = 0
+	if f.traced {
+		t0 = time.Now()
+	}
 	switch f.alg {
 	case plan.MergeJoin:
 		in0 := f.buildRefs(sc, 0)
@@ -883,8 +912,25 @@ func (f *fusedJoin) exec(sc *joinScratch, params []types.Datum, out *storage.Tab
 		}
 	}
 
+	if f.traced {
+		// The join loop's rows-out is the joined-pair count; the tail
+		// (projection or aggregation updates) runs fused inside the loop,
+		// so its per-stage elapsed time folds into the loop's.
+		f.p.Trace.Observe(plan.TraceJoin(0),
+			int64(sc.rows[0]+sc.rows[1]), sc.pairs, time.Since(t0))
+		if f.agg == nil {
+			f.p.Trace.Observe(plan.TraceStageProject, sc.pairs, int64(out.NumRows()), 0)
+		}
+	}
+
 	if f.agg != nil {
+		if f.traced {
+			t0 = time.Now()
+		}
 		f.finishAgg(sc, out, limit)
+		if f.traced {
+			f.p.Trace.Observe(plan.TraceStageAgg, sc.pairs, int64(out.NumRows()), time.Since(t0))
+		}
 	}
 }
 
@@ -1008,6 +1054,9 @@ func (f *fusedJoin) emitMapGroups(sc *joinScratch, out *storage.Table, limit int
 // It returns false when the pipeline is complete (row limit hit, or the
 // streaming aggregation reached its group limit).
 func (f *fusedJoin) emit(sc *joinScratch, t0, t1 []byte, out *storage.Table, limit int) bool {
+	if f.traced {
+		sc.pairs++
+	}
 	fa := f.agg
 	if fa == nil {
 		f.fillTail(sc, t0, t1, out.AppendSlot())

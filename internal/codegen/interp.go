@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"hique/internal/plan"
 	"hique/internal/sql"
@@ -25,6 +26,15 @@ type boxedStaged struct {
 	sorted bool
 }
 
+// rows counts the staged tuples across partitions (post-routing).
+func (s *boxedStaged) rows() int64 {
+	var n int64
+	for _, p := range s.parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
 func runO0(p *plan.Plan) (*storage.Table, error) {
 	joinOut := make([]*boxedRows, len(p.Joins))
 	resolve := func(ref plan.InputRef) (*boxedRows, error) {
@@ -37,18 +47,35 @@ func runO0(p *plan.Plan) (*storage.Table, error) {
 		return joinOut[ref.Join], nil
 	}
 
+	tr := p.Trace
+	var t0, tj time.Time
 	for ji, j := range p.Joins {
 		staged := make([]*boxedStaged, len(j.Inputs))
+		var stagedSum int64
 		for i := range j.Inputs {
+			if tr != nil {
+				t0 = time.Now()
+			}
 			in, err := resolve(j.Inputs[i].Input)
 			if err != nil {
 				return nil, err
 			}
 			staged[i] = stageO0(&j.Inputs[i], in)
+			if tr != nil {
+				n := staged[i].rows()
+				tr.Observe(plan.TraceJoinStage(ji, i), int64(len(in.rows)), n, time.Since(t0))
+				stagedSum += n
+			}
+		}
+		if tr != nil {
+			tj = time.Now()
 		}
 		out, err := joinO0(j, staged)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			tr.Observe(plan.TraceJoin(ji), stagedSum, int64(len(out.rows)), time.Since(tj))
 		}
 		joinOut[ji] = out
 	}
@@ -56,28 +83,51 @@ func runO0(p *plan.Plan) (*storage.Table, error) {
 	var rows *boxedRows
 	switch {
 	case p.Agg != nil:
+		if tr != nil {
+			t0 = time.Now()
+		}
 		in, err := resolve(p.Agg.Input.Input)
 		if err != nil {
 			return nil, err
 		}
+		aggIn := int64(len(in.rows))
 		if p.Agg.Alg == plan.MapAggregation {
 			rows, err = mapAggO0(p.Agg, in)
 		} else {
 			staged := stageO0(&p.Agg.Input, in)
+			aggIn = staged.rows()
 			rows, err = sortedAggO0(p.Agg, staged)
 		}
 		if err != nil {
 			return nil, err
 		}
+		if tr != nil {
+			tr.Observe(plan.TraceStageAgg, aggIn, int64(len(rows.rows)), time.Since(t0))
+		}
 	case p.Final != nil:
-		staged := stageO0(p.Final, mustResolve(resolve, p.Final.Input))
+		if tr != nil {
+			t0 = time.Now()
+		}
+		in := mustResolve(resolve, p.Final.Input)
+		staged := stageO0(p.Final, in)
 		rows = &boxedRows{schema: staged.schema, rows: staged.parts[0]}
+		if tr != nil {
+			tr.Observe(plan.TraceStageProject,
+				int64(len(in.rows)), int64(len(rows.rows)), time.Since(t0))
+		}
 	default:
 		return nil, fmt.Errorf("codegen: empty plan")
 	}
 
 	if p.Sort != nil {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		sortO0(rows, p.Sort.Keys)
+		if tr != nil {
+			n := int64(len(rows.rows))
+			tr.Observe(plan.TraceStageSort, n, n, time.Since(t0))
+		}
 	}
 	if p.Limit >= 0 && len(rows.rows) > p.Limit {
 		rows.rows = rows.rows[:p.Limit]

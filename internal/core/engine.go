@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hique/internal/plan"
 	"hique/internal/storage"
@@ -42,9 +43,15 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 		return ApplyIndexScan(p, st, in)
 	}
 
+	tr := p.Trace
+	var t0 time.Time
 	for ji, j := range p.Joins {
 		staged := make([]*Staged, len(j.Inputs))
+		stagedRows := int64(0)
 		for i := range j.Inputs {
+			if tr != nil {
+				t0 = time.Now()
+			}
 			in, err := stageInput(&j.Inputs[i])
 			if err != nil {
 				releaseAll(staged)
@@ -56,6 +63,14 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 				return nil, err
 			}
 			staged[i] = s
+			if tr != nil {
+				tr.Observe(plan.TraceJoinStage(ji, i),
+					int64(in.NumRows()), int64(s.Rows()), time.Since(t0))
+				stagedRows += int64(s.Rows())
+			}
+		}
+		if tr != nil {
+			t0 = time.Now()
 		}
 		out, err := RunJoin(j, staged)
 		// Join outputs copy every emitted tuple, so the staged inputs
@@ -63,6 +78,9 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 		releaseAll(staged)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			tr.Observe(plan.TraceJoin(ji), stagedRows, int64(out.NumRows()), time.Since(t0))
 		}
 		joinOut[ji] = out
 	}
@@ -74,10 +92,14 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 	resultOwned := false
 	switch {
 	case p.Agg != nil:
+		if tr != nil {
+			t0 = time.Now()
+		}
 		in, err := stageInput(&p.Agg.Input)
 		if err != nil {
 			return nil, err
 		}
+		aggIn := int64(in.NumRows())
 		if p.Agg.Alg == plan.MapAggregation {
 			result, err = RunMapAgg(p.Agg, in)
 		} else {
@@ -86,13 +108,20 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			aggIn = int64(staged.Rows())
 			result, err = RunSortedAgg(p.Agg, staged)
 			staged.Release()
 		}
 		if err != nil {
 			return nil, err
 		}
+		if tr != nil {
+			tr.Observe(plan.TraceStageAgg, aggIn, int64(result.NumRows()), time.Since(t0))
+		}
 	case p.Final != nil:
+		if tr != nil {
+			t0 = time.Now()
+		}
 		in, err := stageInput(p.Final)
 		if err != nil {
 			return nil, err
@@ -103,6 +132,10 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 		}
 		result = staged.Parts[0]
 		resultOwned = staged.Owned
+		if tr != nil {
+			tr.Observe(plan.TraceStageProject,
+				int64(in.NumRows()), int64(result.NumRows()), time.Since(t0))
+		}
 	default:
 		return nil, fmt.Errorf("core: plan has neither aggregation nor final projection")
 	}
@@ -116,12 +149,20 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 // engine end with exactly this sequence.
 func finishResult(p *plan.Plan, result *storage.Table, owned bool) *storage.Table {
 	if p.Sort != nil {
+		var t0 time.Time
+		if p.Trace != nil {
+			t0 = time.Now()
+		}
 		cmp := MakeSortCompare(result.Schema(), p.Sort.Keys)
 		sorted := SortTablePooled("result", result, cmp)
 		if owned {
 			result.Release()
 		}
 		result, owned = sorted, true
+		if p.Trace != nil {
+			n := int64(result.NumRows())
+			p.Trace.Observe(plan.TraceStageSort, n, n, time.Since(t0))
+		}
 	}
 	if p.Limit >= 0 && result.NumRows() > p.Limit {
 		truncated := storage.NewPooledTable("result", result.Schema())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"hique/internal/plan"
 	"hique/internal/sql"
@@ -26,8 +27,22 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 		return joinOut[ref.Join], nil
 	}
 
+	tr := p.Trace
+	// inRowsOf reports an operator input's cardinality for trace
+	// rows-in without re-materialising the input.
+	inRowsOf := func(ref plan.InputRef) int64 {
+		if ref.Base >= 0 {
+			return int64(p.Tables[ref.Base].Entry.Table.NumRows())
+		}
+		if ref.Join >= 0 && ref.Join < len(joinOut) && joinOut[ref.Join] != nil {
+			return int64(joinOut[ref.Join].rows)
+		}
+		return 0
+	}
+
+	var t0 time.Time
 	for ji, j := range p.Joins {
-		out, err := e.runJoin(j, resolve)
+		out, err := e.runJoin(tr, ji, j, resolve, inRowsOf)
 		if err != nil {
 			return nil, err
 		}
@@ -38,9 +53,23 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 	var err error
 	switch {
 	case p.Agg != nil:
+		if tr != nil {
+			t0 = time.Now()
+		}
 		result, err = e.runAgg(p.Agg, resolve)
+		if tr != nil && err == nil {
+			tr.Observe(plan.TraceStageAgg,
+				inRowsOf(p.Agg.Input.Input), int64(result.rows), time.Since(t0))
+		}
 	case p.Final != nil:
+		if tr != nil {
+			t0 = time.Now()
+		}
 		result, err = e.runStage(p.Final, resolve)
+		if tr != nil && err == nil {
+			tr.Observe(plan.TraceStageProject,
+				inRowsOf(p.Final.Input), int64(result.rows), time.Since(t0))
+		}
 	default:
 		return nil, fmt.Errorf("dsm: empty plan")
 	}
@@ -50,7 +79,14 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 
 	order := identityOrder(result.rows)
 	if p.Sort != nil {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		order = sortOrder(result, p.Sort.Keys)
+		if tr != nil {
+			n := int64(len(order))
+			tr.Observe(plan.TraceStageSort, n, n, time.Since(t0))
+		}
 	}
 	if p.Limit >= 0 && len(order) > p.Limit {
 		order = order[:p.Limit]
@@ -120,15 +156,28 @@ func allRows(n int) []int32 {
 
 // runJoin evaluates joins as hash joins over key columns, cascading for
 // multi-input descriptors. The build side is the smaller input.
-func (e *Engine) runJoin(j *plan.Join, resolve func(plan.InputRef) (*colTable, error)) (*colTable, error) {
+func (e *Engine) runJoin(tr *plan.Trace, ji int, j *plan.Join, resolve func(plan.InputRef) (*colTable, error), inRowsOf func(plan.InputRef) int64) (*colTable, error) {
 	k := len(j.Inputs)
 	staged := make([]*colTable, k)
+	var stagedSum int64
+	var t0, tj time.Time
 	for i := range j.Inputs {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		ct, err := e.runStage(&j.Inputs[i], resolve)
 		if err != nil {
 			return nil, err
 		}
 		staged[i] = ct
+		if tr != nil {
+			tr.Observe(plan.TraceJoinStage(ji, i),
+				inRowsOf(j.Inputs[i].Input), int64(ct.rows), time.Since(t0))
+			stagedSum += int64(ct.rows)
+		}
+	}
+	if tr != nil {
+		tj = time.Now()
 	}
 
 	// Cascade: join input 0 with 1, then with 2, ... All keys are in one
@@ -152,6 +201,9 @@ func (e *Engine) runJoin(j *plan.Join, resolve func(plan.InputRef) (*colTable, e
 	for _, o := range j.Out {
 		out.cols = append(out.cols, cur.cols[offsets[o.Input]+o.Col])
 		out.names = append(out.names, j.Inputs[o.Input].Schema.Column(o.Col).Name)
+	}
+	if tr != nil {
+		tr.Observe(plan.TraceJoin(ji), stagedSum, int64(out.rows), time.Since(tj))
 	}
 	return out, nil
 }

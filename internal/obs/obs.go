@@ -1,0 +1,261 @@
+// Package obs is the serving path's metrics core: atomic counters,
+// callback gauges, and sharded power-of-two-bucket latency histograms,
+// rendered in the Prometheus text exposition format.
+//
+// The design constraint comes from the paper's own methodology — HIQUE's
+// argument is measured per-query cost, so the instrumentation must not
+// perturb what it measures. Every hot-path operation (Counter.Inc,
+// Histogram.Observe) is a handful of atomic adds with no locks and no
+// allocations; all naming, labelling, and formatting work happens once at
+// registration or at scrape time. Callers resolve metric handles when a
+// plan is compiled, never per query.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; registration only attaches a name for exposition.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered time series: a family name, a pre-rendered
+// label block, and the value source.
+type metric struct {
+	name   string
+	help   string
+	labels string // pre-rendered `key="value",...` (no braces), may be ""
+	kind   metricKind
+
+	counter *Counter
+	intFn   func() int64
+	floatFn func() float64
+	hist    *Histogram
+}
+
+// Registry holds registered metrics and renders them. Registration takes
+// a lock and allocates; reads on the hot path touch only the returned
+// handles. Families (metrics sharing a name) render contiguously with a
+// single HELP/TYPE header, in first-registration order.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Labels builds a label block from alternating key, value strings. The
+// rendering (escaping, ordering) happens here, once, at registration.
+func Labels(pairs ...string) string {
+	if len(pairs)%2 != 0 {
+		panic("obs: Labels requires alternating key, value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter series. labels is a block built
+// with Labels (or "" for none).
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, labels: labels, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — for re-exporting counters owned by another subsystem.
+func (r *Registry) CounterFunc(name, help, labels string, fn func() int64) {
+	r.add(&metric{name: name, help: help, labels: labels, kind: kindCounterFunc, intFn: fn})
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// scrape time.
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	r.add(&metric{name: name, help: help, labels: labels, kind: kindGaugeFunc, floatFn: fn})
+}
+
+// Histogram registers and returns a latency histogram series.
+func (r *Registry) Histogram(name, help, labels string) *Histogram {
+	h := &Histogram{}
+	r.add(&metric{name: name, help: help, labels: labels, kind: kindHistogram, hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families render contiguously with
+// one HELP/TYPE header each, in first-registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	// Group into families preserving first-seen order.
+	order := make([]string, 0, len(metrics))
+	families := make(map[string][]*metric, len(metrics))
+	for _, m := range metrics {
+		if _, ok := families[m.name]; !ok {
+			order = append(order, m.name)
+		}
+		families[m.name] = append(families[m.name], m)
+	}
+
+	var b strings.Builder
+	for _, name := range order {
+		fam := families[name]
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, fam[0].help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, famType(fam[0].kind))
+		for _, m := range fam {
+			renderMetric(&b, m)
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func famType(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+func renderMetric(b *strings.Builder, m *metric) {
+	switch m.kind {
+	case kindCounter:
+		writeSample(b, m.name, "", m.labels, float64(m.counter.Load()), true)
+	case kindCounterFunc:
+		writeSample(b, m.name, "", m.labels, float64(m.intFn()), true)
+	case kindGaugeFunc:
+		writeSample(b, m.name, "", m.labels, m.floatFn(), false)
+	case kindHistogram:
+		renderHistogram(b, m)
+	}
+}
+
+func renderHistogram(b *strings.Builder, m *metric) {
+	counts, sumNs := m.hist.Snapshot()
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if c == 0 && i != len(counts)-1 {
+			// Elide interior empty buckets: cumulative counts make them
+			// redundant, and 40 buckets × dozens of series would dominate
+			// the payload. The first and +Inf buckets always render.
+			if i != 0 {
+				continue
+			}
+		}
+		le := bucketUpperBound(i)
+		writeSample(b, m.name+"_bucket", le, m.labels, float64(cum), true)
+	}
+	writeSample(b, m.name+"_bucket", "+Inf", m.labels, float64(cum), true)
+	fmt.Fprintf(b, "%s_sum%s %g\n", m.name, braced(m.labels), float64(sumNs)/1e9)
+	writeSample(b, m.name+"_count", "", m.labels, float64(cum), true)
+}
+
+// writeSample renders one sample line. le, when non-empty, is appended as
+// the trailing label of a histogram bucket. Counter-like values render as
+// integers to keep the exposition exact.
+func writeSample(b *strings.Builder, name, le, labels string, v float64, integral bool) {
+	b.WriteString(name)
+	if labels != "" || le != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if le != "" {
+			if labels != "" {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	if integral && v == float64(uint64(v)) {
+		fmt.Fprintf(b, "%d", uint64(v))
+	} else {
+		fmt.Fprintf(b, "%g", v)
+	}
+	b.WriteByte('\n')
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// SortedNames reports the distinct family names, sorted — a test helper
+// for asserting coverage.
+func (r *Registry) SortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range r.metrics {
+		if !seen[m.name] {
+			seen[m.name] = true
+			out = append(out, m.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{time.Microsecond, 10},
+		{time.Millisecond, 20},
+		{time.Second, 30},
+		{10 * time.Minute, NumBuckets - 1}, // clamped overflow
+	}
+	for _, c := range cases {
+		h = Histogram{}
+		h.Observe(c.d)
+		counts, _ := h.Snapshot()
+		got := -1
+		for i, n := range counts {
+			if n > 0 {
+				got = i
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%v): bucket %d, want %d (bits.Len64=%d)",
+				c.d, got, c.want, bits.Len64(uint64(c.d)))
+		}
+	}
+}
+
+func TestHistogramSumAndCount(t *testing.T) {
+	var h Histogram
+	var wantSum uint64
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i))
+		wantSum += uint64(i)
+	}
+	counts, sum := h.Snapshot()
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	if total != 1000 {
+		t.Fatalf("count = %d, want 1000", total)
+	}
+	if sum != wantSum {
+		t.Fatalf("sum = %d, want %d", sum, wantSum)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count() = %d, want 1000", h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const G, N = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				h.Observe(time.Duration(g*N + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != G*N {
+		t.Fatalf("Count() = %d, want %d", got, G*N)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hique_test_total", "A test counter.", Labels("class", "point"))
+	c.Add(7)
+	r.GaugeFunc("hique_test_gauge", "A test gauge.", "", func() float64 { return 2.5 })
+	h := r.Histogram("hique_test_seconds", "A test histogram.", Labels("path", "fused"))
+	h.Observe(time.Microsecond)
+	h.Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP hique_test_total A test counter.\n",
+		"# TYPE hique_test_total counter\n",
+		`hique_test_total{class="point"} 7` + "\n",
+		"# TYPE hique_test_gauge gauge\n",
+		"hique_test_gauge 2.5\n",
+		"# TYPE hique_test_seconds histogram\n",
+		`hique_test_seconds_count{path="fused"} 2` + "\n",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("exposition must end with a newline")
+	}
+}
+
+// TestExpositionBucketsMonotone checks cumulative bucket counts never
+// decrease and le bounds strictly increase within a series.
+func TestExpositionBucketsMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("m_seconds", "h.", "")
+	for i := 0; i < 500; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lastCum := -1.0
+	lastLe := -1.0
+	nb := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "m_seconds_bucket{") {
+			continue
+		}
+		nb++
+		leStart := strings.Index(line, `le="`) + 4
+		leEnd := strings.Index(line[leStart:], `"`) + leStart
+		leStr := line[leStart:leEnd]
+		le := 1e308
+		if leStr != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", leStr, err)
+			}
+		}
+		val, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if le <= lastLe {
+			t.Errorf("le %g not increasing after %g", le, lastLe)
+		}
+		if val < lastCum {
+			t.Errorf("cumulative count %g decreased from %g", val, lastCum)
+		}
+		lastLe, lastCum = le, val
+	}
+	if nb < 3 {
+		t.Fatalf("expected several bucket lines, got %d", nb)
+	}
+	if lastCum != 500 {
+		t.Fatalf("+Inf bucket = %g, want 500", lastCum)
+	}
+}
+
+func TestLabelsEscaping(t *testing.T) {
+	got := Labels("k", `a"b\c`+"\n")
+	want := `k="a\"b\\c\n"`
+	if got != want {
+		t.Fatalf("Labels = %s, want %s", got, want)
+	}
+}
+
+func TestRegistryFamilyGrouping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fam_total", "f.", Labels("x", "a"))
+	r.Counter("other_total", "o.", "")
+	r.Counter("fam_total", "f.", Labels("x", "b"))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE fam_total counter") != 1 {
+		t.Errorf("family header must appear exactly once:\n%s", out)
+	}
+	// Both fam series must precede the other family (contiguous family).
+	if strings.Index(out, `fam_total{x="b"}`) > strings.Index(out, "other_total") {
+		t.Errorf("family series not contiguous:\n%s", out)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+			d += 7
+		}
+	})
+}

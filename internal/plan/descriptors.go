@@ -395,6 +395,13 @@ type Plan struct {
 	// OutputNames are the result column names, parallel to the select
 	// list.
 	OutputNames []string
+
+	// Trace, when non-nil, asks the engines to record per-stage row
+	// counts and timings (EXPLAIN ANALYZE). It is set only on
+	// per-execution plan copies — a plan stored in the cache and shared
+	// across concurrent executions must keep it nil. Bind propagates it
+	// into bound copies.
+	Trace *Trace
 }
 
 // ResultSchema returns the schema of the query result.

@@ -1,0 +1,99 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace collects per-stage execution statistics for EXPLAIN ANALYZE. A
+// trace is attached to a per-execution plan copy (never to a cached,
+// shared plan) via Plan.Trace; engines record into it when — and only
+// when — it is non-nil, so an untraced execution pays nothing beyond the
+// nil check.
+//
+// Stage names are canonical, derived from the plan shape rather than the
+// execution strategy, so the five engines produce comparable traces:
+//
+//	join[J].stage[K]  staging of input K of join J (rows out = staged
+//	                  tuples after filters and partition routing)
+//	join[J]           the join loop (rows out = joined tuples)
+//	aggregate         the aggregation operator (rows out = groups)
+//	project           the final projection (rows out = result tuples)
+//	sort              the final ordering (row-count preserving)
+//
+// RowsOut of the join and terminal stages is engine-independent (it is
+// the operator's output cardinality); RowsIn and Elapsed are advisory —
+// engines decompose work differently, so inputs and timings describe
+// that engine's execution, not a cross-engine invariant.
+type Trace struct {
+	Stages []StageTrace
+}
+
+// StageTrace is one recorded pipeline stage.
+type StageTrace struct {
+	Name    string
+	RowsIn  int64
+	RowsOut int64
+	Elapsed time.Duration
+}
+
+// Observe merges one stage observation into the trace: repeated
+// observations under the same name (a partition-wise join loop, say)
+// accumulate. Safe to call on a nil trace.
+func (t *Trace) Observe(name string, rowsIn, rowsOut int64, elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	for i := range t.Stages {
+		if t.Stages[i].Name == name {
+			s := &t.Stages[i]
+			s.RowsIn += rowsIn
+			s.RowsOut += rowsOut
+			s.Elapsed += elapsed
+			return
+		}
+	}
+	t.Stages = append(t.Stages, StageTrace{Name: name, RowsIn: rowsIn, RowsOut: rowsOut, Elapsed: elapsed})
+}
+
+// Reset clears the trace for reuse.
+func (t *Trace) Reset() { t.Stages = t.Stages[:0] }
+
+// String renders the trace one stage per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, s := range t.Stages {
+		fmt.Fprintf(&b, "%-18s rows_in=%-8d rows_out=%-8d elapsed=%s\n",
+			s.Name, s.RowsIn, s.RowsOut, s.Elapsed)
+	}
+	return b.String()
+}
+
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// GetTrace draws an empty trace from the pool.
+func GetTrace() *Trace {
+	t := tracePool.Get().(*Trace)
+	t.Reset()
+	return t
+}
+
+// PutTrace returns a trace to the pool; the caller must not retain it.
+func PutTrace(t *Trace) { tracePool.Put(t) }
+
+// Canonical terminal-stage names (see Trace).
+const (
+	TraceStageAgg     = "aggregate"
+	TraceStageProject = "project"
+	TraceStageSort    = "sort"
+)
+
+// TraceJoinStage names the staging of input k of join j. Only called on
+// traced executions, so the formatting allocation never touches the
+// serving hot path.
+func TraceJoinStage(j, k int) string { return fmt.Sprintf("join[%d].stage[%d]", j, k) }
+
+// TraceJoin names join j's join loop.
+func TraceJoin(j int) string { return fmt.Sprintf("join[%d]", j) }

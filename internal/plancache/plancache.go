@@ -13,8 +13,8 @@
 // stale plans self-invalidate on the next touch, no invalidation
 // broadcast needed. Eviction is LRU.
 //
-// Callers: hique.DB owns two instances — the read cache
-// (*codegen.CompiledQuery values) and the write cache (*plan.WritePlan
+// Callers: hique.DB owns two instances — the read cache (compiled-query
+// entries wrapped with their metric handles) and the write cache (*plan.WritePlan
 // values, "dml\0"-prefixed keys; the key spaces cannot collide). Cached
 // values are immutable and shared across concurrent executions: the
 // cache hands out the same pointer to every hitter, so anything
@@ -51,7 +51,7 @@ type entry struct {
 
 // Cache is a fixed-capacity LRU of compiled artefacts, safe for
 // concurrent use. Values are opaque to the cache: the read path stores
-// *codegen.CompiledQuery, the write path *plan.WritePlan — the two key
+// its compiled-query wrapper, the write path *plan.WritePlan — the two key
 // spaces cannot collide (read keys are length-prefixed, write keys carry
 // a distinct prefix), so each caller type-asserts its own entries.
 type Cache struct {

@@ -20,6 +20,10 @@ type Pool struct {
 	wait     time.Duration
 	rejected atomic.Uint64
 	admitted atomic.Uint64
+	// waiting counts callers currently blocked in the admission wait —
+	// the queue-depth gauge: in-flight shows saturation, waiting shows
+	// how far past it the offered load is.
+	waiting atomic.Int64
 }
 
 // NewPool creates a pool of the given width; wait bounds how long an
@@ -42,11 +46,14 @@ func (p *Pool) Do(fn func()) error {
 			p.rejected.Add(1)
 			return ErrSaturated
 		}
+		p.waiting.Add(1)
 		t := time.NewTimer(p.wait)
 		select {
 		case p.slots <- struct{}{}:
 			t.Stop()
+			p.waiting.Add(-1)
 		case <-t.C:
+			p.waiting.Add(-1)
 			p.rejected.Add(1)
 			return ErrSaturated
 		}
@@ -68,3 +75,7 @@ func (p *Pool) Admitted() uint64 { return p.admitted.Load() }
 
 // Rejected reports how many calls were turned away saturated.
 func (p *Pool) Rejected() uint64 { return p.rejected.Load() }
+
+// Waiting reports how many callers are currently blocked in the
+// admission wait.
+func (p *Pool) Waiting() int64 { return p.waiting.Load() }

@@ -5,7 +5,13 @@
 //     instead of queueing unboundedly),
 //   - a Sessions registry tracking per-client query streams, and
 //   - an HTTP/JSON front end (POST /query, GET /healthz, GET /stats,
-//     GET /tables, GET /sessions) over a shared *hique.DB.
+//     GET /metrics, GET /tables, GET /sessions) over a shared *hique.DB.
+//
+// GET /metrics serves the DB's and the serving layer's telemetry in the
+// Prometheus text exposition format; a threshold-gated slow-query log
+// emits JSON lines carrying redacted statement shapes (never literals).
+// "EXPLAIN ANALYZE <stmt>" through POST /query runs the statement with
+// per-stage tracing and answers with the stage table.
 //
 // POST /query accepts parameterized statements: {"sql": "SELECT ... WHERE
 // id = ?", "params": [42]} binds one value per '?' placeholder, so one
@@ -33,13 +39,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hique"
+	"hique/internal/obs"
 	"hique/internal/sql"
 )
 
@@ -52,6 +61,13 @@ type Config struct {
 	QueueWait time.Duration
 	// SessionExpiry drops sessions idle longer than this (default 10m).
 	SessionExpiry time.Duration
+	// SlowQueryThreshold, when positive, logs statements whose execution
+	// exceeds it to SlowQueryLog as JSON lines. Logged statements carry
+	// the redacted shape (every literal replaced by '?') and bind arity —
+	// never raw literal or parameter values.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionExpiry == 0 {
 		c.SessionExpiry = 10 * time.Minute
+	}
+	if c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
 	}
 	return c
 }
@@ -76,17 +95,50 @@ type Server struct {
 
 	queries atomic.Uint64
 	errors  atomic.Uint64
+
+	// reg holds the serving-layer metrics (pool, sessions, request
+	// counters); GET /metrics renders it after the DB's own registry.
+	reg  *obs.Registry
+	slow *obs.Counter
+
+	// slowThreshold gates the slow-query log; slowMu serialises writers
+	// to slowLog (one JSON line per slow statement).
+	slowThreshold time.Duration
+	slowMu        sync.Mutex
+	slowLog       io.Writer
 }
 
 // New creates a server over db.
 func New(db *hique.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		db:       db,
-		pool:     NewPool(cfg.Workers, cfg.QueueWait),
-		sessions: NewSessions(cfg.SessionExpiry),
-		started:  time.Now(),
+	s := &Server{
+		db:            db,
+		pool:          NewPool(cfg.Workers, cfg.QueueWait),
+		sessions:      NewSessions(cfg.SessionExpiry),
+		started:       time.Now(),
+		reg:           obs.NewRegistry(),
+		slowThreshold: cfg.SlowQueryThreshold,
+		slowLog:       cfg.SlowQueryLog,
 	}
+	s.reg.CounterFunc("hique_server_queries_total", "Statements received on POST /query.", "",
+		func() int64 { return int64(s.queries.Load()) })
+	s.reg.CounterFunc("hique_server_errors_total", "Statements that answered with an error status.", "",
+		func() int64 { return int64(s.errors.Load()) })
+	s.slow = s.reg.Counter("hique_server_slow_queries_total",
+		"Statements logged as slow (elapsed over the configured threshold).", "")
+	s.reg.GaugeFunc("hique_pool_workers", "Worker-pool width (admission bound).", "",
+		func() float64 { return float64(s.pool.Workers()) })
+	s.reg.GaugeFunc("hique_pool_in_flight", "Pool slots currently executing statements.", "",
+		func() float64 { return float64(s.pool.InFlight()) })
+	s.reg.GaugeFunc("hique_pool_waiting", "Callers blocked in the admission wait (queue depth).", "",
+		func() float64 { return float64(s.pool.Waiting()) })
+	s.reg.CounterFunc("hique_pool_admitted_total", "Statements that acquired a pool slot.", "",
+		func() int64 { return int64(s.pool.Admitted()) })
+	s.reg.CounterFunc("hique_pool_rejected_total", "Statements rejected saturated (503).", "",
+		func() int64 { return int64(s.pool.Rejected()) })
+	s.reg.GaugeFunc("hique_sessions", "Live client sessions.", "",
+		func() float64 { return float64(s.sessions.Len()) })
+	return s
 }
 
 // Handler returns the HTTP routing table.
@@ -95,6 +147,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("GET /sessions", s.handleSessions)
 	return mux
@@ -169,6 +222,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if rest, ok := hique.StripExplainAnalyze(req.SQL); ok {
+		s.handleAnalyze(w, r, rest, req.Params)
+		return
+	}
 	if sql.IsDML(req.SQL) {
 		s.handleExec(w, r, &req)
 		return
@@ -196,11 +253,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.note(res.Elapsed, false, time.Now())
+	s.noteSlow("select", req.SQL, len(req.Params), res.Elapsed, len(res.Rows), sess.ID)
 	writeJSON(w, http.StatusOK, queryResponse{
 		Columns:   res.Columns,
 		Rows:      res.Rows,
 		RowCount:  len(res.Rows),
 		ElapsedUs: res.Elapsed.Microseconds(),
+		Session:   sess.ID,
+	})
+}
+
+// analyzeResponse is the POST /query success body for EXPLAIN ANALYZE.
+type analyzeResponse struct {
+	Engine    string             `json:"engine"`
+	Plan      string             `json:"plan"`
+	Stages    []hique.StageStats `json:"stages"`
+	Rows      int                `json:"rows"`
+	ElapsedUs int64              `json:"elapsed_us"`
+	Session   string             `json:"session"`
+}
+
+// handleAnalyze serves EXPLAIN ANALYZE <stmt>: the statement runs (under
+// the same admission pool) with per-stage tracing enabled and answers
+// with the stage table instead of the row set.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, stmt string, params []any) {
+	var a *hique.AnalyzeResult
+	var qerr error
+	err := s.pool.Do(func() {
+		defer recoverToErr(&qerr)
+		a, qerr = s.db.ExplainAnalyze(stmt, params...)
+	})
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	sess, ok := s.noteOutcome(w, r, qerr)
+	if !ok {
+		return
+	}
+	sess.note(a.Elapsed, false, time.Now())
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		Engine:    a.Engine,
+		Plan:      a.Plan,
+		Stages:    a.Stages,
+		Rows:      a.Rows,
+		ElapsedUs: a.Elapsed.Microseconds(),
 		Session:   sess.ID,
 	})
 }
@@ -224,11 +322,69 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request, req *queryRe
 		return
 	}
 	sess.note(er.Elapsed, false, time.Now())
+	s.noteSlow("dml", req.SQL, len(req.Params), er.Elapsed, er.RowsAffected, sess.ID)
 	writeJSON(w, http.StatusOK, execResponse{
 		RowsAffected: er.RowsAffected,
 		ElapsedUs:    er.Elapsed.Microseconds(),
 		Session:      sess.ID,
 	})
+}
+
+// slowEntry is one slow-query log line. Shape carries the redacted
+// statement — every literal replaced by '?' (sql.RedactShape), so no data
+// value reaches the log — and Arity the count of '?' placeholders the
+// client's statement itself carried; Params is how many bind values
+// accompanied the request.
+type slowEntry struct {
+	TS        string `json:"ts"`
+	Kind      string `json:"kind"`
+	Shape     string `json:"shape"`
+	Arity     int    `json:"arity"`
+	Params    int    `json:"params"`
+	ElapsedUs int64  `json:"elapsed_us"`
+	Rows      int    `json:"rows"`
+	Session   string `json:"session"`
+}
+
+// noteSlow logs a statement that exceeded the slow-query threshold as one
+// JSON line. The redaction and encoding run only for slow statements, so
+// the fast path pays a single comparison.
+func (s *Server) noteSlow(kind, stmt string, params int, elapsed time.Duration, rows int, session string) {
+	if s.slowThreshold <= 0 || elapsed < s.slowThreshold {
+		return
+	}
+	s.slow.Inc()
+	shape, arity, err := sql.RedactShape(stmt)
+	if err != nil {
+		// A statement that executed but no longer lexes cannot happen;
+		// redact fully rather than risk a literal.
+		shape = "(unlexable)"
+	}
+	line, err := json.Marshal(slowEntry{
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		Kind:      kind,
+		Shape:     shape,
+		Arity:     arity,
+		Params:    params,
+		ElapsedUs: elapsed.Microseconds(),
+		Rows:      rows,
+		Session:   session,
+	})
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	_, _ = s.slowLog.Write(append(line, '\n'))
+	s.slowMu.Unlock()
+}
+
+// handleMetrics renders the DB and serving-layer registries in the
+// Prometheus text exposition format. Like /healthz it takes no pool slot:
+// scrapes must keep working while admission is shedding load.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.db.Metrics().WritePrometheus(w)
+	_ = s.reg.WritePrometheus(w)
 }
 
 // recoverToErr converts a panic escaping a statement into its error
@@ -277,6 +433,8 @@ type statsResponse struct {
 	Errors    uint64        `json:"errors"`
 	Workers   int           `json:"workers"`
 	InFlight  int           `json:"in_flight"`
+	Waiting   int64         `json:"waiting"`
+	Admitted  uint64        `json:"admitted"`
 	Rejected  uint64        `json:"rejected"`
 	Sessions  int           `json:"sessions"`
 	DB        hique.DBStats `json:"db"`
@@ -289,6 +447,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Errors:    s.errors.Load(),
 		Workers:   s.pool.Workers(),
 		InFlight:  s.pool.InFlight(),
+		Waiting:   s.pool.Waiting(),
+		Admitted:  s.pool.Admitted(),
 		Rejected:  s.pool.Rejected(),
 		Sessions:  s.sessions.Len(),
 		DB:        s.db.Stats(),

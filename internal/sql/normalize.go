@@ -379,3 +379,28 @@ func liftable(toks []Token, i, width int) bool {
 	// or at the start of an operand; both positions are covered above.
 	return rightOperand || leftOperand
 }
+
+// RedactShape renders a statement with every literal token — numbers and
+// strings alike, in any clause — replaced by '?', and reports the
+// statement's original placeholder arity. This is the slow-query log's
+// spelling: unlike NormalizeShape (which lifts only whole comparison
+// operands), redaction guarantees no data value from any statement kind
+// (INSERT row literals included) can reach a log line.
+func RedactShape(query string) (string, int, error) {
+	toks, err := Lex(query)
+	if err != nil {
+		return "", 0, err
+	}
+	arity := 0
+	for i := range toks {
+		t := &toks[i]
+		if t.Kind == TokSymbol && t.Text == "?" {
+			arity++
+		}
+		if t.Kind == TokNumber || t.Kind == TokString {
+			t.Kind = TokSymbol
+			t.Text = "?"
+		}
+	}
+	return renderToks(toks, len(query)), arity, nil
+}

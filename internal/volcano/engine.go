@@ -2,6 +2,7 @@ package volcano
 
 import (
 	"fmt"
+	"time"
 
 	"hique/internal/plan"
 	"hique/internal/storage"
@@ -40,8 +41,9 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 		return joinOut[ref.Join], p.Joins[ref.Join].Schema, nil
 	}
 
+	tr := p.Trace
 	for ji, j := range p.Joins {
-		rows, err := e.runJoin(j, resolveRows)
+		rows, err := e.runJoin(tr, ji, j, resolveRows)
 		if err != nil {
 			return nil, err
 		}
@@ -50,14 +52,18 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 
 	var result []Row
 	var schema *types.Schema
+	var t0 time.Time
 	switch {
 	case p.Agg != nil:
-		rows, err := e.runAgg(p.Agg, resolveRows)
+		rows, err := e.runAgg(tr, p.Agg, resolveRows)
 		if err != nil {
 			return nil, err
 		}
 		result, schema = rows, p.Agg.Schema
 	case p.Final != nil:
+		if tr != nil {
+			t0 = time.Now()
+		}
 		in, _, err := resolveRows(p.Final.Input)
 		if err != nil {
 			return nil, err
@@ -68,16 +74,26 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 			return nil, err
 		}
 		result, schema = rows, p.Final.Schema
+		if tr != nil {
+			tr.Observe(plan.TraceStageProject, int64(len(in)), int64(len(rows)), time.Since(t0))
+		}
 	default:
 		return nil, fmt.Errorf("volcano: empty plan")
 	}
 
 	if p.Sort != nil {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		it := NewSort(NewSlice(result), sortLess(e.mode, p.Sort.Keys))
 		var err error
 		result, err = Drain(it)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			n := int64(len(result))
+			tr.Observe(plan.TraceStageSort, n, n, time.Since(t0))
 		}
 	}
 	if p.Limit >= 0 && len(result) > p.Limit {
@@ -103,10 +119,21 @@ func (e *Engine) stageIterator(st *plan.Stage, in Iterator) Iterator {
 // runJoin evaluates a join descriptor with iterators. Multi-input (team)
 // descriptors cascade into binary merge joins — the iterator engine has no
 // team evaluation, which is exactly the gap Figure 7(b) measures.
-func (e *Engine) runJoin(j *plan.Join, resolve func(plan.InputRef) ([]Row, *types.Schema, error)) ([]Row, error) {
+func (e *Engine) runJoin(tr *plan.Trace, ji int, j *plan.Join, resolve func(plan.InputRef) ([]Row, *types.Schema, error)) ([]Row, error) {
 	k := len(j.Inputs)
 	staged := make([][]Row, k)
+	var inRows, stagedOut []int64
+	var stageEl []time.Duration
+	var t0, tj time.Time
+	if tr != nil {
+		inRows = make([]int64, k)
+		stagedOut = make([]int64, k)
+		stageEl = make([]time.Duration, k)
+	}
 	for i := range j.Inputs {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		in, _, err := resolve(j.Inputs[i].Input)
 		if err != nil {
 			return nil, err
@@ -116,6 +143,13 @@ func (e *Engine) runJoin(j *plan.Join, resolve func(plan.InputRef) ([]Row, *type
 			return nil, err
 		}
 		staged[i] = rows
+		if tr != nil {
+			inRows[i] = int64(len(in))
+			stageEl[i] = time.Since(t0)
+		}
+	}
+	if tr != nil {
+		tj = time.Now()
 	}
 
 	// Column block offset of each input in the concatenated row.
@@ -127,6 +161,11 @@ func (e *Engine) runJoin(j *plan.Join, resolve func(plan.InputRef) ([]Row, *type
 	var joined []Row
 	switch j.Alg {
 	case plan.MergeJoin:
+		if tr != nil {
+			for i := range staged {
+				stagedOut[i] = int64(len(staged[i]))
+			}
+		}
 		rows, err := e.cascadeMerge(j, staged, offsets, nil)
 		if err != nil {
 			return nil, err
@@ -143,6 +182,14 @@ func (e *Engine) runJoin(j *plan.Join, resolve func(plan.InputRef) ([]Row, *type
 				return nil, err
 			}
 			parts[i] = p
+			if tr != nil {
+				// Staged row count is post-routing: a fine partition's value
+				// directory may drop tuples, and the other engines count
+				// after that drop.
+				for pi := range p {
+					stagedOut[i] += int64(len(p[pi]))
+				}
+			}
 		}
 		for pi := 0; pi < m; pi++ {
 			slice := make([][]Row, k)
@@ -177,6 +224,14 @@ func (e *Engine) runJoin(j *plan.Join, resolve func(plan.InputRef) ([]Row, *type
 			res[pos] = row[offsets[o.Input]+o.Col]
 		}
 		out[r] = res
+	}
+	if tr != nil {
+		var sum int64
+		for i := range stagedOut {
+			tr.Observe(plan.TraceJoinStage(ji, i), inRows[i], stagedOut[i], stageEl[i])
+			sum += stagedOut[i]
+		}
+		tr.Observe(plan.TraceJoin(ji), sum, int64(len(out)), time.Since(tj))
 	}
 	return out, nil
 }
@@ -307,11 +362,27 @@ func appendCartesian(dst []Row, parts [][]Row, offsets []int) []Row {
 }
 
 // runAgg evaluates the aggregation operator.
-func (e *Engine) runAgg(a *plan.Agg, resolve func(plan.InputRef) ([]Row, *types.Schema, error)) ([]Row, error) {
+func (e *Engine) runAgg(tr *plan.Trace, a *plan.Agg, resolve func(plan.InputRef) ([]Row, *types.Schema, error)) ([]Row, error) {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	in, _, err := resolve(a.Input.Input)
 	if err != nil {
 		return nil, err
 	}
+	rows, err := e.aggRows(a, in)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		tr.Observe(plan.TraceStageAgg, int64(len(in)), int64(len(rows)), time.Since(t0))
+	}
+	return rows, nil
+}
+
+// aggRows evaluates the aggregation algorithm over the resolved input.
+func (e *Engine) aggRows(a *plan.Agg, in []Row) ([]Row, error) {
 	staged := e.stageIterator(&a.Input, NewSlice(in))
 
 	switch a.Alg {

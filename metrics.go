@@ -1,0 +1,178 @@
+package hique
+
+import (
+	"errors"
+
+	"hique/internal/codegen"
+	"hique/internal/obs"
+	"hique/internal/plan"
+	"hique/internal/plancache"
+	"hique/internal/storage"
+)
+
+// Statement classes, execution paths, and cache temperatures index into
+// dbMetrics.lat. A query's class and path are properties of its compiled
+// plan, resolved once at compile time; only the temperature (did this
+// execution hit the plan cache?) is decided per query.
+const (
+	classPoint = iota // single-table with an index probe
+	classRange        // single-table scan/range
+	classJoinAgg      // any join or aggregation
+	classDML          // INSERT / DELETE / UPDATE
+	nClass
+)
+
+const (
+	pathFused   = iota // fused codegen pipeline (newFused / newFusedJoin)
+	pathGeneral        // staged operator walk or interpreted engine
+	nPath
+)
+
+const (
+	tempCold = iota // compiled (or planned) on this execution
+	tempWarm        // served from the plan cache or a prepared handle
+	nTemp
+)
+
+var (
+	classNames = [nClass]string{"point", "range", "join_agg", "dml"}
+	pathNames  = [nPath]string{"fused", "general"}
+	tempNames  = [nTemp]string{"cold", "warm"}
+)
+
+// dbMetrics is a DB's always-on telemetry: latency histograms split by
+// class × path × temperature, lock-wait time, and statement/error
+// counters, plus scrape-time re-exports of the plan caches, the page
+// arena, and the catalogue. Every hot-path handle is resolved at
+// registration or plan-compile time — recording is atomic adds only, so
+// the warm fused path keeps its allocation and latency budget with
+// telemetry enabled.
+type dbMetrics struct {
+	reg *obs.Registry
+
+	// lat[class][path][temp] is the per-query latency histogram family
+	// hique_query_duration_seconds.
+	lat [nClass][nPath][nTemp]*obs.Histogram
+
+	// lockWait tracks time spent acquiring table locks on the serving
+	// paths (read fast path, DML writer lock).
+	lockWait *obs.Histogram
+
+	queries    *obs.Counter // statements started (Query/Exec), incl. failures
+	errors     *obs.Counter // statements that returned any error
+	bindErrors *obs.Counter // ... of which parameter binding rejected
+	panics     *obs.Counter // ... of which were contained engine panics
+}
+
+// newDBMetrics registers every DB-level series. The cache and arena
+// re-exports read their owners' counters at scrape time through
+// closures, so registration order relative to Open's options does not
+// matter (a nil cache reports zeros).
+func newDBMetrics(db *DB) *dbMetrics {
+	m := &dbMetrics{reg: obs.NewRegistry()}
+
+	const latName = "hique_query_duration_seconds"
+	const latHelp = "Query latency by statement class, execution path, and plan-cache temperature."
+	for c := 0; c < nClass; c++ {
+		for p := 0; p < nPath; p++ {
+			for t := 0; t < nTemp; t++ {
+				m.lat[c][p][t] = m.reg.Histogram(latName, latHelp,
+					obs.Labels("class", classNames[c], "path", pathNames[p], "temp", tempNames[t]))
+			}
+		}
+	}
+	m.lockWait = m.reg.Histogram("hique_lock_wait_seconds",
+		"Time spent acquiring table locks on the serving paths.", "")
+	m.queries = m.reg.Counter("hique_queries_total",
+		"SQL statements started (Query and Exec), including failures.", "")
+	m.errors = m.reg.Counter("hique_query_errors_total",
+		"SQL statements that returned an error.", "")
+	m.bindErrors = m.reg.Counter("hique_bind_errors_total",
+		"Statements rejected while binding parameter values.", "")
+	m.panics = m.reg.Counter("hique_panics_contained_total",
+		"Engine panics converted to per-statement errors.", "")
+
+	registerCache := func(which string, get func() *plancache.Cache) {
+		stats := func() plancache.Stats {
+			if c := get(); c != nil {
+				return c.Stats()
+			}
+			return plancache.Stats{}
+		}
+		lbl := obs.Labels("cache", which)
+		m.reg.CounterFunc("hique_plan_cache_hits_total", "Plan-cache hits.", lbl,
+			func() int64 { return int64(stats().Hits) })
+		m.reg.CounterFunc("hique_plan_cache_misses_total", "Plan-cache misses.", lbl,
+			func() int64 { return int64(stats().Misses) })
+		m.reg.CounterFunc("hique_plan_cache_invalidations_total", "Plan-cache entries dropped on catalogue version mismatch.", lbl,
+			func() int64 { return int64(stats().Invalidations) })
+		m.reg.CounterFunc("hique_plan_cache_evictions_total", "Plan-cache entries dropped by LRU pressure.", lbl,
+			func() int64 { return int64(stats().Evictions) })
+		m.reg.GaugeFunc("hique_plan_cache_entries", "Plan-cache resident entries.", lbl,
+			func() float64 { return float64(stats().Entries) })
+	}
+	registerCache("read", func() *plancache.Cache { return db.cache })
+	registerCache("write", func() *plancache.Cache { return db.writeCache })
+
+	m.reg.GaugeFunc("hique_arena_pages_in_use", "Page-arena frames currently held by live pooled tables.", "",
+		func() float64 { inUse, _ := storage.ArenaStats(); return float64(inUse) })
+	m.reg.CounterFunc("hique_arena_pages_recycled_total", "Page-arena frames returned for reuse.", "",
+		func() int64 { _, recycled := storage.ArenaStats(); return recycled })
+	m.reg.GaugeFunc("hique_catalog_version", "Catalogue version (DDL, index builds, statistics refreshes).", "",
+		func() float64 { return float64(db.cat.Version()) })
+	m.reg.GaugeFunc("hique_tables", "Catalogued tables.", "",
+		func() float64 { return float64(len(db.cat.Names())) })
+	return m
+}
+
+// classifyPlan maps a read plan to its statement class.
+func classifyPlan(p *plan.Plan) int {
+	if p.Agg != nil || len(p.Joins) > 0 {
+		return classJoinAgg
+	}
+	if p.Final != nil && p.Final.IndexScan != nil {
+		return classPoint
+	}
+	return classRange
+}
+
+// latFor resolves the cold/warm histogram pair for a compiled read plan —
+// called once at plan-compile time, so per-query recording is a single
+// indexed Observe.
+func (m *dbMetrics) latFor(p *plan.Plan, fused bool) *[nTemp]*obs.Histogram {
+	pi := pathGeneral
+	if fused {
+		pi = pathFused
+	}
+	return &m.lat[classifyPlan(p)][pi]
+}
+
+// noteQuery is deferred at every statement entry point (registered before
+// containPanic so it observes the converted error): it counts the
+// statement and classifies its failure, if any.
+func (m *dbMetrics) noteQuery(err *error) {
+	m.queries.Inc()
+	e := *err
+	if e == nil {
+		return
+	}
+	m.errors.Inc()
+	var be *BindError
+	if errors.As(e, &be) {
+		m.bindErrors.Inc()
+		return
+	}
+	var pe *PanicError
+	if errors.As(e, &pe) {
+		m.panics.Inc()
+	}
+}
+
+// cachedQuery is the value the read plan-cache stores: the compiled
+// artefact plus its latency handles, resolved once at compile time so a
+// warm hit records its duration without a map lookup or classification
+// branch.
+type cachedQuery struct {
+	cq  *codegen.CompiledQuery
+	lat *[nTemp]*obs.Histogram
+}
