@@ -22,15 +22,27 @@ type StageStats struct {
 	ElapsedUs int64  `json:"elapsed_us"`
 }
 
+// ParallelStats is one morsel-driven parallel phase of an EXPLAIN
+// ANALYZE run: the stage it ran under, the workers that cooperated
+// (helpers actually admitted, plus the caller), and the rows each
+// processed morsel produced, in morsel order. Under LIMIT cancellation
+// the unclaimed tail is absent.
+type ParallelStats struct {
+	Stage      string  `json:"stage"`
+	Workers    int     `json:"workers"`
+	MorselRows []int64 `json:"morsel_rows"`
+}
+
 // AnalyzeResult is the outcome of DB.ExplainAnalyze: the optimizer's
 // plan, the per-stage execution statistics, and the totals of the actual
-// run that produced them.
+// run that produced them. Parallel is empty for serial executions.
 type AnalyzeResult struct {
-	Engine  string        `json:"engine"`
-	Plan    string        `json:"plan"`
-	Stages  []StageStats  `json:"stages"`
-	Rows    int           `json:"rows"`
-	Elapsed time.Duration `json:"-"`
+	Engine   string          `json:"engine"`
+	Plan     string          `json:"plan"`
+	Stages   []StageStats    `json:"stages"`
+	Parallel []ParallelStats `json:"parallel,omitempty"`
+	Rows     int             `json:"rows"`
+	Elapsed  time.Duration   `json:"-"`
 }
 
 // String renders the plan followed by the stage table.
@@ -44,6 +56,10 @@ func (a *AnalyzeResult) String() string {
 	for _, s := range a.Stages {
 		fmt.Fprintf(&b, "%-18s rows_in=%-10d rows_out=%-10d elapsed=%s\n",
 			s.Name, s.RowsIn, s.RowsOut, time.Duration(s.ElapsedUs)*time.Microsecond)
+	}
+	for _, p := range a.Parallel {
+		fmt.Fprintf(&b, "%-18s workers=%d morsels=%d rows=%v\n",
+			"parallel:"+p.Stage, p.Workers, len(p.MorselRows), p.MorselRows)
 	}
 	fmt.Fprintf(&b, "result: %d rows in %s\n", a.Rows, a.Elapsed)
 	return b.String()
@@ -117,6 +133,14 @@ func (db *DB) ExplainAnalyze(query string, args ...any) (res *AnalyzeResult, err
 			RowsOut:   s.RowsOut,
 			ElapsedUs: s.Elapsed.Microseconds(),
 		}
+	}
+	for _, p := range tr.Parallel {
+		// Copy the morsel rows out of the pooled trace before PutTrace.
+		rows := make([]int64, len(p.MorselRows))
+		copy(rows, p.MorselRows)
+		out.Parallel = append(out.Parallel, ParallelStats{
+			Stage: p.Stage, Workers: p.Workers, MorselRows: rows,
+		})
 	}
 	return out, nil
 }

@@ -224,6 +224,53 @@ func BenchmarkParallelAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelFusedExecution times the morsel-driven parallel
+// fused pipelines at 1/2/4 workers on the serving join+agg shape. The
+// fixture is test-sized, so the serial threshold is dropped to force
+// parallel generation — this keeps the parallel paths in the CI
+// `-benchtime 1x` smoke; the authoritative scaling numbers live in
+// BENCH_parallel.json (via cmd/hique-bench -json -suite parallel),
+// whose fixture is big enough to parallelise naturally.
+func BenchmarkParallelFusedExecution(b *testing.B) {
+	prev := codegen.SetParallelThreshold(1)
+	defer codegen.SetParallelThreshold(prev)
+	const rows = 4096
+	const q = "SELECT d.label, COUNT(*) AS n, SUM(f.price) AS total " +
+		"FROM bench_items f, bench_dims d WHERE f.grp = d.id AND f.price > 10.0 GROUP BY d.label"
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			db := Open(WithPlanCache(64), WithParallelism(w))
+			if err := db.CreateTable("bench_items", Int("id"), Int("grp"), Float("price")); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.CreateTable("bench_dims", Int("id"), Char("label", 16)); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < rows; i++ {
+				if err := db.Insert("bench_items", int64(i), int64(i%16), float64(i%1000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < 16; i++ {
+				if err := db.Insert("bench_dims", int64(i), fmt.Sprintf("dim-%02d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var res Result
+			if err := db.QueryInto(&res, q); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.QueryInto(&res, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Serving-subsystem benchmarks --------------------------------------------
 //
 // These time the query-serving layer: the compiled-plan cache (cold

@@ -7,14 +7,18 @@
 //	hique-bench -experiment fig8 -sf 1.0         # paper-sized TPC-H
 //	hique-bench -experiment fig5 -scale 1.0      # paper-sized microbenchmarks
 //	hique-bench -json BENCH_serving.json         # machine-readable serving suite
+//	hique-bench -json BENCH_parallel.json -suite parallel
+//	                                             # morsel-driven parallel suite
 //
 // Experiments: tab1 fig5 fig6 tab2 fig7a fig7b fig7c fig7d fig8 tab3 all.
 //
-// -json runs the serving micro-benchmarks (the point-query shape-cache
-// and cold-vs-warm workloads) and writes name / ns_per_op /
+// -json runs a micro-benchmark suite and writes name / ns_per_op /
 // allocs_per_op / bytes_per_op rows to the given file ("-" for stdout),
 // so the serving-path perf trajectory can be tracked across revisions as
-// committed BENCH_*.json snapshots.
+// committed BENCH_*.json snapshots. -suite selects serving (the
+// point-query shape-cache and cold-vs-warm workloads; the default) or
+// parallel (fused join+aggregation and range scans at 1/2/4/8 morsel
+// workers).
 //
 // -gate compares the freshly measured warm-path rows against a committed
 // snapshot and exits non-zero on regression: allocs/op must not exceed
@@ -52,12 +56,26 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "microbenchmark scale relative to the paper's workloads (1.0 = paper size)")
 	sf := flag.Float64("sf", 0.1, "TPC-H scale factor (1.0 = paper size, ~6M lineitems)")
 	jsonOut := flag.String("json", "", "run the serving micro-benchmarks and write JSON results to this file (\"-\" for stdout)")
+	suite := flag.String("suite", "serving", "micro-benchmark suite for -json: serving (BENCH_serving.json) or parallel (BENCH_parallel.json, morsel-driven execution at 1/2/4/8 workers)")
 	gate := flag.String("gate", "", "compare warm-path results against this BENCH_*.json snapshot and fail on regression")
 	gateSlack := flag.Float64("gate-slack", 2.0, "latency regression factor tolerated by -gate (allocs are gated exactly)")
 	flag.Parse()
 
 	if *jsonOut != "" || *gate != "" {
-		results := serving.Micro()
+		var results []serving.MicroResult
+		switch *suite {
+		case "serving":
+			results = serving.Micro()
+		case "parallel":
+			if *gate != "" {
+				// The gate's envelope rows are the warm serial serving
+				// shapes; the parallel suite does not measure them.
+				fatal(fmt.Errorf("-gate requires -suite serving"))
+			}
+			results = serving.Parallel()
+		default:
+			fatal(fmt.Errorf("unknown suite %q (serving, parallel)", *suite))
+		}
 		if *jsonOut != "" {
 			data, err := json.MarshalIndent(results, "", "  ")
 			if err != nil {

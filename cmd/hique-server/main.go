@@ -62,6 +62,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	mutexFrac := flag.Int("mutexprofile", 0, "mutex profile sampling fraction (runtime.SetMutexProfileFraction; 0 disables)")
 	blockRate := flag.Int("blockprofile", 0, "block profile sampling rate in ns (runtime.SetBlockProfileRate; 0 disables)")
+	parallelism := flag.Int("parallelism", 0, "worker target for morsel-driven parallel fused execution (0 = GOMAXPROCS, 1 = serial)")
 	slowQuery := flag.Duration("slow-query", 0, "log statements slower than this threshold (0 disables)")
 	slowLog := flag.String("slow-query-log", "", "slow-query log file (JSON lines; default stderr)")
 	flag.Parse()
@@ -73,6 +74,9 @@ func main() {
 	opts := []hique.Option{hique.WithEngine(e)}
 	if *cacheSize > 0 {
 		opts = append(opts, hique.WithPlanCache(*cacheSize))
+	}
+	if *parallelism != 0 {
+		opts = append(opts, hique.WithParallelism(*parallelism))
 	}
 	if *tpchSF > 0 {
 		opts = append(opts, hique.WithCatalog(tpch.Generate(tpch.Config{ScaleFactor: *tpchSF, Seed: 42})))

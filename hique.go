@@ -28,6 +28,7 @@ package hique
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"hique/internal/codegen"
 	"hique/internal/core"
 	"hique/internal/dsm"
+	"hique/internal/morsel"
 	"hique/internal/obs"
 	"hique/internal/plan"
 	"hique/internal/plancache"
@@ -146,6 +148,11 @@ type DB struct {
 	// met is the always-on serving telemetry (see metrics.go); set once
 	// in Open, immutable afterwards.
 	met *dbMetrics
+
+	// pool bounds the helper goroutines this DB's parallel fused
+	// pipelines may run at once (attached to every plan it builds);
+	// sized once in Open from opts.Parallelism, immutable afterwards.
+	pool *morsel.Pool
 }
 
 // Option configures a DB at Open time.
@@ -188,6 +195,22 @@ func WithAutoParam(enabled bool) Option {
 	return func(db *DB) { db.autoParam = enabled }
 }
 
+// WithParallelism sets the worker target for morsel-driven parallel
+// execution of the fused pipelines: n workers cooperate on large scans
+// and join probe phases, with results stitched back in morsel order so
+// they stay byte-identical to serial execution. n <= 0 restores the
+// default (GOMAXPROCS); n == 1 forces every query serial. Inputs below
+// the codegen serial threshold run serial regardless of n, so point
+// queries never pay a scheduling cost.
+func WithParallelism(n int) Option {
+	return func(db *DB) {
+		if n < 0 {
+			n = 0
+		}
+		db.opts.Parallelism = n
+	}
+}
+
 // Open creates a database using the holistic engine. Options enable the
 // plan cache, adopt an existing catalogue, or pick another engine.
 func Open(options ...Option) *DB {
@@ -196,6 +219,11 @@ func Open(options ...Option) *DB {
 	for _, o := range options {
 		o(db)
 	}
+	workers := db.opts.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	db.pool = morsel.NewPool(workers)
 	db.met = newDBMetrics(db)
 	return db
 }
@@ -485,6 +513,7 @@ func (db *DB) planLocked(query string) (*plan.Plan, func(), error) {
 		if unlock == nil {
 			continue
 		}
+		p.Pool = db.pool
 		return p, unlock, nil
 	}
 }

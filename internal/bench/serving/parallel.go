@@ -1,0 +1,93 @@
+// The parallel micro-suite behind cmd/hique-bench -json -suite parallel
+// (BENCH_parallel.json): the fused join+aggregation and range-scan
+// workloads at 1/2/4/8 morsel workers. The fixture is large enough
+// (parallelRows well above codegen's serial threshold) that the
+// pipelines compile parallel naturally, with no test hooks; the
+// workers=1 rows double as the serial baseline the scaling numbers in
+// EXPERIMENTS.md are quoted against.
+package serving
+
+import (
+	"fmt"
+	"testing"
+
+	"hique"
+	"hique/internal/catalog"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// parallelRows sizes the fact side: 32 morsels of scan work, so even 8
+// workers have claims to balance.
+const parallelRows = 262144
+
+// parallelWorkerCounts are the suite's worker targets. On a single-core
+// runner every count degrades to ~serial (the pool admits no helpers
+// the scheduler could run in parallel); the recorded numbers then show
+// the scheduling overhead rather than speedup — see EXPERIMENTS.md.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// parallelCatalog builds the shared fact ⨝ dim fixture once; the DBs at
+// each worker count share it (read-only workloads).
+func parallelCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	fact := storage.NewTable("par_fact", types.NewSchema(
+		types.Col("id", types.Int), types.Col("grp", types.Int),
+		types.Col("price", types.Float)))
+	for i := 0; i < parallelRows; i++ {
+		fact.AppendRow(types.IntDatum(int64(i)), types.IntDatum(int64(i%16)),
+			types.FloatDatum(float64(i%1000)))
+	}
+	cat.Register(fact)
+	dims := storage.NewTable("par_dims", types.NewSchema(
+		types.Col("id", types.Int), types.CharCol("label", 16)))
+	for i := 0; i < 16; i++ {
+		dims.AppendRow(types.IntDatum(int64(i)), types.StringDatum(fmt.Sprintf("dim-%02d", i)))
+	}
+	cat.Register(dims)
+	return cat
+}
+
+// Parallel runs the parallel serving micro-benchmarks and returns their
+// measurements (same row schema as Micro).
+func Parallel() []MicroResult {
+	cat := parallelCatalog()
+	const joinAggQuery = "SELECT d.label, COUNT(*) AS n, SUM(f.price) AS total " +
+		"FROM par_fact f, par_dims d WHERE f.grp = d.id AND f.price > 10.0 GROUP BY d.label"
+	const scanQuery = "SELECT id, price FROM par_fact WHERE price > 990.0"
+
+	var out []MicroResult
+	run := func(name string, fn func(b *testing.B)) {
+		out = append(out, microResult(name, testing.Benchmark(fn)))
+	}
+	warm := func(b *testing.B, db *hique.DB, query string) {
+		var res hique.Result
+		if err := db.QueryInto(&res, query); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.QueryInto(&res, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, w := range parallelWorkerCounts {
+		w := w
+		run(fmt.Sprintf("ParallelJoinAgg/workers-%d", w), func(b *testing.B) {
+			db := hique.Open(hique.WithCatalog(cat), hique.WithPlanCache(64),
+				hique.WithParallelism(w))
+			warm(b, db, joinAggQuery)
+		})
+	}
+	for _, w := range parallelWorkerCounts {
+		w := w
+		run(fmt.Sprintf("ParallelScan/workers-%d", w), func(b *testing.B) {
+			db := hique.Open(hique.WithCatalog(cat), hique.WithPlanCache(64),
+				hique.WithParallelism(w))
+			warm(b, db, scanQuery)
+		})
+	}
+	return out
+}

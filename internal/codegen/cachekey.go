@@ -58,6 +58,8 @@ func AppendCacheKey(dst []byte, norm []byte, arity int, opts plan.Options, level
 	dst = strconv.AppendInt(dst, int64(opts.L2CacheBytes), 10)
 	dst = append(dst, "\x00finepart="...)
 	dst = strconv.AppendInt(dst, int64(opts.FinePartitionMaxValues), 10)
+	dst = append(dst, "\x00par="...)
+	dst = strconv.AppendInt(dst, int64(opts.Parallelism), 10)
 	if opts.ForceJoinAlg != nil {
 		dst = append(dst, "\x00joinalg="...)
 		dst = strconv.AppendInt(dst, int64(*opts.ForceJoinAlg), 10)

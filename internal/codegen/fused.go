@@ -17,6 +17,7 @@ import (
 
 	"hique/internal/btree"
 	"hique/internal/core"
+	"hique/internal/morsel"
 	"hique/internal/plan"
 	"hique/internal/sql"
 	"hique/internal/storage"
@@ -59,6 +60,12 @@ type fusedQuery struct {
 	// own pipeline against a plan carrying a Trace, so the serving path's
 	// cached pipelines pay nothing — not even a pointer load — per run.
 	traced bool
+	// par is the worker target for the scan loop, resolved at generation
+	// time from the plan's Parallelism and the catalogued table size
+	// (parallelWorkers); 1 compiles the serial loop. Index probes stay
+	// serial — par applies to the scan, including the dropped-index
+	// fallback.
+	par int
 }
 
 // newFused compiles the fused pipeline for a plan, or returns nil when
@@ -95,6 +102,7 @@ func newFused(p *plan.Plan) *fusedQuery {
 		idxSlot: -1,
 		limit:   p.Limit,
 		traced:  p.Trace != nil,
+		par:     parallelWorkers(p, p.Tables[st.Input.Base].Entry.Stats.Rows),
 	}
 	preds, ok := compileFusedPreds(in, st.Filters)
 	if !ok {
@@ -138,7 +146,11 @@ func (f *fusedQuery) run(params []types.Datum) (*storage.Table, error) {
 		// preds, so the scan below stays correct.
 	}
 	if !probed {
-		f.scan(t, params, out)
+		if f.par > 1 {
+			f.scanPar(t, params, out)
+		} else {
+			f.scan(t, params, out)
+		}
 	}
 	if f.traced {
 		f.p.Trace.Observe(plan.TraceStageProject,
@@ -214,6 +226,82 @@ func (f *fusedQuery) scan(t *storage.Table, params []types.Datum, out *storage.T
 			}
 		}
 	}
+}
+
+// scanPar is scan split into page-range morsels executed by up to f.par
+// workers: every worker projects its matches into a private arena,
+// records each morsel's byte range, and the caller stitches the ranges
+// back in morsel order — byte-identical to the serial scan, LIMIT
+// included (a morsel emits at most limit rows, and once the completed
+// morsel prefix covers the limit the unclaimed tail is cancelled).
+func (f *fusedQuery) scanPar(t *storage.Table, params []types.Datum, out *storage.Table) {
+	per, n := pageMorsels(t)
+	if n < 2 {
+		// Table shrank below one morsel since planning: the serial loop
+		// is strictly cheaper.
+		f.scan(t, params, out)
+		return
+	}
+	ph := parPhasePool.Get().(*parPhase)
+	ph.reset(n, f.par, f.limit)
+	w, outW := f.width, f.out.TupleSize()
+	pages := t.NumPages()
+	// The dominant serving shape gets the same specialisation as the
+	// serial loop: a single integer predicate resolved once, not per
+	// tuple.
+	var fast *fusedPred
+	var fastV int64
+	if len(f.preds) == 1 && (f.preds[0].kind == types.Int || f.preds[0].kind == types.Date) {
+		fast = &f.preds[0]
+		fastV = fast.i
+		if fast.slot >= 0 {
+			fastV = params[fast.slot].I
+		}
+	}
+	body := func(wi int) {
+		wk := &ph.workers[wi]
+		for {
+			m, ok := ph.queue.Next()
+			if !ok {
+				return
+			}
+			mo := parMorsel{worker: int32(wi), start: len(wk.arena)}
+			hi := (m + 1) * per
+			if hi > pages {
+				hi = pages
+			}
+		morselPages:
+			for pi := m * per; pi < hi; pi++ {
+				pg := t.Page(pi)
+				nT := pg.NumTuples()
+				data := pg.Data()
+				for i, base := 0, 0; i < nT; i, base = i+1, base+w {
+					tup := data[base : base+w : base+w]
+					if fast != nil {
+						if !cmpOrdered(types.GetInt(tup, fast.off), fastV, fast.op) {
+							continue
+						}
+					} else if !f.match(tup, params) {
+						continue
+					}
+					off := len(wk.arena)
+					wk.arena = extendArena(wk.arena, outW)
+					f.project(tup, wk.arena[off:off+outW])
+					mo.rows++
+					if f.limit >= 0 && mo.rows >= f.limit {
+						break morselPages
+					}
+				}
+			}
+			mo.end = len(wk.arena)
+			ph.complete(m, mo)
+		}
+	}
+	ph.run(f.p.Pool, f.par, body)
+	ph.stitchRows(out, outW, f.limit)
+	ph.finish(f.p.Trace, "scan")
+	morsel.CountQuery()
+	parPhasePool.Put(ph)
 }
 
 // compileFusedPreds lowers a stage's filters to the baked-offset form the

@@ -30,6 +30,7 @@ import (
 
 	"hique/internal/btree"
 	"hique/internal/core"
+	"hique/internal/morsel"
 	"hique/internal/plan"
 	"hique/internal/sql"
 	"hique/internal/storage"
@@ -77,6 +78,12 @@ type fusedSide struct {
 	// estRows is the optimizer's post-filter cardinality estimate; the
 	// staging arena pre-sizes from it.
 	estRows int
+
+	// par is the staging scan's worker target, resolved at generation
+	// time from the plan's Parallelism and the catalogued table size
+	// (parallelWorkers); 1 compiles the serial loop. Index probes and
+	// ordered traversals stay serial.
+	par int
 }
 
 // aggWrite emits one aggregate's final value into an output tuple slot
@@ -281,6 +288,13 @@ type fusedJoin struct {
 	// serving path's cached pipelines never carry a trace, so every
 	// trace branch below is statically false for them.
 	traced bool
+	// parJoin is the partition-wise join loop's worker target (1 =
+	// serial). Only partitioned algorithms with a deterministically
+	// mergeable tail — map aggregation's flat arrays, or a plain
+	// projection stitched in partition order — compile a parallel join
+	// phase; merge join and the collect aggregation modes keep their
+	// serial loops (see DESIGN.md §8).
+	parJoin int
 }
 
 // joinScratch holds every transient a fused join execution needs: the
@@ -318,6 +332,14 @@ type joinScratch struct {
 	// address, stable for the whole execution) is unchanged.
 	lastPtr [2]*byte
 	lastG   [2]int32
+
+	// par is the morsel-phase state for parallel executions (staging
+	// scans and the partition-wise join loop reuse it sequentially);
+	// chunkMaps holds each partition chunk's map-aggregation accumulator
+	// until the in-order merge. Both are retained by the pool like every
+	// other scratch field.
+	par       parPhase
+	chunkMaps []*mapState
 }
 
 var joinScratchPool = sync.Pool{New: func() any { return new(joinScratch) }}
@@ -433,6 +455,29 @@ func newFusedJoin(p *plan.Plan) *fusedJoin {
 	}
 	if p.Sort != nil {
 		f.sortCmp = core.MakeSortCompare(f.outSchema, p.Sort.Keys)
+	}
+	// Morsel-driven parallelism, resolved at generation time like every
+	// other specialisation here (see fused_join_par.go): staging
+	// parallelises per side from the catalogued table size; the
+	// partition-wise join loop parallelises when the tail merges
+	// deterministically — map aggregation's flat accumulator arrays, or
+	// a plain projection stitched in partition order. Merge join and the
+	// collect aggregation modes keep their serial loops.
+	for i := 0; i < 2; i++ {
+		s := &f.sides[i]
+		s.par = 1
+		if s.idx == nil && s.orderedCol == "" {
+			s.par = parallelWorkers(p, p.Tables[s.base].Entry.Stats.Rows)
+		}
+	}
+	f.parJoin = 1
+	if (f.alg == plan.HybridJoin || f.alg == plan.FinePartitionJoin) &&
+		(f.agg == nil || f.agg.mapped) {
+		est := f.sides[0].estRows
+		if f.sides[1].estRows > est {
+			est = f.sides[1].estRows
+		}
+		f.parJoin = parallelWorkers(p, est)
 	}
 	return f
 }
@@ -824,12 +869,13 @@ func (f *fusedJoin) exec(sc *joinScratch, params []types.Datum, out *storage.Tab
 		limit = -1 // ORDER BY needs every row; LIMIT truncates after the sort
 	}
 	var t0 time.Time
+	parQ := false // did any phase of this execution run parallel?
 	sorted := [2]bool{}
 	for i := 0; i < 2; i++ {
 		if f.traced {
 			t0 = time.Now()
 		}
-		sorted[i] = f.stageSide(sc, i, params)
+		sorted[i] = f.stageSide(sc, i, params, &parQ)
 		if f.traced {
 			f.p.Trace.Observe(plan.TraceJoinStage(0, i),
 				int64(f.p.Tables[f.sides[i].base].Entry.Table.NumRows()),
@@ -878,6 +924,11 @@ func (f *fusedJoin) exec(sc *joinScratch, params []types.Datum, out *storage.Tab
 	case plan.HybridJoin:
 		p0 := f.partitionSide(sc, 0)
 		p1 := f.partitionSide(sc, 1)
+		if f.parJoin > 1 && len(p0) > 1 {
+			f.joinPar(sc, p0, p1, out, limit)
+			parQ = true
+			break
+		}
 		for p := range p0 {
 			left, right := p0[p], p1[p]
 			if len(left) == 0 || len(right) == 0 {
@@ -896,6 +947,11 @@ func (f *fusedJoin) exec(sc *joinScratch, params []types.Datum, out *storage.Tab
 		// tuples match: a pure nested loop per partition pair.
 		p0 := f.partitionSide(sc, 0)
 		p1 := f.partitionSide(sc, 1)
+		if f.parJoin > 1 && len(p0) > 1 {
+			f.joinPar(sc, p0, p1, out, limit)
+			parQ = true
+			break
+		}
 	fine:
 		for p := range p0 {
 			left, right := p0[p], p1[p]
@@ -910,6 +966,9 @@ func (f *fusedJoin) exec(sc *joinScratch, params []types.Datum, out *storage.Tab
 				}
 			}
 		}
+	}
+	if parQ {
+		morsel.CountQuery()
 	}
 
 	if f.traced {
@@ -1275,7 +1334,7 @@ func (f *fusedJoin) mergeJoin(sc *joinScratch, in0, in1 [][]byte, out *storage.T
 // scratch arena — the staging pass of the generated code (Listing 1
 // extended with the join pre-processing). It reports whether the staged
 // tuples are already in key order (the ordered index traversal).
-func (f *fusedJoin) stageSide(sc *joinScratch, i int, params []types.Datum) bool {
+func (f *fusedJoin) stageSide(sc *joinScratch, i int, params []types.Datum, par *bool) bool {
 	s := &f.sides[i]
 	entry := f.p.Tables[s.base].Entry
 	t := entry.Table
@@ -1298,6 +1357,10 @@ func (f *fusedJoin) stageSide(sc *joinScratch, i int, params []types.Datum) bool
 			f.orderedSide(sc, i, tree, t)
 			return true
 		}
+	}
+	if s.par > 1 && f.scanSidePar(sc, i, t, params) {
+		*par = true
+		return false
 	}
 	f.scanSide(sc, i, t, params)
 	return false

@@ -1,0 +1,152 @@
+// Differential tests for morsel-driven parallel fused execution: at
+// every tested worker count the parallel pipelines must return results
+// byte-identical to the serial engines — row order included, because
+// deterministic morsel stitching is part of the contract, not a
+// best-effort property.
+package enginetest
+
+import (
+	"testing"
+
+	"hique/internal/codegen"
+	"hique/internal/core"
+	"hique/internal/plan"
+	"hique/internal/sql"
+)
+
+// parallelWorkerCounts spans the interesting shapes: forced serial, an
+// even and an odd small team, and more workers than this machine (or
+// the morsel count) can use.
+var parallelWorkerCounts = []int{1, 2, 3, 8}
+
+// lowThreshold forces parallel pipeline generation on the test-sized
+// fixtures (the production threshold would keep them serial).
+func lowThreshold(t *testing.T) {
+	t.Helper()
+	prev := codegen.SetParallelThreshold(1)
+	t.Cleanup(func() { codegen.SetParallelThreshold(prev) })
+}
+
+// TestParallelCodegenAgreesWithAllEngines runs the full cross-engine
+// corpus with parallel pipelines forced on, at every worker count: the
+// parallel codegen engine must agree with every serial engine exactly
+// as the serial codegen engine does.
+func TestParallelCodegenAgreesWithAllEngines(t *testing.T) {
+	lowThreshold(t)
+	cat := fixture(13, 5000, 200, 800)
+	for _, w := range parallelWorkerCounts {
+		opts := plan.DefaultOptions()
+		opts.Parallelism = w
+		runCorpus(t, cat, opts)
+	}
+}
+
+// TestParallelCodegenAgreesForcedAlgorithms pins the parallel join
+// phase's two algorithm bodies (hybrid partition-merge and the
+// fine-partition nested loop) plus the serial-only merge join fallback.
+func TestParallelCodegenAgreesForcedAlgorithms(t *testing.T) {
+	lowThreshold(t)
+	for _, alg := range []plan.JoinAlgorithm{plan.MergeJoin, plan.HybridJoin, plan.FinePartitionJoin} {
+		cat := fixture(17+int64(alg), 3000, 150, 500)
+		for _, w := range parallelWorkerCounts {
+			opts := plan.DefaultOptions()
+			opts.Parallelism = w
+			a := alg
+			opts.ForceJoinAlg = &a
+			runCorpus(t, cat, opts)
+		}
+	}
+}
+
+// TestParallelRowOrderMatchesSerial compares raw emission order (no
+// multiset canonicalisation) between the serial fused pipeline and the
+// parallel one at every worker count: deterministic morsel stitching
+// means the bytes are identical even for queries without ORDER BY.
+func TestParallelRowOrderMatchesSerial(t *testing.T) {
+	lowThreshold(t)
+	cat := fixture(14, 6000, 200, 800)
+	eng := codegenEngine{level: codegen.OptO2}
+	for _, q := range corpus {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		serialOpts := plan.DefaultOptions()
+		serialOpts.Parallelism = 1
+		sp, err := plan.BuildWithOptions(stmt, cat, serialOpts)
+		if err != nil {
+			t.Fatalf("plan %q: %v", q, err)
+		}
+		sout, err := eng.Execute(sp)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		ref := canonical(sout, true) // raw order: no sorting of rows
+		for _, w := range parallelWorkerCounts[1:] {
+			opts := plan.DefaultOptions()
+			opts.Parallelism = w
+			pp, err := plan.BuildWithOptions(stmt, cat, opts)
+			if err != nil {
+				t.Fatalf("plan %q workers=%d: %v", q, w, err)
+			}
+			out, err := eng.Execute(pp)
+			if err != nil {
+				t.Fatalf("parallel %q workers=%d: %v", q, w, err)
+			}
+			got := canonical(out, true)
+			if len(got) != len(ref) {
+				t.Errorf("%q workers=%d: %d rows, serial returned %d", q, w, len(got), len(ref))
+				continue
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("%q workers=%d: row %d differs from serial:\n  serial:   %s\n  parallel: %s",
+						q, w, i, ref[i], got[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestCoreParallelEngineWorkerCounts cross-checks the interpreted
+// parallel engine at the same worker counts against the serial core
+// engine (multiset comparison — the interpreted engine's contract).
+func TestCoreParallelEngineWorkerCounts(t *testing.T) {
+	cat := fixture(15, 4000, 150, 500)
+	serial := core.NewEngine()
+	for _, q := range corpus {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		p, err := plan.BuildWithOptions(stmt, cat, plan.DefaultOptions())
+		if err != nil {
+			t.Fatalf("plan %q: %v", q, err)
+		}
+		ordered := p.Sort != nil
+		sout, err := serial.Execute(p)
+		if err != nil {
+			t.Fatalf("core %q: %v", q, err)
+		}
+		ref := canonical(sout, ordered)
+		for _, w := range parallelWorkerCounts {
+			out, err := core.NewParallelEngine(w).Execute(p)
+			if err != nil {
+				t.Fatalf("core-parallel(%d) %q: %v", w, q, err)
+			}
+			got := canonical(out, ordered)
+			if len(got) != len(ref) {
+				t.Errorf("%q workers=%d: %d rows, core returned %d", q, w, len(got), len(ref))
+				continue
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("%q workers=%d: row %d differs from core:\n  %s\n  %s",
+						q, w, i, ref[i], got[i])
+					break
+				}
+			}
+		}
+	}
+}

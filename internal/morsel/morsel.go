@@ -1,0 +1,129 @@
+// Package morsel provides the shared infrastructure for morsel-driven
+// parallel query execution (the §VII direction of the paper): fixed-size
+// work-unit claiming, a bounded helper-goroutine pool, and the process-
+// wide counters the metrics layer re-exports.
+//
+// A parallel phase splits its input into morsels — fixed-size ranges of
+// a scan or a contiguous chunk of join partitions — and every worker
+// claims the next unprocessed morsel through one atomic counter, so a
+// slow worker never stalls the others and the split adapts to skew
+// without a scheduler. Determinism is the caller's contract: a worker
+// records where its morsel's output landed, and the caller stitches the
+// per-morsel outputs back together in morsel-index order, so the result
+// bytes are independent of which worker ran which morsel and of how many
+// workers actually ran.
+package morsel
+
+import (
+	"sync/atomic"
+)
+
+// Rows is the target tuple count of one morsel. Small enough that a
+// morsel's staged output stays cache-resident (the paper's §V-B budget)
+// and that a scan splits into enough morsels to balance load, large
+// enough that the per-morsel claim and bookkeeping cost vanishes.
+const Rows = 8192
+
+// Queue hands out morsel indexes [0, n) to concurrent workers: one
+// atomic increment per claim, no locks, no channels. Cancel makes every
+// subsequent claim fail, which is how a LIMIT that is already satisfied
+// by completed morsels stops workers from touching unclaimed ones.
+type Queue struct {
+	next atomic.Int64
+	n    int64
+}
+
+// Reset prepares the queue to hand out indexes [0, n).
+func (q *Queue) Reset(n int) {
+	q.n = int64(n)
+	q.next.Store(0)
+}
+
+// Next claims the next morsel, reporting false when the queue is
+// exhausted or cancelled. The i < 0 guard catches counter overflow from
+// claims long after exhaustion (2^63 increments away in normal use, but
+// Cancel used to park the counter near the limit).
+func (q *Queue) Next() (int, bool) {
+	i := q.next.Add(1) - 1
+	if i < 0 || i >= q.n {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// Cancel drops every unclaimed morsel: subsequent Next calls fail.
+// Workers that already hold a morsel finish it — cancellation bounds
+// future work, it does not interrupt running work. The counter parks at
+// n rather than at the int64 limit so racing Next increments cannot
+// overflow it into valid-looking negative indexes.
+func (q *Queue) Cancel() {
+	q.next.Store(q.n)
+}
+
+// Cancelled reports whether Cancel has been called (or the queue
+// drained).
+func (q *Queue) Cancelled() bool { return q.next.Load() >= q.n }
+
+// Pool bounds how many helper goroutines parallel phases may run at
+// once. It is a slot semaphore, not a set of persistent workers: a
+// phase's caller always executes worker 0 itself and tries to add
+// helpers through TryGo, so a pool that is saturated (or sized for one
+// worker) degrades the phase to serial execution with no waiting and no
+// goroutine leaks — a DB handle needs no Close for its pool.
+//
+// A nil *Pool is valid and unbounded: every TryGo spawns. Plans built
+// outside a DB (tests, benchmarks) run that way.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool sizes a pool for the given total worker count per phase: the
+// phase's caller is one worker, so the pool holds workers-1 helper
+// slots. workers <= 1 yields a pool that never grants a helper.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{slots: make(chan struct{}, workers-1)}
+}
+
+// TryGo runs fn on a new goroutine if a helper slot is free, returning
+// whether it did. The slot is held until fn returns.
+func (p *Pool) TryGo(fn func()) bool {
+	if p == nil {
+		go fn()
+		return true
+	}
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		return false
+	}
+	go func() {
+		defer func() { <-p.slots }()
+		fn()
+	}()
+	return true
+}
+
+// Process-wide execution counters, re-exported as hique_morsels_total
+// and hique_parallel_queries_total. Like the storage arena's statistics
+// they are global — parallel phases run inside compiled artefacts that
+// may outlive any one DB handle.
+var (
+	morselsTotal    atomic.Int64
+	parallelQueries atomic.Int64
+)
+
+// CountMorsels records n processed morsels.
+func CountMorsels(n int) { morselsTotal.Add(int64(n)) }
+
+// CountQuery records one query execution that ran at least one parallel
+// phase.
+func CountQuery() { parallelQueries.Add(1) }
+
+// Stats returns the process-wide totals: parallel query executions and
+// processed morsels.
+func Stats() (queries, morsels int64) {
+	return parallelQueries.Load(), morselsTotal.Load()
+}

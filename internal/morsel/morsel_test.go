@@ -1,0 +1,103 @@
+package morsel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Every index in [0, n) must be claimed exactly once, no matter how many
+// goroutines race on the queue.
+func TestQueueClaimsEachIndexOnce(t *testing.T) {
+	const n = 1000
+	var q Queue
+	q.Reset(n)
+	seen := make([]atomic.Int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := q.Next()
+				if !ok {
+					return
+				}
+				seen[i].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d claimed %d times", i, got)
+		}
+	}
+}
+
+func TestQueueCancelStopsClaims(t *testing.T) {
+	var q Queue
+	q.Reset(100)
+	if _, ok := q.Next(); !ok {
+		t.Fatal("first claim failed")
+	}
+	q.Cancel()
+	if _, ok := q.Next(); ok {
+		t.Fatal("claim succeeded after Cancel")
+	}
+	if !q.Cancelled() {
+		t.Fatal("Cancelled reports false after Cancel")
+	}
+}
+
+func TestQueueEmpty(t *testing.T) {
+	var q Queue
+	q.Reset(0)
+	if _, ok := q.Next(); ok {
+		t.Fatal("claim succeeded on empty queue")
+	}
+}
+
+// A pool sized for w workers grants at most w-1 concurrent helpers; a
+// slot frees when its function returns.
+func TestPoolBoundsHelpers(t *testing.T) {
+	p := NewPool(3) // 2 helper slots
+	block := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(2)
+	for i := 0; i < 2; i++ {
+		if !p.TryGo(func() { running.Done(); <-block }) {
+			t.Fatalf("helper %d rejected with free slots", i)
+		}
+	}
+	running.Wait()
+	if p.TryGo(func() {}) {
+		t.Fatal("third helper admitted past the bound")
+	}
+	close(block)
+	// Slots free asynchronously; poll until one is reusable.
+	done := make(chan struct{})
+	for i := 0; i < 1e6; i++ {
+		if p.TryGo(func() { close(done) }) {
+			<-done
+			return
+		}
+	}
+	t.Fatal("slot never freed after helper returned")
+}
+
+func TestPoolSizeOneNeverGrantsHelpers(t *testing.T) {
+	p := NewPool(1)
+	if p.TryGo(func() {}) {
+		t.Fatal("pool sized for one worker granted a helper")
+	}
+}
+
+func TestNilPoolIsUnbounded(t *testing.T) {
+	var p *Pool
+	done := make(chan struct{})
+	if !p.TryGo(func() { close(done) }) {
+		t.Fatal("nil pool rejected a helper")
+	}
+	<-done
+}

@@ -26,6 +26,11 @@ type Options struct {
 	L2CacheBytes int
 	// FinePartitionMaxValues caps the key domain for fine partitioning.
 	FinePartitionMaxValues int
+	// Parallelism is the worker target for morsel-driven parallel
+	// execution of the fused pipelines: 0 resolves to GOMAXPROCS at
+	// compile time, 1 forces serial execution. Small inputs stay serial
+	// regardless (the codegen layer's catalogue-estimate threshold).
+	Parallelism int
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -79,6 +84,7 @@ func BuildWithOptions(stmt *sql.SelectStmt, cat *catalog.Catalog, opts Options) 
 	b.plan.Tables = b.tables
 	b.plan.Params = b.params
 	b.plan.Limit = stmt.Limit
+	b.plan.Parallelism = opts.Parallelism
 	return &b.plan, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hique/internal/catalog"
+	"hique/internal/morsel"
 	"hique/internal/sql"
 	"hique/internal/types"
 )
@@ -402,6 +403,16 @@ type Plan struct {
 	// across concurrent executions must keep it nil. Bind propagates it
 	// into bound copies.
 	Trace *Trace
+
+	// Parallelism is the worker target for morsel-driven parallel
+	// execution (Options.Parallelism, captured at build time so the
+	// compiled artefact carries it): 0 resolves to GOMAXPROCS, 1 forces
+	// serial. Pool, when non-nil, bounds the helper goroutines parallel
+	// phases may spawn — the owning DB attaches its pool after planning;
+	// a nil pool spawns freely (plans built outside a DB). Like Trace,
+	// both are execution attachments, not optimizer outputs.
+	Parallelism int
+	Pool        *morsel.Pool
 }
 
 // ResultSchema returns the schema of the query result.

@@ -29,6 +29,11 @@ import (
 // that engine's execution, not a cross-engine invariant.
 type Trace struct {
 	Stages []StageTrace
+
+	// Parallel records the morsel-driven phases of this execution, one
+	// entry per parallel phase (empty for serial executions). Stage
+	// names match the Stages entry the phase ran under.
+	Parallel []ParallelTrace
 }
 
 // StageTrace is one recorded pipeline stage.
@@ -37,6 +42,16 @@ type StageTrace struct {
 	RowsIn  int64
 	RowsOut int64
 	Elapsed time.Duration
+}
+
+// ParallelTrace describes one morsel-driven parallel phase: how many
+// workers cooperated (helpers actually admitted, plus the caller) and
+// the rows each processed morsel produced, in morsel order. Under LIMIT
+// cancellation the unclaimed tail is absent.
+type ParallelTrace struct {
+	Stage      string
+	Workers    int
+	MorselRows []int64
 }
 
 // Observe merges one stage observation into the trace: repeated
@@ -58,15 +73,31 @@ func (t *Trace) Observe(name string, rowsIn, rowsOut int64, elapsed time.Duratio
 	t.Stages = append(t.Stages, StageTrace{Name: name, RowsIn: rowsIn, RowsOut: rowsOut, Elapsed: elapsed})
 }
 
-// Reset clears the trace for reuse.
-func (t *Trace) Reset() { t.Stages = t.Stages[:0] }
+// ObserveParallel records one morsel-driven parallel phase. Safe to
+// call on a nil trace.
+func (t *Trace) ObserveParallel(stage string, workers int, morselRows []int64) {
+	if t == nil {
+		return
+	}
+	t.Parallel = append(t.Parallel, ParallelTrace{Stage: stage, Workers: workers, MorselRows: morselRows})
+}
 
-// String renders the trace one stage per line.
+// Reset clears the trace for reuse.
+func (t *Trace) Reset() {
+	t.Stages = t.Stages[:0]
+	t.Parallel = t.Parallel[:0]
+}
+
+// String renders the trace one stage per line, parallel phases after.
 func (t *Trace) String() string {
 	var b strings.Builder
 	for _, s := range t.Stages {
 		fmt.Fprintf(&b, "%-18s rows_in=%-8d rows_out=%-8d elapsed=%s\n",
 			s.Name, s.RowsIn, s.RowsOut, s.Elapsed)
+	}
+	for _, p := range t.Parallel {
+		fmt.Fprintf(&b, "%-18s workers=%d morsels=%d rows=%v\n",
+			"parallel:"+p.Stage, p.Workers, len(p.MorselRows), p.MorselRows)
 	}
 	return b.String()
 }

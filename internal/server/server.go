@@ -265,12 +265,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // analyzeResponse is the POST /query success body for EXPLAIN ANALYZE.
 type analyzeResponse struct {
-	Engine    string             `json:"engine"`
-	Plan      string             `json:"plan"`
-	Stages    []hique.StageStats `json:"stages"`
-	Rows      int                `json:"rows"`
-	ElapsedUs int64              `json:"elapsed_us"`
-	Session   string             `json:"session"`
+	Engine    string                `json:"engine"`
+	Plan      string                `json:"plan"`
+	Stages    []hique.StageStats    `json:"stages"`
+	Parallel  []hique.ParallelStats `json:"parallel,omitempty"`
+	Rows      int                   `json:"rows"`
+	ElapsedUs int64                 `json:"elapsed_us"`
+	Session   string                `json:"session"`
 }
 
 // handleAnalyze serves EXPLAIN ANALYZE <stmt>: the statement runs (under
@@ -297,6 +298,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, stmt stri
 		Engine:    a.Engine,
 		Plan:      a.Plan,
 		Stages:    a.Stages,
+		Parallel:  a.Parallel,
 		Rows:      a.Rows,
 		ElapsedUs: a.Elapsed.Microseconds(),
 		Session:   sess.ID,

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"hique/internal/codegen"
+	"hique/internal/morsel"
 	"hique/internal/obs"
 	"hique/internal/plan"
 	"hique/internal/plancache"
@@ -118,6 +119,14 @@ func newDBMetrics(db *DB) *dbMetrics {
 		func() float64 { inUse, _ := storage.ArenaStats(); return float64(inUse) })
 	m.reg.CounterFunc("hique_arena_pages_recycled_total", "Page-arena frames returned for reuse.", "",
 		func() int64 { _, recycled := storage.ArenaStats(); return recycled })
+	// Morsel-driven parallel execution counters. The underlying counters
+	// are process-global (the worker pool machinery is per-DB but the
+	// pipelines are compiled per plan), matching the arena re-exports.
+	m.reg.CounterFunc("hique_parallel_queries_total", "Query executions that ran at least one morsel-driven parallel phase.", "",
+		func() int64 { q, _ := morsel.Stats(); return q })
+	m.reg.CounterFunc("hique_morsels_total", "Morsels processed by parallel execution phases.", "",
+		func() int64 { _, ms := morsel.Stats(); return ms })
+
 	m.reg.GaugeFunc("hique_catalog_version", "Catalogue version (DDL, index builds, statistics refreshes).", "",
 		func() float64 { return float64(db.cat.Version()) })
 	m.reg.GaugeFunc("hique_tables", "Catalogued tables.", "",
