@@ -75,6 +75,9 @@ type execScratch struct {
 	norm   sql.NormBuf
 	key    []byte
 	params []types.Datum
+	// wal stages the statement's WAL record, encoded from the bound
+	// plan before the writer lock is taken (durable DBs only).
+	wal []byte
 }
 
 var execScratchPool = sync.Pool{New: func() any { return new(execScratch) }}
@@ -181,6 +184,13 @@ func (db *DB) execWrite(wp *plan.WritePlan, args []any, sc *execScratch, invalid
 		if err != nil {
 			return ExecResult{}, err
 		}
+		// Encode the WAL record from the bound plan outside the lock —
+		// the bound copy is immutable, so only the append itself has to
+		// happen inside.
+		var walType byte
+		if db.dur != nil {
+			sc.wal, walType = encodeWritePlan(sc.wal[:0], bound)
+		}
 		e := wp.Entry
 		start := time.Now()
 		e.Lock()
@@ -199,7 +209,13 @@ func (db *DB) execWrite(wp *plan.WritePlan, args []any, sc *execScratch, invalid
 			}
 			continue
 		}
-		n, err := db.applyLocked(e, wp.Table, bound)
+		n, lsn, err := db.applyLocked(e, wp.Table, bound, walType, sc.wal)
+		if err == nil && db.dur != nil {
+			// The lock is released: waiting out the fsync (group commit
+			// under -fsync=always) stalls only this statement's ack,
+			// never readers or other writers.
+			err = db.dur.logCommit(lsn)
+		}
 		return ExecResult{RowsAffected: n, Elapsed: time.Since(start)}, err
 	}
 }
@@ -212,7 +228,13 @@ func (db *DB) execWrite(wp *plan.WritePlan, args []any, sc *execScratch, invalid
 // On a panic
 // the heap may hold a partial batch; statistics are conservatively
 // marked stale so the next query replans against what is actually there.
-func (db *DB) applyLocked(e *catalog.TableEntry, name string, w *plan.WritePlan) (n int, err error) {
+//
+// On a durable DB the statement's record is appended to the WAL first,
+// still under the lock: an append failure fails the statement with the
+// heap untouched, and the lock ordering makes per-table LSN order equal
+// apply order. The returned lsn is what the caller must logCommit
+// before acknowledging.
+func (db *DB) applyLocked(e *catalog.TableEntry, name string, w *plan.WritePlan, walType byte, walRec []byte) (n int, lsn uint64, err error) {
 	defer e.Unlock()
 	defer func() {
 		if n > 0 || err != nil {
@@ -220,7 +242,12 @@ func (db *DB) applyLocked(e *catalog.TableEntry, name string, w *plan.WritePlan)
 		}
 	}()
 	defer containPanic(&err)
-	return applyWrite(e, w), nil
+	if db.dur != nil {
+		if lsn, err = db.dur.logAppend(walType, walRec); err != nil {
+			return 0, 0, err
+		}
+	}
+	return applyWrite(e, w), lsn, nil
 }
 
 // markStale flags a table's statistics for recomputation before the next

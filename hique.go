@@ -153,6 +153,14 @@ type DB struct {
 	// pipelines may run at once (attached to every plan it builds);
 	// sized once in Open from opts.Parallelism, immutable afterwards.
 	pool *morsel.Pool
+
+	// durCfg collects the durability options at Open time; dur is the
+	// running durability engine (WAL + checkpoints), nil for an
+	// in-memory DB. Set once in Open, immutable afterwards — write paths
+	// branch on dur == nil. See durability.go.
+	durCfg    *durabilityConfig
+	dur       *durability
+	closeOnce sync.Once
 }
 
 // Option configures a DB at Open time.
@@ -212,8 +220,21 @@ func WithParallelism(n int) Option {
 }
 
 // Open creates a database using the holistic engine. Options enable the
-// plan cache, adopt an existing catalogue, or pick another engine.
+// plan cache, adopt an existing catalogue, pick another engine, or make
+// the database durable (WithDurability; recovery failures panic here —
+// servers should use OpenDurable for an error instead).
 func Open(options ...Option) *DB {
+	db, err := newDB(options)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// newDB is the shared constructor behind Open and OpenDurable. Metrics
+// come up before durability so recovery's fsyncs already observe into
+// the hique_wal_fsync_seconds histogram.
+func newDB(options []Option) (*DB, error) {
 	db := &DB{cat: catalog.New(), opts: plan.DefaultOptions(), stale: map[string]bool{}, refreshing: map[string]bool{}, autoParam: true}
 	db.SetEngine(Holistic)
 	for _, o := range options {
@@ -225,7 +246,12 @@ func Open(options ...Option) *DB {
 	}
 	db.pool = morsel.NewPool(workers)
 	db.met = newDBMetrics(db)
-	return db
+	if db.durCfg != nil && db.durCfg.dir != "" {
+		if err := db.openDurability(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // Metrics exposes the DB's telemetry registry for exposition (the HTTP
@@ -283,12 +309,26 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 	for i, c := range cols {
 		tcols[i] = types.Column{Name: strings.ToLower(c.Name), Kind: c.kind, Size: c.size}
 	}
+	schema := types.NewSchema(tcols...)
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	if _, err := db.cat.Lookup(name); err == nil {
 		return fmt.Errorf("hique: table %q already exists", name)
 	}
-	db.cat.Register(storage.NewTable(name, types.NewSchema(tcols...)))
+	var lsn uint64
+	if db.dur != nil {
+		payload, err := encodeCreateTable(name, schema)
+		if err != nil {
+			return fmt.Errorf("hique: logging create table: %w", err)
+		}
+		if lsn, err = db.dur.logAppend(recCreateTable, payload); err != nil {
+			return err
+		}
+	}
+	db.cat.Register(storage.NewTable(name, schema))
+	if db.dur != nil {
+		return db.dur.logCommit(lsn)
+	}
 	return nil
 }
 
@@ -320,10 +360,24 @@ func (db *DB) Insert(table string, values ...any) error {
 		}
 		row[i] = d
 	}
+	var walBuf []byte
+	if db.dur != nil {
+		walBuf = encodeInsertRow(nil, name, s, row)
+	}
 	e.Lock()
+	var lsn uint64
+	if db.dur != nil {
+		if lsn, err = db.dur.logAppend(recInsert, walBuf); err != nil {
+			e.Unlock()
+			return err
+		}
+	}
 	appendRowLocked(e, row)
 	db.markStale(name)
 	e.Unlock()
+	if db.dur != nil {
+		return db.dur.logCommit(lsn)
+	}
 	return nil
 }
 
@@ -1174,13 +1228,26 @@ func (db *DB) RowCount(table string) (int, error) {
 
 // BuildIndex creates a fractal B+-tree index on an integer column.
 func (db *DB) BuildIndex(table, column string) error {
-	e, err := db.cat.Lookup(strings.ToLower(table))
+	table, column = strings.ToLower(table), strings.ToLower(column)
+	e, err := db.cat.Lookup(table)
 	if err != nil {
 		return err
 	}
 	e.Lock()
-	defer e.Unlock()
-	_, err = db.cat.BuildIndex(strings.ToLower(table), strings.ToLower(column))
+	var lsn uint64
+	if db.dur != nil {
+		// Logged before the build so a crash between the two replays the
+		// build (idempotent) rather than losing the index.
+		if lsn, err = db.dur.logAppend(recBuildIndex, encodeBuildIndex(table, column)); err != nil {
+			e.Unlock()
+			return err
+		}
+	}
+	_, err = db.cat.BuildIndex(table, column)
+	e.Unlock()
+	if err == nil && db.dur != nil {
+		return db.dur.logCommit(lsn)
+	}
 	return err
 }
 
@@ -1196,6 +1263,8 @@ type DBStats struct {
 	WriteCache plancache.Stats `json:"write_cache"`
 	// Arena snapshots the page-arena balance (see storage.ArenaStats).
 	Arena ArenaStats `json:"arena"`
+	// Durability is nil for an in-memory DB (see WithDurability).
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // ArenaStats is the page-arena balance: frames currently held by live
@@ -1224,6 +1293,7 @@ func (db *DB) Stats() DBStats {
 		s.WriteCache = db.writeCache.Stats()
 	}
 	s.Arena.PagesInUse, s.Arena.PagesRecycled = storage.ArenaStats()
+	s.Durability = db.durabilityStats()
 	return s
 }
 

@@ -8,8 +8,10 @@ package serving
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"hique"
 	"hique/internal/codegen"
@@ -257,6 +259,72 @@ func Micro() []MicroResult {
 	})
 	run("Ingest/prepared-single-row", func(b *testing.B) {
 		db := ingestDB()
+		ins, err := db.PrepareExec("INSERT INTO bench_ingest VALUES (?, ?)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < ingestRows; j++ {
+				if _, err := ins.Run(j, float64(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	// IngestDurable: the same batched shape with the WAL on, one row per
+	// fsync policy — the price of the durability guarantee per 1000
+	// acknowledged rows. single-row-fsync-always is the worst case: a
+	// serial client pays one physical fsync per statement (group commit
+	// only batches concurrent writers).
+	durableDB := func(b *testing.B, mode hique.FsyncMode) (*hique.DB, func()) {
+		dir, err := os.MkdirTemp("", "hique-bench-wal-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := hique.OpenDurable(dir, hique.WithPlanCache(64), hique.WithFsync(mode),
+			hique.WithFsyncInterval(10*time.Millisecond))
+		if err != nil {
+			os.RemoveAll(dir)
+			b.Fatal(err)
+		}
+		must(db.CreateTable("bench_ingest", hique.Int("id"), hique.Float("v")))
+		return db, func() {
+			db.Close()
+			os.RemoveAll(dir)
+		}
+	}
+	batchStmt := func() string {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO bench_ingest VALUES ")
+		for j := 0; j < ingestRows; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %g)", j, float64(j))
+		}
+		return sb.String()
+	}
+	for _, mode := range []hique.FsyncMode{hique.FsyncAlways, hique.FsyncInterval, hique.FsyncOff} {
+		mode := mode
+		run("IngestDurable/batch-fsync-"+mode.String(), func(b *testing.B) {
+			db, cleanup := durableDB(b, mode)
+			defer cleanup()
+			stmt := batchStmt()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res, err := db.Exec(stmt); err != nil || res.RowsAffected != ingestRows {
+					b.Fatalf("durable batch insert: %v / %+v", err, res)
+				}
+			}
+		})
+	}
+	run("IngestDurable/single-row-fsync-always", func(b *testing.B) {
+		db, cleanup := durableDB(b, hique.FsyncAlways)
+		defer cleanup()
 		ins, err := db.PrepareExec("INSERT INTO bench_ingest VALUES (?, ?)")
 		if err != nil {
 			b.Fatal(err)

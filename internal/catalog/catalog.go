@@ -280,6 +280,19 @@ func (e *TableEntry) Index(column string) *btree.Tree {
 	return e.Indexes[column]
 }
 
+// IndexColumns returns the indexed column names in sorted order, so
+// durability snapshots record index DDL deterministically. Callers hold
+// the entry's lock (or have the catalogue to themselves, as recovery
+// does).
+func (e *TableEntry) IndexColumns() []string {
+	cols := make([]string, 0, len(e.Indexes))
+	for c := range e.Indexes {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
 // ComputeStats scans a table once and derives per-column statistics.
 // Distinct-value counts are exact for small cardinalities and cap out at
 // maxExactDistinct, beyond which the count is reported as the cap (the

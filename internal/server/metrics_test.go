@@ -194,10 +194,14 @@ func TestMetricsReconcile(t *testing.T) {
 	if warmFused == 0 {
 		t.Error("no warm fused point-query observations recorded")
 	}
+	// The durability families must be present even on an in-memory DB
+	// (they read zeros) so dashboards never lose the series.
 	for _, name := range []string{
 		"hique_plan_cache_hits_total", "hique_plan_cache_misses_total",
 		"hique_arena_pages_recycled_total", "hique_lock_wait_seconds_count",
 		"hique_pool_workers", "hique_sessions",
+		"hique_wal_appended_total", "hique_wal_fsync_seconds_count",
+		"hique_checkpoints_total", "hique_recovery_replayed_records",
 	} {
 		if _, ok := findSample(samples, name); !ok {
 			t.Errorf("metric %s missing from exposition", name)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,10 @@ import (
 // ErrSaturated is returned by Pool.Do when every worker slot is busy and
 // the admission wait expires before one frees up.
 var ErrSaturated = errors.New("server: worker pool saturated")
+
+// ErrShuttingDown is returned by Pool.Do after Close: the server is
+// draining and no longer admits statements.
+var ErrShuttingDown = errors.New("server: shutting down")
 
 // Pool is a bounded worker pool used for admission control: at most
 // `workers` queries execute at once, and a caller that cannot acquire a
@@ -24,6 +29,9 @@ type Pool struct {
 	// the queue-depth gauge: in-flight shows saturation, waiting shows
 	// how far past it the offered load is.
 	waiting atomic.Int64
+	// closed flips on Close: admission stops (ErrShuttingDown) while
+	// statements already holding a slot run to completion.
+	closed atomic.Bool
 }
 
 // NewPool creates a pool of the given width; wait bounds how long an
@@ -36,9 +44,13 @@ func NewPool(workers int, wait time.Duration) *Pool {
 	return &Pool{slots: make(chan struct{}, workers), wait: wait}
 }
 
-// Do runs fn on an admitted slot, or returns ErrSaturated without
-// running it.
+// Do runs fn on an admitted slot, or returns ErrSaturated (pool full)
+// or ErrShuttingDown (pool closed) without running it.
 func (p *Pool) Do(fn func()) error {
+	if p.closed.Load() {
+		p.rejected.Add(1)
+		return ErrShuttingDown
+	}
 	select {
 	case p.slots <- struct{}{}:
 	default:
@@ -61,6 +73,25 @@ func (p *Pool) Do(fn func()) error {
 	p.admitted.Add(1)
 	defer func() { <-p.slots }()
 	fn()
+	return nil
+}
+
+// Close stops admission: every later Do returns ErrShuttingDown.
+// Statements already holding a slot are unaffected — Drain waits for
+// them.
+func (p *Pool) Close() { p.closed.Store(true) }
+
+// Drain blocks until every in-flight statement has released its slot,
+// or ctx expires. It acquires (and keeps) every slot, so the pool must
+// be Closed first and cannot be reused afterwards.
+func (p *Pool) Drain(ctx context.Context) error {
+	for i := 0; i < cap(p.slots); i++ {
+		select {
+		case p.slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 	return nil
 }
 

@@ -36,6 +36,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -95,6 +96,10 @@ type Server struct {
 
 	queries atomic.Uint64
 	errors  atomic.Uint64
+
+	// draining flips on BeginShutdown: /healthz answers 503 so load
+	// balancers pull the instance while in-flight statements finish.
+	draining atomic.Bool
 
 	// reg holds the serving-layer metrics (pool, sessions, request
 	// counters); GET /metrics renders it after the DB's own registry.
@@ -158,6 +163,18 @@ func (s *Server) ListenAndServe(addr string) error {
 	srv := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	return srv.ListenAndServe()
 }
+
+// BeginShutdown starts a graceful drain: new statements are rejected
+// with 503 and /healthz reports draining. In-flight statements keep
+// their pool slots until they finish — wait for them with Drain.
+func (s *Server) BeginShutdown() {
+	s.draining.Store(true)
+	s.pool.Close()
+}
+
+// Drain blocks until every in-flight statement completes, or ctx
+// expires. Call BeginShutdown first.
+func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
 
 // queryRequest is the POST /query body. Params supplies one value per
 // '?' placeholder in SQL, in order; JSON numbers arrive as float64 and
@@ -423,8 +440,13 @@ func (s *Server) noteOutcome(w http.ResponseWriter, r *http.Request, qerr error)
 // handleHealthz is the load-balancer liveness probe: it answers without
 // taking a pool slot (an overloaded server is still alive — health must
 // not flap under the very load the 503 admission path is shedding) and
-// without touching the catalogue.
+// without touching the catalogue. A draining server reports 503 so
+// balancers stop routing to it while in-flight statements finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrainsInFlight is the shutdown regression test: a
+// statement blocked in flight (on the table writer lock) must survive
+// BeginShutdown and complete with 200, while statements arriving after
+// it get 503 and /healthz flips to draining. Drain must return only
+// after the in-flight statement finishes.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	db := testDB(t)
+	s := New(db, Config{Workers: 1, QueueWait: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Hold the items writer lock so the INSERT below blocks mid-flight
+	// inside its pool slot.
+	entry, err := db.Catalog().Lookup("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry.Lock()
+	unlocked := false
+	defer func() {
+		if !unlocked {
+			entry.Unlock()
+		}
+	}()
+
+	inFlight := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(queryRequest{SQL: "INSERT INTO items VALUES (9001, 1, 2.5)"})
+		resp, err := ts.Client().Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inFlight <- -1
+			return
+		}
+		resp.Body.Close()
+		inFlight <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.pool.InFlight() == 1 })
+
+	s.BeginShutdown()
+
+	// New statements are refused without queueing.
+	resp, _, bad := postQuery(t, ts, "SELECT id FROM items WHERE id = 1", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown statement: status %d, want 503", resp.StatusCode)
+	}
+	if bad.Error != ErrShuttingDown.Error() {
+		t.Fatalf("post-shutdown error = %q, want %q", bad.Error, ErrShuttingDown)
+	}
+	// Health flips so the load balancer pulls the instance.
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz: status %d, want 503", hr.StatusCode)
+	}
+
+	// Drain must wait for the blocked statement...
+	shortCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(shortCtx); err == nil {
+		t.Fatal("Drain returned before the in-flight statement finished")
+	}
+
+	// ...and the blocked statement must complete successfully once the
+	// lock frees, even though shutdown began while it was in flight.
+	entry.Unlock()
+	unlocked = true
+	select {
+	case code := <-inFlight:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight statement finished with status %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight statement never completed")
+	}
+	drainCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain after completion: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -95,6 +95,21 @@ func (m *Manager) Drop(name string) error {
 	return nil
 }
 
+// WriteTable serialises a table — magic, schema, then raw pages — for
+// durability snapshots (the same framing Manager.Save uses on disk).
+func WriteTable(w io.Writer, t *Table) error { return writeTable(w, t) }
+
+// WriteSchema serialises just a schema — the WAL's CREATE TABLE record
+// payload.
+func WriteSchema(w io.Writer, s *types.Schema) error { return writeSchema(w, s) }
+
+// ReadSchema deserialises a schema written by WriteSchema.
+func ReadSchema(r io.Reader) (*types.Schema, error) { return readSchema(r) }
+
+// ReadTable deserialises a table written by WriteTable, restoring page
+// IDs from the page headers and validating the row count.
+func ReadTable(r io.Reader, name string) (*Table, error) { return readTable(r, name) }
+
 func writeTable(w io.Writer, t *Table) error {
 	if _, err := io.WriteString(w, fileMagic); err != nil {
 		return err

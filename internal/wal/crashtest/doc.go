@@ -1,0 +1,9 @@
+// Package crashtest is the durability crash-injection harness. Its test
+// re-execs the test binary as a child ingest process against a shared
+// data directory, then crashes the child at randomized points — SIGKILL
+// between statements, torn writes mid-frame, and a device that lies
+// about fsync (wal.FaultFS) — and asserts that the reopened database is
+// always a consistent prefix of the acknowledged statement stream,
+// byte-identical across all five execution engines. The package holds
+// no non-test code.
+package crashtest

@@ -1,0 +1,138 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// FS abstracts the append side of the filesystem so tests can inject
+// write faults. Only writes are virtualized: recovery reads and
+// truncation repair always go through the real OS, because fault
+// injection models losing data on the way down, not on the way back up.
+type FS interface {
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+}
+
+// File is the slice of *os.File the log needs.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// FaultMode selects how a FaultFS misbehaves once its byte budget is
+// spent.
+type FaultMode int
+
+const (
+	// FaultTear writes the budget-crossing call partially and fails it;
+	// every later write and sync fails too. Models a torn page at power
+	// loss: the process sees the error, the disk holds a partial frame.
+	FaultTear FaultMode = iota
+	// FaultDrop silently discards bytes past the budget while reporting
+	// success — including Sync. Models a device (or crashing kernel)
+	// that acknowledged writes it never made stable: the process
+	// happily acks commits that are gone after reopen.
+	FaultDrop
+)
+
+// ErrInjected is the failure FaultTear surfaces.
+var ErrInjected = errors.New("wal: injected write fault")
+
+// FaultFS wraps a base FS and injects a single fault after budget
+// bytes have been written across all files it opened. The crash
+// harness uses it to land failures mid-frame and mid-fsync.
+type FaultFS struct {
+	base FS
+
+	mu      sync.Mutex
+	budget  int64
+	mode    FaultMode
+	tripped bool
+}
+
+// NewFaultFS builds a FaultFS over base (nil means the OS filesystem)
+// that misbehaves per mode once budget bytes have been written.
+func NewFaultFS(base FS, mode FaultMode, budget int64) *FaultFS {
+	if base == nil {
+		base = OSFS{}
+	}
+	return &FaultFS{base: base, mode: mode, budget: budget}
+}
+
+// Tripped reports whether the fault has fired.
+func (f *FaultFS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// OpenAppend implements FS. All files share the FaultFS's budget.
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	inner, err := f.base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tripped {
+		if f.mode == FaultDrop {
+			return len(p), nil
+		}
+		return 0, ErrInjected
+	}
+	if f.budget >= int64(len(p)) {
+		f.budget -= int64(len(p))
+		return ff.inner.Write(p)
+	}
+	// This write crosses the budget: land a prefix, then fault.
+	keep := int(f.budget)
+	f.budget = 0
+	f.tripped = true
+	if keep > 0 {
+		if n, werr := ff.inner.Write(p[:keep]); werr != nil {
+			return n, werr
+		}
+	}
+	if f.mode == FaultDrop {
+		return len(p), nil
+	}
+	return keep, ErrInjected
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	tripped, mode := f.tripped, f.mode
+	f.mu.Unlock()
+	if tripped {
+		if mode == FaultDrop {
+			// The lie: report stable storage for bytes never written.
+			return nil
+		}
+		return ErrInjected
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,88 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildValidLog renders a segment image holding n small records
+// starting at LSN 1 — the fuzz corpus seed.
+func buildValidLog(n int) []byte {
+	var data []byte
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], 1)
+	data = append(data, hdr[:]...)
+	for i := 0; i < n; i++ {
+		payload := []byte{byte(i), byte(i >> 8), 0xab, 0xcd}
+		var fh [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(fh[4:8], uint32(len(payload)))
+		binary.LittleEndian.PutUint64(fh[8:16], uint64(i+1))
+		fh[16] = byte(i%5 + 1)
+		body := append(fh[8:frameHeaderSize:frameHeaderSize], payload...)
+		binary.LittleEndian.PutUint32(fh[0:4], crc32.Checksum(body, castagnoli))
+		data = append(data, fh[:]...)
+		data = append(data, payload...)
+	}
+	return data
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the segment scanner via a real
+// Open+Replay cycle and asserts the recovery invariants: never panic,
+// never deliver a record whose checksum or LSN continuity failed, and
+// always deliver a gap-free LSN sequence.
+func FuzzWALReplay(f *testing.F) {
+	valid := buildValidLog(3)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                                         // truncated tail
+	f.Add(append(append([]byte{}, valid...), valid[len(valid)-25:]...)) // duplicated tail
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-2] ^= 0x10
+	f.Add(flipped) // bit-flipped tail
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[segHeaderSize+4:], ^uint32(0)) // absurd length field
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{})
+		if err != nil {
+			// Open may fail on filesystem errors, never panic.
+			return
+		}
+		defer l.Close()
+		var prev uint64
+		n, err := l.Replay(0, func(lsn uint64, typ byte, payload []byte) error {
+			if lsn != prev+1 {
+				t.Fatalf("LSN gap: %d after %d", lsn, prev)
+			}
+			if uint64(len(payload)) > MaxPayload {
+				t.Fatalf("oversized payload delivered: %d", len(payload))
+			}
+			prev = lsn
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay errored on fuzzed input: %v", err)
+		}
+		if n != int64(prev) {
+			t.Fatalf("count %d != last lsn %d", n, prev)
+		}
+		// Appending after a repair must keep the chain consistent.
+		lsn, aerr := l.Append(1, []byte("post-fuzz"))
+		if aerr != nil {
+			t.Fatalf("append after repair: %v", aerr)
+		}
+		if lsn != prev+1 {
+			t.Fatalf("append assigned lsn %d after prefix %d", lsn, prev)
+		}
+	})
+}

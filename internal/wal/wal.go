@@ -1,0 +1,664 @@
+// Package wal implements HIQUE's write-ahead log: an append-only,
+// CRC32C-framed record log with monotone log sequence numbers (LSNs),
+// group-commit fsync batching, segment rotation, and torn-tail repair.
+//
+// The log is the durability substrate under hique.DB (DESIGN.md §9):
+// every mutating statement appends exactly one record under the table's
+// writer lock, waits for Commit (whose cost depends on the sync policy),
+// and is acknowledged only once its record is durable under
+// SyncAlways. Recovery replays records in LSN order on top of the most
+// recent checkpoint snapshot.
+//
+// On-disk layout: a directory of segment files named wal-%016x.log by
+// the first LSN they hold. Each segment starts with a 16-byte header
+// (magic "HIQW0001" + first LSN) followed by frames:
+//
+//	crc32c(u32 LE) | payloadLen(u32 LE) | lsn(u64 LE) | type(u8) | payload
+//
+// The checksum covers lsn, type, and payload. A frame is valid only if
+// it is complete, its checksum matches, and its LSN is exactly the
+// successor of the previous frame's — which rejects torn tails,
+// bit flips, and duplicated tails alike. Open scans the segment chain,
+// truncates the log at the first invalid frame (warning, never
+// refusing to start), and discards anything after it: the log's
+// contract is a consistent prefix, not best-effort salvage.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	segMagic      = "HIQW0001"
+	segHeaderSize = 16
+	// frameHeaderSize is crc(4) + payloadLen(4) + lsn(8) + type(1).
+	frameHeaderSize = 17
+	// MaxPayload bounds a single record; a length field beyond it marks
+	// the frame invalid without attempting a giant allocation.
+	MaxPayload = 64 << 20
+)
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append and Commit after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before Commit returns: an acknowledged statement
+	// survives power loss. Concurrent committers share fsyncs through
+	// group commit.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background cadence: Commit returns
+	// immediately and a crash loses at most one interval of
+	// acknowledged statements.
+	SyncInterval
+	// SyncOff never fsyncs explicitly (the OS writes back whenever it
+	// likes); only a clean Close flushes and syncs. Maximum ingest
+	// speed, no crash guarantee beyond the last checkpoint.
+	SyncOff
+)
+
+// String names the policy using the -fsync flag vocabulary.
+func (p SyncPolicy) String() string {
+	return [...]string{"always", "interval", "off"}[p]
+}
+
+// ParsePolicy resolves a -fsync flag value; ok is false for unknown
+// names.
+func ParsePolicy(s string) (SyncPolicy, bool) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return SyncAlways, false
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy selects the fsync discipline (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the SyncInterval cadence (default 50ms).
+	Interval time.Duration
+	// SegmentSize rotates segments once they exceed this many bytes
+	// (default 16 MiB).
+	SegmentSize int64
+	// StartLSN seeds the LSN counter when the directory holds no
+	// segments: recovery passes checkpointLSN+1 so the chain stays
+	// monotone across truncations (default 1).
+	StartLSN uint64
+	// FS supplies the append files; nil selects the OS filesystem. The
+	// crash harness injects a FaultFS here to tear or drop writes.
+	FS FS
+	// FsyncObserve, when set, receives the latency of every physical
+	// fsync (the hique_wal_fsync_seconds histogram).
+	FsyncObserve func(time.Duration)
+	// Logf receives torn-tail and corruption warnings (default drops
+	// them).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 16 << 20
+	}
+	if o.StartLSN == 0 {
+		o.StartLSN = 1
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Appended counts records appended this process lifetime.
+	Appended int64
+	// Fsyncs counts physical fsync calls (group commit batches many
+	// Commits into one).
+	Fsyncs int64
+	// Bytes counts frame bytes appended this process lifetime.
+	Bytes int64
+	// LastLSN is the highest LSN assigned (0 before the first append).
+	LastLSN uint64
+	// DurableLSN is the highest LSN known fsynced.
+	DurableLSN uint64
+}
+
+// Log is an open write-ahead log. Append/Commit/Sync/Rotate are safe
+// for concurrent use.
+type Log struct {
+	dir string
+	opt Options
+
+	// mu guards the append state: the current segment file, its
+	// buffered writer, and segment bookkeeping.
+	mu       sync.Mutex
+	f        File
+	buf      []byte // frame staging buffer, reused across appends
+	segPath  string
+	segStart uint64
+	segBytes int64
+	closed   bool
+	fail     error // sticky: a failed file write poisons the log
+
+	// nextLSN is the LSN the next append receives; written under mu,
+	// read atomically by Stats/LastLSN.
+	nextLSN atomic.Uint64
+
+	// syncMu is the group-commit leader lock: the first Commit waiter
+	// becomes the leader and fsyncs once for everyone queued behind it.
+	syncMu  sync.Mutex
+	durable atomic.Uint64 // highest LSN known fsynced
+
+	appended atomic.Int64
+	fsyncs   atomic.Int64
+	bytes    atomic.Int64
+
+	stop     chan struct{}
+	loopDone sync.WaitGroup
+}
+
+// segmentName renders the file name for a segment starting at lsn.
+func segmentName(lsn uint64) string {
+	return fmt.Sprintf("wal-%016x.log", lsn)
+}
+
+// segmentRef is one discovered segment file.
+type segmentRef struct {
+	path     string
+	firstLSN uint64
+}
+
+// listSegments returns the directory's segment files sorted by first
+// LSN. Files whose name does not parse are ignored.
+func listSegments(dir string) ([]segmentRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentRef
+	for _, e := range entries {
+		n := e.Name()
+		if !strings.HasPrefix(n, "wal-") || !strings.HasSuffix(n, ".log") {
+			continue
+		}
+		lsn, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, "wal-"), ".log"), 16, 64)
+		if perr != nil {
+			continue
+		}
+		segs = append(segs, segmentRef{path: filepath.Join(dir, n), firstLSN: lsn})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// scanRecords walks the frames of a segment image, calling fn (when
+// non-nil) for each valid record. It returns the byte offset of the
+// first invalid frame (== len(data) when the whole segment is valid)
+// and the LSN the next record would carry. Scanning stops silently at
+// the first invalid frame — short, oversized, checksum-failing, or
+// LSN-discontinuous — which is the torn-tail policy: everything before
+// it is a consistent prefix, everything after is untrusted.
+func scanRecords(data []byte, firstLSN uint64, fn func(lsn uint64, typ byte, payload []byte) error) (validEnd int, next uint64, err error) {
+	off := segHeaderSize
+	next = firstLSN
+	if len(data) < segHeaderSize {
+		return 0, next, nil
+	}
+	for {
+		if off+frameHeaderSize > len(data) {
+			return off, next, nil
+		}
+		crc := binary.LittleEndian.Uint32(data[off:])
+		plen := binary.LittleEndian.Uint32(data[off+4:])
+		if uint64(plen) > MaxPayload || off+frameHeaderSize+int(plen) > len(data) {
+			return off, next, nil
+		}
+		end := off + frameHeaderSize + int(plen)
+		if crc32.Checksum(data[off+8:end], castagnoli) != crc {
+			return off, next, nil
+		}
+		lsn := binary.LittleEndian.Uint64(data[off+8:])
+		if lsn != next {
+			// A replayed (duplicated) or reordered frame: its checksum
+			// is fine but its LSN is not the successor — stop here.
+			return off, next, nil
+		}
+		if fn != nil {
+			if ferr := fn(lsn, data[off+16], data[off+frameHeaderSize:end]); ferr != nil {
+				return off, next, ferr
+			}
+		}
+		next = lsn + 1
+		off = end
+	}
+}
+
+// segHeaderOK validates a segment image's header against its file name.
+func segHeaderOK(data []byte, firstLSN uint64) bool {
+	return len(data) >= segHeaderSize &&
+		string(data[:8]) == segMagic &&
+		binary.LittleEndian.Uint64(data[8:16]) == firstLSN
+}
+
+// Open opens (creating if necessary) the log in dir. It scans the
+// segment chain, repairs a torn or corrupt tail by truncating at the
+// last valid frame boundary (and discarding any later segments), and
+// positions the LSN counter after the last valid record. Open never
+// refuses to start over a damaged tail — it warns through Options.Logf
+// and recovers the consistent prefix.
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+
+	next := opt.StartLSN
+	kept := 0
+	for i, sg := range segs {
+		data, rerr := os.ReadFile(sg.path)
+		ok := rerr == nil && segHeaderOK(data, sg.firstLSN)
+		if ok && i > 0 && sg.firstLSN != next {
+			// Chain gap or overlap: nothing at or after this segment
+			// extends the prefix.
+			ok = false
+		}
+		if !ok {
+			opt.Logf("wal: discarding segment %s and %d later segment(s): unreadable, corrupt header, or chain break (err=%v)",
+				filepath.Base(sg.path), len(segs)-i-1, rerr)
+			for _, drop := range segs[i:] {
+				_ = os.Remove(drop.path)
+			}
+			break
+		}
+		validEnd, segNext, _ := scanRecords(data, sg.firstLSN, nil)
+		next = segNext
+		kept = i + 1
+		if validEnd < len(data) {
+			opt.Logf("wal: segment %s has a torn or corrupt tail at byte %d of %d; truncating at the last valid record (next LSN %d)",
+				filepath.Base(sg.path), validEnd, len(data), next)
+			if terr := os.Truncate(sg.path, int64(validEnd)); terr != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail: %w", terr)
+			}
+			if i+1 < len(segs) {
+				opt.Logf("wal: discarding %d segment(s) after the torn tail", len(segs)-i-1)
+				for _, drop := range segs[i+1:] {
+					_ = os.Remove(drop.path)
+				}
+			}
+			break
+		}
+	}
+
+	l := &Log{dir: dir, opt: opt, stop: make(chan struct{})}
+	l.nextLSN.Store(next)
+	// Everything surviving the scan is on disk; whether the kernel has
+	// it on stable media is unknowable here, so treat it as durable the
+	// way recovery must: it is the prefix we recovered.
+	l.durable.Store(next - 1)
+
+	if kept > 0 {
+		last := segs[kept-1]
+		st, serr := os.Stat(last.path)
+		if serr == nil && st.Size() < opt.SegmentSize {
+			f, oerr := opt.FS.OpenAppend(last.path)
+			if oerr != nil {
+				return nil, fmt.Errorf("wal: reopen segment: %w", oerr)
+			}
+			l.f, l.segPath, l.segStart, l.segBytes = f, last.path, last.firstLSN, st.Size()
+		}
+	}
+	if l.f == nil {
+		if err := l.createSegmentLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Policy == SyncInterval {
+		l.loopDone.Add(1)
+		go l.intervalLoop()
+	}
+	return l, nil
+}
+
+// createSegmentLocked opens a fresh segment starting at the current
+// nextLSN and writes its header. Caller holds mu (or is Open, before
+// the log is shared).
+func (l *Log) createSegmentLocked() error {
+	lsn := l.nextLSN.Load()
+	path := filepath.Join(l.dir, segmentName(lsn))
+	f, err := l.opt.FS.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	if _, err := f.Write(hdr[:]); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	l.f, l.segPath, l.segStart, l.segBytes = f, path, lsn, segHeaderSize
+	return nil
+}
+
+// Append frames one record, assigns it the next LSN, and writes it to
+// the current segment. The record is buffered in the OS page cache (or
+// the process, until the next flush); durability is Commit's job.
+// Callers append under the owning table's writer lock, so LSN order
+// equals apply order per table.
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
+	if len(payload) > MaxPayload {
+		return 0, fmt.Errorf("wal: payload of %d bytes exceeds MaxPayload", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.fail != nil {
+		return 0, l.fail
+	}
+	if l.segBytes >= l.opt.SegmentSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN.Load()
+	frame := l.buf[:0]
+	if cap(frame) < frameHeaderSize+len(payload) {
+		frame = make([]byte, 0, frameHeaderSize+len(payload))
+	}
+	frame = frame[:frameHeaderSize]
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:16], lsn)
+	frame[16] = typ
+	frame = append(frame, payload...)
+	binary.LittleEndian.PutUint32(frame[0:4], crc32.Checksum(frame[8:], castagnoli))
+	l.buf = frame
+	// One Write call per frame: a torn frame is then a kernel/media
+	// artifact, never an interleaving of two writers.
+	if _, err := l.f.Write(frame); err != nil {
+		l.fail = fmt.Errorf("wal: append: %w", err)
+		return 0, l.fail
+	}
+	l.nextLSN.Store(lsn + 1)
+	l.segBytes += int64(len(frame))
+	l.appended.Add(1)
+	l.bytes.Add(int64(len(frame)))
+	return lsn, nil
+}
+
+// Commit makes the record at lsn durable according to the sync policy:
+// SyncAlways waits for an fsync covering lsn (sharing it with every
+// concurrent committer — group commit), SyncInterval and SyncOff
+// return immediately.
+func (l *Log) Commit(lsn uint64) error {
+	if l.opt.Policy != SyncAlways {
+		l.mu.Lock()
+		err := l.fail
+		if l.closed && err == nil {
+			err = ErrClosed
+		}
+		l.mu.Unlock()
+		if err != nil && l.durable.Load() < lsn {
+			return err
+		}
+		return nil
+	}
+	if l.durable.Load() >= lsn {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.durable.Load() >= lsn {
+		// A group-commit leader fsynced past us while we queued.
+		return nil
+	}
+	return l.syncLeader()
+}
+
+// Sync forces a flush + fsync of everything appended so far (the
+// SyncInterval cadence and Close both come through here).
+func (l *Log) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.syncLeader()
+}
+
+// syncLeader performs one physical fsync covering every record appended
+// before it starts. Caller holds syncMu. The file sync itself runs
+// outside mu so appenders keep appending while the disk works.
+func (l *Log) syncLeader() error {
+	l.mu.Lock()
+	if l.fail != nil {
+		err := l.fail
+		l.mu.Unlock()
+		return err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	f := l.f
+	target := l.nextLSN.Load() - 1
+	l.mu.Unlock()
+	if l.durable.Load() >= target {
+		return nil
+	}
+	start := time.Now()
+	err := f.Sync()
+	if l.opt.FsyncObserve != nil {
+		l.opt.FsyncObserve(time.Since(start))
+	}
+	if err != nil {
+		l.mu.Lock()
+		l.fail = fmt.Errorf("wal: fsync: %w", err)
+		err = l.fail
+		l.mu.Unlock()
+		return err
+	}
+	l.fsyncs.Add(1)
+	l.advanceDurable(target)
+	return nil
+}
+
+// advanceDurable raises durable to target monotonically.
+func (l *Log) advanceDurable(target uint64) {
+	for {
+		cur := l.durable.Load()
+		if cur >= target || l.durable.CompareAndSwap(cur, target) {
+			return
+		}
+	}
+}
+
+// Rotate closes the current segment (fsyncing it) and starts a new one
+// at the next LSN. Checkpointing rotates at the checkpoint LSN so
+// every earlier segment becomes wholly obsolete and removable. A
+// segment with no records yet is reused as-is.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.fail != nil {
+		return l.fail
+	}
+	if l.segBytes == segHeaderSize && l.segStart == l.nextLSN.Load() {
+		return nil
+	}
+	return l.rotateLocked()
+}
+
+// rotateLocked seals the current segment and opens the next. Caller
+// holds mu.
+func (l *Log) rotateLocked() error {
+	target := l.nextLSN.Load() - 1
+	if err := l.f.Sync(); err != nil {
+		l.fail = fmt.Errorf("wal: rotate fsync: %w", err)
+		return l.fail
+	}
+	if err := l.f.Close(); err != nil {
+		l.fail = fmt.Errorf("wal: rotate close: %w", err)
+		return l.fail
+	}
+	l.fsyncs.Add(1)
+	l.advanceDurable(target)
+	return l.createSegmentLocked()
+}
+
+// RemoveSegmentsBefore deletes segments every record of which has
+// LSN <= lsn — the log-truncation half of a checkpoint. A segment is
+// removable only when the next segment's first LSN proves it holds
+// nothing newer; the active segment is never removed.
+func (l *Log) RemoveSegmentsBefore(lsn uint64) error {
+	l.mu.Lock()
+	active := l.segPath
+	l.mu.Unlock()
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i].path == active || segs[i+1].firstLSN > lsn+1 {
+			continue
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return fmt.Errorf("wal: remove segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replay reads the segment chain from disk and calls fn for every
+// valid record with LSN > from, in LSN order. It shares scanRecords'
+// torn-tail policy: scanning stops silently at the first invalid
+// frame. The returned count is how many records fn received.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, typ byte, payload []byte) error) (int64, error) {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	var n int64
+	next := uint64(0)
+	for i, sg := range segs {
+		data, rerr := os.ReadFile(sg.path)
+		if rerr != nil {
+			return n, fmt.Errorf("wal: replay: %w", rerr)
+		}
+		if !segHeaderOK(data, sg.firstLSN) || (i > 0 && sg.firstLSN != next) {
+			return n, nil
+		}
+		validEnd, segNext, ferr := scanRecords(data, sg.firstLSN, func(lsn uint64, typ byte, payload []byte) error {
+			if lsn <= from {
+				return nil
+			}
+			n++
+			return fn(lsn, typ, payload)
+		})
+		if ferr != nil {
+			return n, ferr
+		}
+		next = segNext
+		if validEnd < len(data) {
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// intervalLoop is the SyncInterval background fsync cadence.
+func (l *Log) intervalLoop() {
+	defer l.loopDone.Done()
+	t := time.NewTicker(l.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			_ = l.Sync()
+		}
+	}
+}
+
+// Close stops the background syncer, flushes, fsyncs, and closes the
+// active segment. Appends and commits after Close return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	close(l.stop)
+	l.loopDone.Wait()
+
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.fail != nil {
+		_ = l.f.Close()
+		return l.fail
+	}
+	target := l.nextLSN.Load() - 1
+	if err := l.f.Sync(); err != nil {
+		_ = l.f.Close()
+		return fmt.Errorf("wal: close fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	l.advanceDurable(target)
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// LastLSN reports the highest LSN assigned so far (0 before the first
+// append of a fresh log).
+func (l *Log) LastLSN() uint64 { return l.nextLSN.Load() - 1 }
+
+// DurableLSN reports the highest LSN known fsynced.
+func (l *Log) DurableLSN() uint64 { return l.durable.Load() }
+
+// StatsSnapshot returns the log's counters.
+func (l *Log) StatsSnapshot() Stats {
+	return Stats{
+		Appended:   l.appended.Load(),
+		Fsyncs:     l.fsyncs.Load(),
+		Bytes:      l.bytes.Load(),
+		LastLSN:    l.LastLSN(),
+		DurableLSN: l.DurableLSN(),
+	}
+}

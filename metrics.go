@@ -9,6 +9,7 @@ import (
 	"hique/internal/plan"
 	"hique/internal/plancache"
 	"hique/internal/storage"
+	"hique/internal/wal"
 )
 
 // Statement classes, execution paths, and cache temperatures index into
@@ -16,10 +17,10 @@ import (
 // plan, resolved once at compile time; only the temperature (did this
 // execution hit the plan cache?) is decided per query.
 const (
-	classPoint = iota // single-table with an index probe
-	classRange        // single-table scan/range
-	classJoinAgg      // any join or aggregation
-	classDML          // INSERT / DELETE / UPDATE
+	classPoint   = iota // single-table with an index probe
+	classRange          // single-table scan/range
+	classJoinAgg        // any join or aggregation
+	classDML            // INSERT / DELETE / UPDATE
 	nClass
 )
 
@@ -63,6 +64,12 @@ type dbMetrics struct {
 	errors     *obs.Counter // statements that returned any error
 	bindErrors *obs.Counter // ... of which parameter binding rejected
 	panics     *obs.Counter // ... of which were contained engine panics
+
+	// walFsync observes every physical WAL fsync (group commit batches
+	// many statement commits into one observation). Registered
+	// unconditionally — an in-memory DB just never observes into it —
+	// so the durability families are always present in /metrics.
+	walFsync *obs.Histogram
 }
 
 // newDBMetrics registers every DB-level series. The cache and arena
@@ -131,6 +138,57 @@ func newDBMetrics(db *DB) *dbMetrics {
 		func() float64 { return float64(db.cat.Version()) })
 	m.reg.GaugeFunc("hique_tables", "Catalogued tables.", "",
 		func() float64 { return float64(len(db.cat.Names())) })
+
+	// Durability re-exports, closure-based like the caches: db.dur is
+	// nil on an in-memory DB (all series report zero) and is set after
+	// newDBMetrics returns on a durable one, which the scrape-time
+	// closures tolerate by re-reading it.
+	m.walFsync = m.reg.Histogram("hique_wal_fsync_seconds",
+		"WAL fsync latency; one observation per physical fsync (group commit batches statement commits).", "")
+	walStats := func() wal.Stats {
+		if d := db.dur; d != nil {
+			return d.log.StatsSnapshot()
+		}
+		return wal.Stats{}
+	}
+	m.reg.CounterFunc("hique_wal_appended_total", "WAL records appended (one per durable mutating statement).", "",
+		func() int64 { return walStats().Appended })
+	m.reg.CounterFunc("hique_wal_fsyncs_total", "Physical WAL fsyncs.", "",
+		func() int64 { return walStats().Fsyncs })
+	m.reg.CounterFunc("hique_wal_bytes_total", "WAL bytes appended, including frame headers.", "",
+		func() int64 { return walStats().Bytes })
+	m.reg.GaugeFunc("hique_wal_last_lsn", "Highest LSN assigned.", "",
+		func() float64 { return float64(walStats().LastLSN) })
+	m.reg.GaugeFunc("hique_wal_durable_lsn", "Highest LSN known fsynced.", "",
+		func() float64 { return float64(walStats().DurableLSN) })
+	m.reg.CounterFunc("hique_checkpoints_total", "Checkpoints written (snapshot + WAL truncation).", "",
+		func() int64 {
+			if d := db.dur; d != nil {
+				return d.checkpoints.Load()
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("hique_checkpoint_last_lsn", "LSN the newest on-disk snapshot covers.", "",
+		func() float64 {
+			if d := db.dur; d != nil {
+				return float64(d.snapLSN.Load())
+			}
+			return 0
+		})
+	m.reg.CounterFunc("hique_recovery_replayed_records", "WAL records replayed by the most recent open.", "",
+		func() int64 {
+			if d := db.dur; d != nil {
+				return d.replayed.Load()
+			}
+			return 0
+		})
+	m.reg.CounterFunc("hique_recovery_replay_errors_total", "Replayed records that failed to apply (warned and skipped).", "",
+		func() int64 {
+			if d := db.dur; d != nil {
+				return d.replayErrors.Load()
+			}
+			return 0
+		})
 	return m
 }
 
