@@ -1,0 +1,200 @@
+// Command hique-vet is the engine's invariant checker: a multichecker
+// for the internal/lint analyzer suite (lockorder, arenaowner,
+// containment, genwf) plus the warmescape build-mode gate.
+//
+// It runs in three modes:
+//
+//	hique-vet [-analyzers a,b] [packages...]
+//	    standalone: loads packages via `go list -export`, type-checks
+//	    them against gc export data, and runs the analyzers. Default
+//	    pattern is ./... from the current module.
+//
+//	go vet -vettool=$(pwd)/hique-vet ./...
+//	    vettool: speaks go vet's unitchecker protocol (-flags, -V=full,
+//	    then one vet.cfg per package). This is the required CI step; it
+//	    also covers in-package _test.go files.
+//
+//	hique-vet -escape [-escape-config ESCAPES_warm.json]
+//	    escape gate: builds the warm packages with -gcflags=-m in a
+//	    private GOCACHE and fails on heap escapes in warm-path functions
+//	    not admitted by the committed allowlist.
+//
+// Exit status: 0 clean, 1 operational error, 2 findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hique/internal/lint/driver"
+	"hique/internal/lint/warmescape"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet protocol handshakes come before flag parsing: the tool is
+	// invoked as `hique-vet -flags` and `hique-vet -V=full`, then once
+	// per package as `hique-vet <dir>/vet.cfg`.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Println("hique-vet version 1")
+			return 0
+		case strings.HasSuffix(args[0], "vet.cfg"):
+			return vetCfgMode(args[0])
+		}
+	}
+
+	fs := flag.NewFlagSet("hique-vet", flag.ExitOnError)
+	analyzersFlag := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	escape := fs.Bool("escape", false, "run the warm-path escape gate instead of the analyzers")
+	escapeConfig := fs.String("escape-config", "ESCAPES_warm.json", "warmescape allowlist path")
+	fs.Parse(args)
+
+	if *escape {
+		return escapeMode(*escapeConfig)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers, err := driver.ByName(*analyzersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hique-vet:", err)
+		return 1
+	}
+	pkgs, err := driver.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hique-vet:", err)
+		return 1
+	}
+	findings := 0
+	for _, p := range pkgs {
+		if strings.Contains(p.ImportPath, "internal/lint/") && strings.Contains(p.ImportPath, "testdata") {
+			continue
+		}
+		for _, d := range driver.RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, analyzers) {
+			fmt.Fprintln(os.Stderr, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "hique-vet: %d finding(s)\n", findings)
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of go vet's per-package vet.cfg the tool
+// consumes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vetCfgMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hique-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hique-vet: %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Facts output keeps go vet's bookkeeping happy; the suite exports
+	// none.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f := cfg.PackageFile[path]
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, ".go") {
+			continue
+		}
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		goFiles = append(goFiles, f)
+	}
+	fset := token.NewFileSet()
+	files, pkg, info, errs := driver.TypeCheck(fset, cfg.ImportPath, goFiles, lookup)
+	if pkg == nil && len(errs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		return 1
+	}
+	analyzers, _ := driver.ByName("")
+	ds := driver.RunAnalyzers(fset, files, pkg, info, analyzers)
+	writeVetx()
+	if len(ds) > 0 {
+		for _, d := range ds {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return 2
+	}
+	return 0
+}
+
+func escapeMode(configPath string) int {
+	cfg, err := warmescape.LoadConfig(configPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hique-vet:", err)
+		return 1
+	}
+	findings, err := warmescape.Check(".", cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hique-vet:", err)
+		return 1
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "hique-vet: %d warm-path escape(s) not in allowlist\n", len(findings))
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+package hique
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hique/internal/catalog"
+	"hique/internal/types"
+)
+
+// Regression tests for the panic-containment violations hique-vet's
+// containment analyzer surfaced (PR 9): Insert, refreshStats, and
+// BuildIndex used to run their mutations between a manual Lock/Unlock
+// pair, so a panic inside the mutation unwound to the caller's
+// containPanic with the table writer lock still held — wedging the
+// table forever. The *Locked helpers now register the unlock defer
+// before containPanic, converting the panic to a statement error and
+// then releasing.
+
+// lockFreeWithin asserts the entry's writer lock can be acquired, i.e.
+// the contained panic did not leak it.
+func lockFreeWithin(t *testing.T, e *catalog.TableEntry, d time.Duration) {
+	t.Helper()
+	got := make(chan struct{})
+	go func() {
+		e.Lock()
+		e.Unlock()
+		close(got)
+	}()
+	select {
+	case <-got:
+	case <-time.After(d):
+		t.Fatal("table writer lock still held after contained panic")
+	}
+}
+
+func TestInsertLockedContainsPanic(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable("t", Int("id"), Int("v")); err != nil {
+		t.Fatal(err)
+	}
+	e, err := db.cat.Lookup("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A row wider than the schema makes appendRowLocked index past the
+	// column table and panic; the helper must convert it to *PanicError
+	// and release the lock.
+	wide := []types.Datum{types.IntDatum(1), types.IntDatum(2), types.IntDatum(3)}
+	_, err = db.insertLocked(e, "t", wide, nil)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("insertLocked error = %v, want *PanicError", err)
+	}
+	lockFreeWithin(t, e, 2*time.Second)
+	// The table still serves writes and reads afterwards.
+	if err := db.Insert("t", 1, 2); err != nil {
+		t.Fatalf("Insert after contained panic: %v", err)
+	}
+	// Both schema columns were written before the panic at the excess
+	// index, so the aborted insert's reserved slot survives as a full
+	// row alongside the successful one.
+	if n, err := db.RowCount("t"); err != nil || n != 2 {
+		t.Fatalf("RowCount = %d, %v; want 2", n, err)
+	}
+}
+
+func TestRefreshEntryContainsPanic(t *testing.T) {
+	db := Open()
+	// An entry with no heap table makes ComputeStats panic.
+	e := &catalog.TableEntry{}
+	err := db.refreshEntry(e)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("refreshEntry error = %v, want *PanicError", err)
+	}
+	lockFreeWithin(t, e, 2*time.Second)
+}
+
+func TestBuildIndexLockedReleasesOnError(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable("t", Int("id"), Char("name", 8)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := db.cat.Lookup("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indexing a CHAR column is rejected; the error path must release.
+	if _, err := db.buildIndexLocked(e, "t", "name"); err == nil {
+		t.Fatal("expected BuildIndex on a char column to fail")
+	}
+	lockFreeWithin(t, e, 2*time.Second)
+	if err := db.BuildIndex("t", "id"); err != nil {
+		t.Fatalf("BuildIndex after failed attempt: %v", err)
+	}
+}
+
+// TestPlanAttemptReleasesOnBuildError pins the planLocked restructure:
+// a failed plan build inside an attempt must release every table lock it
+// took (previously the manual unlock could be skipped by a contained
+// panic anywhere between lock and build).
+func TestPlanAttemptReleasesOnBuildError(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable("t", Int("id"), Int("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT nosuch FROM t"); err == nil {
+		t.Fatal("expected unknown-column query to fail")
+	}
+	e, err := db.cat.Lookup("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockFreeWithin(t, e, 2*time.Second)
+	if err := db.Insert("t", 1, 2); err != nil {
+		t.Fatalf("Insert after failed plan: %v", err)
+	}
+}
+
+func TestTableInfo(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable("t", Int("id"), Float("price")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("t", 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	rows, cols, err := db.TableInfo("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 || len(cols) != 2 {
+		t.Fatalf("TableInfo = %d rows, %v", rows, cols)
+	}
+	if _, _, err := db.TableInfo("nosuch"); err == nil {
+		t.Fatal("expected unknown-table error")
+	}
+}

@@ -364,21 +364,33 @@ func (db *DB) Insert(table string, values ...any) error {
 	if db.dur != nil {
 		walBuf = encodeInsertRow(nil, name, s, row)
 	}
-	e.Lock()
-	var lsn uint64
-	if db.dur != nil {
-		if lsn, err = db.dur.logAppend(recInsert, walBuf); err != nil {
-			e.Unlock()
-			return err
-		}
+	lsn, err := db.insertLocked(e, name, row, walBuf)
+	if err != nil {
+		return err
 	}
-	appendRowLocked(e, row)
-	db.markStale(name)
-	e.Unlock()
 	if db.dur != nil {
 		return db.dur.logCommit(lsn)
 	}
 	return nil
+}
+
+// insertLocked appends one validated row under the entry's writer lock,
+// logging it first on a durable DB. The unlock defer is registered
+// before containPanic so LIFO order converts a panic inside the append
+// into a statement error while the lock is still held, then releases —
+// the write-path containment invariant (hique-vet: containment).
+func (db *DB) insertLocked(e *catalog.TableEntry, name string, row []types.Datum, walBuf []byte) (lsn uint64, err error) {
+	e.Lock()
+	defer e.Unlock()
+	defer containPanic(&err)
+	if db.dur != nil {
+		if lsn, err = db.dur.logAppend(recInsert, walBuf); err != nil {
+			return 0, err
+		}
+	}
+	appendRowLocked(e, row)
+	db.markStale(name)
+	return lsn, nil
 }
 
 // refreshStats recomputes statistics for tables modified since the last
@@ -400,15 +412,27 @@ func (db *DB) refreshStats() {
 
 	for _, name := range names {
 		if e, err := db.cat.Lookup(name); err == nil {
-			e.Lock()
-			e.Stats = catalog.ComputeStats(e.Table)
-			e.Unlock()
-			db.cat.BumpTableVersion(name)
+			if db.refreshEntry(e) == nil {
+				db.cat.BumpTableVersion(name)
+			}
 		}
 		db.staleMu.Lock()
 		delete(db.refreshing, name)
 		db.staleMu.Unlock()
 	}
+}
+
+// refreshEntry recomputes one table's statistics under its writer lock.
+// The unlock defer is registered before containPanic so a panic inside
+// ComputeStats is contained before the lock releases; on a contained
+// panic the old statistics stay in place and the version is not bumped
+// (hique-vet: containment).
+func (db *DB) refreshEntry(e *catalog.TableEntry) (err error) {
+	e.Lock()
+	defer e.Unlock()
+	defer containPanic(&err)
+	e.Stats = catalog.ComputeStats(e.Table)
+	return nil
 }
 
 // refreshNamesLocked recomputes statistics for the named tables whose
@@ -529,47 +553,61 @@ func (db *DB) planLocked(query string) (*plan.Plan, func(), error) {
 	db.mu.RUnlock()
 	for attempt := 0; ; attempt++ {
 		db.refreshStats()
-		var unlock func()
-		var locked map[string]bool
-		if attempt >= 3 {
-			// Sustained writer pressure kept slipping inserts in
-			// between refresh and lock; take writer locks so nothing
-			// can land and refresh in place. Bounded latency beats
-			// reader starvation.
-			unlock, locked = db.lockTables(names, true)
-			db.refreshNamesLocked(names)
-		} else {
-			unlock, locked = db.lockTables(names, false)
-			if db.anyStale(names) {
-				// An Insert slipped in between the refresh and the
-				// lock; its stats are pending, so release and refresh
-				// again.
-				unlock()
-				continue
-			}
-		}
-		p, err := plan.BuildWithOptions(stmt, db.cat, opts)
+		// After three reader-lock rounds lost to writers slipping inserts
+		// in between refresh and lock, escalate to writer locks so
+		// nothing can land and refresh in place. Bounded latency beats
+		// reader starvation.
+		p, unlock, retry, err := db.planAttempt(stmt, names, opts, attempt >= 3)
 		if err != nil {
-			unlock()
 			return nil, nil, err
 		}
-		// A table missing at lock time can be registered before Build
-		// resolves it; using the plan then would scan it unlocked.
-		// Build succeeding proves every referenced table exists now, so
-		// each must be in the locked set — else retry.
-		for _, n := range planTables(p) {
-			if !locked[n] {
-				unlock()
-				unlock = nil
-				break
-			}
-		}
-		if unlock == nil {
+		if retry {
 			continue
 		}
 		p.Pool = db.pool
 		return p, unlock, nil
 	}
+}
+
+// planAttempt runs one lock/recheck round for planLocked: acquire the
+// tables (writer locks once reader rounds keep losing to inserts),
+// verify statistics are current, and build the plan under the locks. On
+// success the locks transfer to the caller through the returned unlock
+// function; on retry or error every lock is released here. The
+// conditional-release defer is registered before containPanic so a
+// panic inside plan building is contained first and then releases the
+// locks (hique-vet: containment, lockorder).
+func (db *DB) planAttempt(stmt *sql.SelectStmt, names []string, opts plan.Options, write bool) (p *plan.Plan, unlock func(), retry bool, err error) {
+	unlockAll, locked := db.lockTables(names, write)
+	keep := false
+	defer func() {
+		if !keep {
+			unlockAll()
+		}
+	}()
+	defer containPanic(&err)
+	if write {
+		db.refreshNamesLocked(names)
+	} else if db.anyStale(names) {
+		// An Insert slipped in between the refresh and the lock; its
+		// stats are pending, so release and refresh again.
+		return nil, nil, true, nil
+	}
+	p, err = plan.BuildWithOptions(stmt, db.cat, opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	// A table missing at lock time can be registered before Build
+	// resolves it; using the plan then would scan it unlocked. Build
+	// succeeding proves every referenced table exists now, so each must
+	// be in the locked set — else retry.
+	for _, n := range planTables(p) {
+		if !locked[n] {
+			return nil, nil, true, nil
+		}
+	}
+	keep = true
+	return p, unlockAll, false, nil
 }
 
 func planTables(p *plan.Plan) []string {
@@ -1233,22 +1271,55 @@ func (db *DB) BuildIndex(table, column string) error {
 	if err != nil {
 		return err
 	}
-	e.Lock()
-	var lsn uint64
-	if db.dur != nil {
-		// Logged before the build so a crash between the two replays the
-		// build (idempotent) rather than losing the index.
-		if lsn, err = db.dur.logAppend(recBuildIndex, encodeBuildIndex(table, column)); err != nil {
-			e.Unlock()
-			return err
-		}
-	}
-	_, err = db.cat.BuildIndex(table, column)
-	e.Unlock()
+	lsn, err := db.buildIndexLocked(e, table, column)
 	if err == nil && db.dur != nil {
 		return db.dur.logCommit(lsn)
 	}
 	return err
+}
+
+// buildIndexLocked logs and builds the index under the entry's writer
+// lock. The unlock defer is registered before containPanic so a panic
+// inside the build (a malformed column, an overflowing key) becomes a
+// statement error before the lock releases (hique-vet: containment).
+func (db *DB) buildIndexLocked(e *catalog.TableEntry, table, column string) (lsn uint64, err error) {
+	e.Lock()
+	defer e.Unlock()
+	defer containPanic(&err)
+	if db.dur != nil {
+		// Logged before the build so a crash between the two replays the
+		// build (idempotent) rather than losing the index.
+		if lsn, err = db.dur.logAppend(recBuildIndex, encodeBuildIndex(table, column)); err != nil {
+			return 0, err
+		}
+	}
+	_, err = db.cat.BuildIndex(table, column)
+	return lsn, err
+}
+
+// TableInfo returns one table's row count and rendered "name kind"
+// column list under a properly ordered reader lock. The serving layer
+// owns entry locks; callers outside it (the HTTP server's /tables
+// endpoint) must read through this API instead of locking entries
+// directly (hique-vet: lockorder).
+func (db *DB) TableInfo(name string) (rows int, columns []string, err error) {
+	name = strings.ToLower(name)
+	unlock, locked := db.lockTables([]string{name}, false)
+	defer unlock()
+	if !locked[name] {
+		return 0, nil, fmt.Errorf("hique: unknown table %q", name)
+	}
+	e, err := db.cat.Lookup(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	rows = e.Table.NumRows()
+	s := e.Table.Schema()
+	for i := 0; i < s.NumColumns(); i++ {
+		c := s.Column(i)
+		columns = append(columns, fmt.Sprintf("%s %s", c.Name, c.Kind))
+	}
+	return rows, columns, nil
 }
 
 // DBStats is a point-in-time snapshot of the database's serving state.

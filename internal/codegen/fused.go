@@ -130,6 +130,15 @@ func (f *fusedQuery) run(params []types.Datum) (*storage.Table, error) {
 	if f.limit == 0 {
 		return out, nil
 	}
+	// Contained panics in the scan/probe below unwind past the caller's
+	// Release (it never receives out); release here so the arena balance
+	// survives the error path.
+	done := false
+	defer func() {
+		if !done {
+			out.Release()
+		}
+	}()
 	var t0 time.Time
 	if f.traced {
 		t0 = time.Now()
@@ -156,6 +165,7 @@ func (f *fusedQuery) run(params []types.Datum) (*storage.Table, error) {
 		f.p.Trace.Observe(plan.TraceStageProject,
 			int64(t.NumRows()), int64(out.NumRows()), time.Since(t0))
 	}
+	done = true
 	return out, nil
 }
 

@@ -827,6 +827,18 @@ func (f *fusedJoin) run(params []types.Datum) (*storage.Table, error) {
 	if f.limit == 0 {
 		return out, nil
 	}
+	// A panic inside the pipeline is contained by the serving layer
+	// (runCompiled's containPanic), which never sees this table; without
+	// the conditional release the contained error path would strand the
+	// result's arena pages forever. The scratch is deliberately NOT
+	// returned to its pool on that path — a half-mutated scratch must not
+	// be recycled.
+	done := false
+	defer func() {
+		if !done {
+			out.Release()
+		}
+	}()
 	sc := joinScratchPool.Get().(*joinScratch)
 	f.exec(sc, params, out)
 	joinScratchPool.Put(sc)
@@ -858,6 +870,7 @@ func (f *fusedJoin) run(params []types.Datum) (*storage.Table, error) {
 			out = truncated
 		}
 	}
+	done = true
 	return out, nil
 }
 

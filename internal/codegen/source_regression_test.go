@@ -1,0 +1,111 @@
+package codegen
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"hique/internal/catalog"
+	"hique/internal/plan"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// Regression tests for emitter bugs surfaced by type-checking the
+// generated sources against the real hique/runtime ABI
+// (enginetest.TestGeneratedSourcesTypeCheck). Before the fixes the
+// emitted units did not compile:
+//
+//   - a filter on a column the projection drops positioned the read with
+//     a guessed packed-view offset and a guessed Int kind, turning a
+//     CHAR comparison into `runtime.Int64At(tuple, N) == "aa"`;
+//   - COUNT(*)-only map aggregation declared the per-aggregate arrays
+//     and never touched them (declared and not used);
+//   - map-aggregation SUM/AVG over an integer column accumulated an
+//     int64 into a float64 array without conversion.
+
+func charCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	ev := storage.NewTable("ev", types.NewSchema(
+		types.Col("id", types.Int), types.CharCol("tag", 4),
+		types.Col("price", types.Float)))
+	for i := 0; i < 64; i++ {
+		tag := "aa"
+		if i%2 == 0 {
+			tag = "bb"
+		}
+		ev.AppendRow(types.IntDatum(int64(i)), types.StringDatum(tag),
+			types.FloatDatum(float64(i)))
+	}
+	cat.Register(ev)
+	return cat
+}
+
+func TestStageFilterOnDroppedCharColumn(t *testing.T) {
+	cat := charCatalog()
+	p := mustPlan(t, cat, "SELECT id FROM ev WHERE tag = 'aa'")
+	src := EmitSource(p)
+
+	entry, err := cat.Lookup("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := entry.Table.Schema()
+	tagOff := sch.Offset(1)
+	tagEnd := tagOff + sch.Column(1).Size
+	wantCmp := "runtime.CmpBytes(tuple[" +
+		itoa(tagOff) + ":" + itoa(tagEnd) + "], \"aa\")"
+	if !strings.Contains(src, wantCmp) {
+		t.Errorf("string filter must compare the real input field %s:\n%s", wantCmp, src)
+	}
+	// The scan must slice input-width tuples, not staged-width ones: the
+	// filter column lives past the 8-byte staged projection.
+	wantSlice := "tuple := page.Data[t*" + itoa(sch.TupleSize())
+	if !strings.Contains(src, wantSlice) {
+		t.Errorf("scan must use the input tuple width %d:\n%s", sch.TupleSize(), src)
+	}
+	if bad := regexp.MustCompile(`Int64At\(tuple, \d+\) [!=]= "`); bad.MatchString(src) {
+		t.Errorf("string filter rendered as an integer comparison:\n%s", src)
+	}
+}
+
+func TestCountOnlyMapAggregationOmitsAggArrays(t *testing.T) {
+	cat := testCatalog()
+	p := mustPlan(t, cat, "SELECT qty, COUNT(*) AS n FROM sales GROUP BY qty")
+	if p.Agg == nil || p.Agg.Alg != plan.MapAggregation {
+		t.Skipf("planner chose %v; map expected", p.Agg)
+	}
+	src := EmitSource(p)
+	if strings.Contains(src, "var aggs") {
+		t.Errorf("COUNT(*)-only map aggregation must not declare unused agg arrays:\n%s", src)
+	}
+	if !strings.Contains(src, "var counts") {
+		t.Errorf("map aggregation lost its counts array:\n%s", src)
+	}
+}
+
+func TestMapAggregationIntSumConverts(t *testing.T) {
+	cat := testCatalog()
+	p := mustPlan(t, cat, "SELECT qty, SUM(sale_id) AS s FROM sales GROUP BY qty")
+	if p.Agg == nil || p.Agg.Alg != plan.MapAggregation {
+		t.Skipf("planner chose %v; map expected", p.Agg)
+	}
+	src := EmitSource(p)
+	if !regexp.MustCompile(`aggs\[0\]\[slot\] \+= float64\(runtime\.Int64At`).MatchString(src) {
+		t.Errorf("integer SUM must convert before accumulating into float64 arrays:\n%s", src)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -111,6 +111,9 @@ var corpus = []string{
 	"SELECT tag, SUM(price) AS total, AVG(price) AS mean FROM ev GROUP BY tag ORDER BY tag",
 	"SELECT grp, tag, COUNT(*) AS n, MIN(id), MAX(id) FROM ev GROUP BY grp, tag ORDER BY grp, tag",
 	"SELECT tag, SUM(price * (1 - price)) AS adj FROM ev WHERE grp < 8 GROUP BY tag ORDER BY tag",
+	// Integer SUM: map aggregation must widen int64 values before
+	// accumulating into its float64 arrays.
+	"SELECT grp, SUM(id) AS s FROM ev GROUP BY grp ORDER BY grp",
 	// LIMIT over aggregation bounds groups emitted, not input rows.
 	"SELECT grp, COUNT(*) AS n FROM ev GROUP BY grp ORDER BY grp LIMIT 4",
 	"SELECT bucket, SUM(price) AS tot FROM ev, dm WHERE ev.k = dm.k2 GROUP BY bucket ORDER BY bucket LIMIT 3",

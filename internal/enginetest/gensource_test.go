@@ -1,0 +1,108 @@
+package enginetest
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+	"testing"
+
+	"hique/internal/codegen"
+	"hique/internal/lint/analysis"
+	"hique/internal/lint/driver"
+	"hique/internal/lint/genwf"
+	"hique/internal/plan"
+	"hique/internal/sql"
+)
+
+// planVariants is every planner configuration the differential suite
+// exercises, so the emitted source is checked for each template the
+// generator can instantiate (coarse/fine staging, nested/merge/hybrid
+// join, sort/hybrid/map aggregation, join teams on and off).
+func planVariants() []struct {
+	name string
+	opts plan.Options
+} {
+	with := func(mut func(*plan.Options)) plan.Options {
+		o := plan.DefaultOptions()
+		mut(&o)
+		return o
+	}
+	merge, hybrid := plan.MergeJoin, plan.HybridJoin
+	sortAgg, hybridAgg := plan.SortAggregation, plan.HybridAggregation
+	return []struct {
+		name string
+		opts plan.Options
+	}{
+		{"default", plan.DefaultOptions()},
+		{"merge-join", with(func(o *plan.Options) { o.ForceJoinAlg = &merge })},
+		{"hybrid-join", with(func(o *plan.Options) { o.ForceJoinAlg = &hybrid })},
+		{"sort-agg", with(func(o *plan.Options) { o.ForceAggAlg = &sortAgg })},
+		{"hybrid-agg", with(func(o *plan.Options) { o.ForceAggAlg = &hybridAgg })},
+		{"no-teams", with(func(o *plan.Options) { o.EnableJoinTeams = false })},
+		{"parallel", with(func(o *plan.Options) { o.Parallelism = 3 })},
+	}
+}
+
+// TestGeneratedSourcesTypeCheck runs go/types over codegen.EmitSource
+// output for every corpus query under every planner variant, resolving
+// the "hique/runtime" import against the real compiled ABI package, and
+// then runs the genwf analyzer over each well-typed unit. Before this
+// test the generated source was only ever syntax-checked; a template
+// emitting ill-typed code surfaced at first execution, if at all.
+func TestGeneratedSourcesTypeCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool for export data")
+	}
+	lookup, err := driver.ExportLookup("", "hique/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := fixture(11, 300, 40, 60)
+	checked := 0
+	for _, v := range planVariants() {
+		for _, q := range corpus {
+			stmt, err := sql.Parse(q)
+			if err != nil {
+				t.Fatalf("parse %q: %v", q, err)
+			}
+			p, err := plan.BuildWithOptions(stmt, cat, v.opts)
+			if err != nil {
+				t.Fatalf("plan %q (%s): %v", q, v.name, err)
+			}
+			src := codegen.EmitSource(p)
+			fset := token.NewFileSet()
+			files, pkg, info, errs := driver.TypeCheckSource(
+				fset, "hique/internal/codegen/query", "query_unit.go", src, lookup)
+			if len(errs) > 0 {
+				t.Errorf("%s: %q: generated source does not type-check:\n%s\n%s",
+					v.name, q, formatErrs(errs), numbered(src))
+				continue
+			}
+			diags := driver.RunAnalyzers(fset, files, pkg, info,
+				[]*analysis.Analyzer{genwf.Analyzer})
+			for _, d := range diags {
+				t.Errorf("%s: %q: genwf: %s", v.name, q, d)
+			}
+			checked++
+		}
+	}
+	t.Logf("type-checked %d generated units", checked)
+}
+
+func formatErrs(errs []error) string {
+	var b strings.Builder
+	for _, e := range errs {
+		fmt.Fprintf(&b, "  %v\n", e)
+	}
+	return b.String()
+}
+
+// numbered renders the generated source with line numbers so a type
+// error's position is readable in the failure output.
+func numbered(src string) string {
+	var b strings.Builder
+	for i, line := range strings.Split(src, "\n") {
+		fmt.Fprintf(&b, "%4d| %s\n", i+1, line)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+// Package analysis is hique's dependency-free counterpart to
+// golang.org/x/tools/go/analysis: the minimal Analyzer/Pass/Diagnostic
+// contract the hique-vet suite is written against. The engine's
+// correctness concentrates into a handful of cross-cutting invariants
+// (table-ID lock order, arena ownership, panic containment under writer
+// locks, generated-code well-formedness); the analyzers under
+// internal/lint machine-check them, and this package is the substrate
+// they share. The container builds offline with no module proxy, so the
+// framework is reimplemented on the standard library (go/ast, go/types)
+// instead of importing x/tools; the surface is deliberately
+// API-compatible in spirit so analyzers could be ported to a real
+// multichecker by changing only imports.
+//
+// Suppressions: a diagnostic is suppressed by an explicit, commented
+// annotation on the flagged line or the line above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory — a bare allow is itself reported — so every
+// suppression in the tree documents why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker: a name (used in diagnostics
+// and //lint:allow annotations), a doc string, and the Run function
+// applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run analyzes a package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic; the driver applies suppression
+	// filtering before surfacing it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The analyzer name
+// is attached by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// ObjectOf is TypesInfo.ObjectOf with a nil guard for partial info maps.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// allowRe matches the suppression annotation. Group 1 is the analyzer
+// name, group 2 the (required) reason.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+(\S+)\s*(.*)$`)
+
+// Allow records one //lint:allow annotation.
+type Allow struct {
+	Line     int    // line the annotation appears on
+	Analyzer string // analyzer it silences
+	Reason   string // free-text justification (empty = malformed)
+	Pos      token.Pos
+}
+
+// CollectAllows scans a file's comments for //lint:allow annotations.
+func CollectAllows(fset *token.FileSet, f *ast.File) []Allow {
+	var out []Allow
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			out = append(out, Allow{
+				Line:     fset.Position(c.Pos()).Line,
+				Analyzer: m[1],
+				Reason:   strings.TrimSpace(m[2]),
+				Pos:      c.Pos(),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at the
+// given line is covered by an allow on the same line or the line
+// directly above (the two placements a reviewer reads together with the
+// flagged statement).
+func Suppressed(allows []Allow, analyzer string, line int) (Allow, bool) {
+	for _, a := range allows {
+		if a.Analyzer != analyzer && a.Analyzer != "*" {
+			continue
+		}
+		if a.Line == line || a.Line == line-1 {
+			return a, true
+		}
+	}
+	return Allow{}, false
+}

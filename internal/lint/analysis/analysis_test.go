@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func f() {
+	//lint:allow lockorder the fixture explains itself
+	g()
+	//lint:allow arenaowner
+	g()
+	h() //lint:allow * wildcard silences every analyzer
+}
+
+func g() {}
+func h() {}
+`
+
+func TestCollectAllows(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := CollectAllows(fset, f)
+	if len(allows) != 3 {
+		t.Fatalf("got %d allows, want 3: %+v", len(allows), allows)
+	}
+	if allows[0].Analyzer != "lockorder" || allows[0].Reason == "" || allows[0].Line != 4 {
+		t.Errorf("allow[0] = %+v", allows[0])
+	}
+	if allows[1].Analyzer != "arenaowner" || allows[1].Reason != "" || allows[1].Line != 6 {
+		t.Errorf("allow[1] = %+v (bare allow must have empty reason)", allows[1])
+	}
+	if allows[2].Analyzer != "*" || allows[2].Line != 8 {
+		t.Errorf("allow[2] = %+v", allows[2])
+	}
+}
+
+func TestSuppressed(t *testing.T) {
+	allows := []Allow{
+		{Line: 4, Analyzer: "lockorder", Reason: "r"},
+		{Line: 8, Analyzer: "*", Reason: "r"},
+	}
+	cases := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"lockorder", 4, true},  // same line
+		{"lockorder", 5, true},  // line below the annotation
+		{"lockorder", 6, false}, // two lines away
+		{"arenaowner", 5, false},
+		{"containment", 8, true}, // wildcard matches any analyzer
+		{"genwf", 9, true},
+	}
+	for _, c := range cases {
+		if _, got := Suppressed(allows, c.analyzer, c.line); got != c.want {
+			t.Errorf("Suppressed(%s, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}

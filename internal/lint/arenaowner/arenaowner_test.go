@@ -1,0 +1,12 @@
+package arenaowner_test
+
+import (
+	"testing"
+
+	"hique/internal/lint/arenaowner"
+	"hique/internal/lint/linttest"
+)
+
+func TestArenaOwner(t *testing.T) {
+	linttest.Run(t, "testdata/owner", "hique/internal/codegen", arenaowner.Analyzer)
+}

@@ -1,0 +1,378 @@
+// Package cfgx builds a compact intra-procedural control-flow graph over
+// a function body's statements — the substrate for the path-sensitive
+// hique-vet analyzers (arena ownership, lock-held regions). It is a
+// deliberately small re-implementation of the x/tools go/cfg idea on the
+// standard library: blocks hold the statements that execute sequentially,
+// edges follow if/for/range/switch/select/branch/return control flow.
+//
+// Coverage notes (sound for the analyses built on it):
+//   - defer is NOT modelled as an edge; analyzers inspect defers
+//     separately (they run on every exit, including panics).
+//   - panics are not modelled: every call is assumed to return. Analyses
+//     that care about panic paths must look at defers.
+//   - goto targets any labeled statement in the function; break/continue
+//     resolve through the enclosing loop/switch (optionally labeled).
+package cfgx
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is a straight-line run of statements with control-flow edges to
+// its successors. Return marks function-exit blocks.
+type Block struct {
+	Index  int
+	Stmts  []ast.Stmt
+	Succs  []*Block
+	Return bool
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// builder carries the loop/switch/label context while walking the body.
+type builder struct {
+	g       *Graph
+	cur     *Block
+	breaks  []breakTarget
+	labels  map[string]*labelInfo
+	pending pendingLabelState
+}
+
+type breakTarget struct {
+	label    string
+	brk      *Block // break lands here
+	cont     *Block // continue lands here (nil for switch/select)
+	isLoop   bool
+	hasLabel bool
+}
+
+type labelInfo struct {
+	block   *Block // goto target
+	pending []*Block
+}
+
+// New builds the CFG for a function body. A nil body yields a graph with
+// a single empty returning block.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	b.cur = b.newBlock()
+	g.Entry = b.cur
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	if b.cur != nil {
+		b.cur.Return = true
+	}
+	// Resolve forward gotos.
+	for _, li := range b.labels {
+		for _, p := range li.pending {
+			if li.block != nil {
+				p.Succs = append(p.Succs, li.block)
+			} else {
+				p.Return = true // goto to a label outside coverage: treat as exit
+			}
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	bl := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+// jump ends the current block with an edge to dst and leaves no current
+// block (the caller starts a fresh one if code follows).
+func (b *builder) jump(dst *Block) {
+	if b.cur != nil && dst != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = nil
+}
+
+// startBlock begins a new current block reached from the previous one.
+func (b *builder) startBlock() *Block {
+	nb := b.newBlock()
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, nb)
+	}
+	b.cur = nb
+	return nb
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		if b.cur == nil {
+			// Unreachable code after return/branch still gets a block so
+			// analyzers can inspect it (it just has no predecessors).
+			b.cur = b.newBlock()
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.cur.Stmts = append(b.cur.Stmts, st.Init)
+		}
+		b.cur.Stmts = append(b.cur.Stmts, &ast.ExprStmt{X: st.Cond})
+		condBlock := b.cur
+		join := b.newBlock()
+		// then branch
+		thenEntry := b.newBlock()
+		condBlock.Succs = append(condBlock.Succs, thenEntry)
+		b.cur = thenEntry
+		b.stmtList(st.Body.List)
+		b.jump(join)
+		// else branch
+		if st.Else != nil {
+			elseEntry := b.newBlock()
+			condBlock.Succs = append(condBlock.Succs, elseEntry)
+			b.cur = elseEntry
+			b.stmt(st.Else)
+			b.jump(join)
+		} else {
+			condBlock.Succs = append(condBlock.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.cur.Stmts = append(b.cur.Stmts, st.Init)
+		}
+		head := b.startBlock()
+		if st.Cond != nil {
+			head.Stmts = append(head.Stmts, &ast.ExprStmt{X: st.Cond})
+		}
+		exit := b.newBlock()
+		post := b.newBlock()
+		if st.Post != nil {
+			post.Stmts = append(post.Stmts, st.Post)
+		}
+		post.Succs = append(post.Succs, head)
+		if st.Cond != nil {
+			head.Succs = append(head.Succs, exit)
+		}
+		label := b.pendingLabel(s)
+		b.breaks = append(b.breaks, breakTarget{label: label, brk: exit, cont: post, isLoop: true, hasLabel: label != ""})
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.jump(post)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if st.Cond == nil {
+			// for {}: exit is only reachable through break.
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.startBlock()
+		head.Stmts = append(head.Stmts, &ast.ExprStmt{X: st.X})
+		exit := b.newBlock()
+		head.Succs = append(head.Succs, exit) // empty range
+		label := b.pendingLabel(s)
+		b.breaks = append(b.breaks, breakTarget{label: label, brk: exit, cont: head, isLoop: true, hasLabel: label != ""})
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		if st.Key != nil || st.Value != nil {
+			body.Stmts = append(body.Stmts, assignOf(st))
+		}
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.jump(head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.switchLike(s)
+
+	case *ast.LabeledStmt:
+		li := b.label(st.Label.Name)
+		target := b.startBlock()
+		li.block = target
+		// The labeled statement itself executes next; loops/switches pick
+		// up the pending label via pendingLabel.
+		b.pending = pendingLabelState{name: st.Label.Name, stmt: st.Stmt}
+		b.stmt(st.Stmt)
+		b.pending = pendingLabelState{}
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			for i := len(b.breaks) - 1; i >= 0; i-- {
+				t := b.breaks[i]
+				if st.Label == nil || (t.hasLabel && t.label == st.Label.Name) {
+					b.jump(t.brk)
+					return
+				}
+			}
+			b.cur.Return = true
+			b.cur = nil
+		case token.CONTINUE:
+			for i := len(b.breaks) - 1; i >= 0; i-- {
+				t := b.breaks[i]
+				if !t.isLoop {
+					continue
+				}
+				if st.Label == nil || (t.hasLabel && t.label == st.Label.Name) {
+					b.jump(t.cont)
+					return
+				}
+			}
+			b.cur.Return = true
+			b.cur = nil
+		case token.GOTO:
+			li := b.label(st.Label.Name)
+			if li.block != nil {
+				b.jump(li.block)
+			} else {
+				li.pending = append(li.pending, b.cur)
+				b.cur = nil
+			}
+		case token.FALLTHROUGH:
+			// Handled by switchLike's sequential case chaining; treat as
+			// block end here (the next case entry edge is added there).
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		b.cur.Return = true
+		b.cur = nil
+
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt,
+		*ast.SendStmt, *ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+
+	default:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+	}
+}
+
+// pendingLabelState carries a label from LabeledStmt to the loop or
+// switch it annotates.
+type pendingLabelState struct {
+	name string
+	stmt ast.Stmt
+}
+
+func (b *builder) pendingLabel(s ast.Stmt) string {
+	if b.pending.stmt == s {
+		return b.pending.name
+	}
+	return ""
+}
+
+func (b *builder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+// switchLike lowers switch/type-switch/select: every clause body becomes
+// a branch from the head to the join; fallthrough chains to the next
+// clause body.
+func (b *builder) switchLike(s ast.Stmt) {
+	var init ast.Stmt
+	var tag ast.Expr
+	var body *ast.BlockStmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		init, tag, body = st.Init, st.Tag, st.Body
+	case *ast.TypeSwitchStmt:
+		init, body = st.Init, st.Body
+		if st.Assign != nil {
+			b.cur.Stmts = append(b.cur.Stmts, st.Assign)
+		}
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	if init != nil {
+		b.cur.Stmts = append(b.cur.Stmts, init)
+	}
+	if tag != nil {
+		b.cur.Stmts = append(b.cur.Stmts, &ast.ExprStmt{X: tag})
+	}
+	head := b.cur
+	join := b.newBlock()
+	label := b.pendingLabel(s)
+	b.breaks = append(b.breaks, breakTarget{label: label, brk: join, hasLabel: label != ""})
+
+	var clauses []ast.Stmt
+	if body != nil {
+		clauses = body.List
+	}
+	entries := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		entries[i] = b.newBlock()
+		head.Succs = append(head.Succs, entries[i])
+	}
+	for i, cl := range clauses {
+		var list []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				entries[i].Stmts = append(entries[i].Stmts, &ast.ExprStmt{X: e})
+			}
+			list = c.Body
+		case *ast.CommClause:
+			hasDefault = hasDefault || c.Comm == nil
+			if c.Comm != nil {
+				entries[i].Stmts = append(entries[i].Stmts, c.Comm)
+			}
+			list = c.Body
+		}
+		b.cur = entries[i]
+		fallsThrough := false
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				list = list[:n-1]
+			}
+		}
+		b.stmtList(list)
+		if fallsThrough && i+1 < len(entries) {
+			b.jump(entries[i+1])
+		} else {
+			b.jump(join)
+		}
+	}
+	if _, isSelect := s.(*ast.SelectStmt); (!hasDefault && !isSelect) || len(clauses) == 0 {
+		// No default: the switch can fall through without matching.
+		head.Succs = append(head.Succs, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+// assignOf materialises the range statement's key/value assignment so
+// analyzers see the definitions in statement order.
+func assignOf(st *ast.RangeStmt) ast.Stmt {
+	lhs := []ast.Expr{}
+	if st.Key != nil {
+		lhs = append(lhs, st.Key)
+	}
+	if st.Value != nil {
+		lhs = append(lhs, st.Value)
+	}
+	return &ast.AssignStmt{Lhs: lhs, Tok: st.Tok, Rhs: []ast.Expr{st.X}}
+}

@@ -1,0 +1,124 @@
+package cfgx
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func bodyOf(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachable walks the graph from the entry.
+func reachable(g *Graph) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func returningBlocks(g *Graph, seen map[int]bool) int {
+	n := 0
+	for _, b := range g.Blocks {
+		if seen[b.Index] && b.Return {
+			n++
+		}
+	}
+	return n
+}
+
+func TestIfBothBranchesReturn(t *testing.T) {
+	g := New(bodyOf(t, `func f(c bool) int {
+		if c {
+			return 1
+		}
+		return 2
+	}`))
+	seen := reachable(g)
+	if got := returningBlocks(g, seen); got != 2 {
+		t.Fatalf("got %d reachable returning blocks, want 2", got)
+	}
+}
+
+func TestLoopHasBackEdge(t *testing.T) {
+	g := New(bodyOf(t, `func f(xs []int) int {
+		n := 0
+		for _, x := range xs {
+			n += x
+		}
+		return n
+	}`))
+	seen := reachable(g)
+	// The range head must be its own successor transitively (body → head).
+	backEdge := false
+	for _, b := range g.Blocks {
+		if !seen[b.Index] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Fatal("range loop produced no back edge")
+	}
+	if got := returningBlocks(g, seen); got != 1 {
+		t.Fatalf("got %d returning blocks, want 1", got)
+	}
+}
+
+func TestBreakSkipsRest(t *testing.T) {
+	g := New(bodyOf(t, `func f() {
+		for {
+			break
+		}
+	}`))
+	seen := reachable(g)
+	if got := returningBlocks(g, seen); got != 1 {
+		t.Fatalf("got %d returning blocks, want 1 (the post-loop exit)", got)
+	}
+}
+
+func TestSwitchClausesJoin(t *testing.T) {
+	g := New(bodyOf(t, `func f(x int) int {
+		y := 0
+		switch x {
+		case 1:
+			y = 1
+		case 2:
+			y = 2
+		default:
+			y = 3
+		}
+		return y
+	}`))
+	seen := reachable(g)
+	if got := returningBlocks(g, seen); got != 1 {
+		t.Fatalf("got %d returning blocks, want 1 (all clauses join)", got)
+	}
+}

@@ -1,0 +1,12 @@
+package containment_test
+
+import (
+	"testing"
+
+	"hique/internal/lint/containment"
+	"hique/internal/lint/linttest"
+)
+
+func TestContainment(t *testing.T) {
+	linttest.Run(t, "testdata/contain", "hique", containment.Analyzer)
+}

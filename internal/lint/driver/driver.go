@@ -1,0 +1,292 @@
+// Package driver loads, type-checks, and analyzes hique packages for the
+// hique-vet suite. The container builds offline with no module proxy, so
+// instead of golang.org/x/tools/go/packages it loads syntax with go/parser
+// and resolves imports through the gc export-data files that `go list
+// -export` (standalone mode) or go vet's vet.cfg (vettool mode) already
+// provide — the same data a real multichecker would read.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hique/internal/lint/analysis"
+	"hique/internal/lint/arenaowner"
+	"hique/internal/lint/containment"
+	"hique/internal/lint/genwf"
+	"hique/internal/lint/lockorder"
+)
+
+// Analyzers returns the hique-vet registry in diagnostic order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockorder.Analyzer,
+		arenaowner.Analyzer,
+		containment.Analyzer,
+		genwf.Analyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" = all).
+func ByName(sel string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	if sel == "" {
+		return all, nil
+	}
+	idx := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		idx[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(sel, ",") {
+		a := idx[strings.TrimSpace(name)]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Diagnostic is a positioned, analyzer-attributed finding ready to print.
+type Diagnostic struct {
+	Position token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// RunAnalyzers applies the analyzers to one type-checked package and
+// returns the diagnostics that survive //lint:allow suppression, plus
+// diagnostics for malformed (reason-less) allows.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []Diagnostic {
+	allowsByFile := map[*token.File][]analysis.Allow{}
+	var out []Diagnostic
+	for _, f := range files {
+		allows := analysis.CollectAllows(fset, f)
+		if tf := fset.File(f.Pos()); tf != nil {
+			allowsByFile[tf] = allows
+		}
+		for _, a := range allows {
+			if a.Reason == "" {
+				out = append(out, Diagnostic{
+					Position: fset.Position(a.Pos),
+					Message:  "//lint:allow without a reason; every suppression must document why the invariant does not apply",
+					Analyzer: "lintallow",
+				})
+			}
+		}
+	}
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if tf := fset.File(d.Pos); tf != nil {
+				if _, ok := analysis.Suppressed(allowsByFile[tf], name, pos.Line); ok {
+					return
+				}
+			}
+			out = append(out, Diagnostic{Position: pos, Message: d.Message, Analyzer: name})
+		}
+		if err := a.Run(pass); err != nil {
+			out = append(out, Diagnostic{Message: fmt.Sprintf("analyzer error: %v", err), Analyzer: a.Name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// TypeCheck parses the named files and type-checks them against gc
+// export data resolved through lookup (import path → export file).
+// Type errors are collected, not fatal: analyzers run best-effort on
+// partial information, mirroring go vet's SucceedOnTypecheckFailure
+// handling.
+func TypeCheck(fset *token.FileSet, importPath string, filenames []string, lookup func(path string) (io.ReadCloser, error)) ([]*ast.File, *types.Package, *types.Info, []error) {
+	var files []*ast.File
+	var errs []error
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		files = append(files, f)
+	}
+	pkg, info, cerrs := checkFiles(fset, importPath, files, lookup)
+	return files, pkg, info, append(errs, cerrs...)
+}
+
+// TypeCheckSource type-checks a single in-memory source file — the shape
+// enginetest needs for codegen.EmitSource output, which never touches
+// disk before execution.
+func TypeCheckSource(fset *token.FileSet, importPath, filename, src string, lookup func(path string) (io.ReadCloser, error)) ([]*ast.File, *types.Package, *types.Info, []error) {
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, nil, nil, []error{err}
+	}
+	files := []*ast.File{f}
+	pkg, info, errs := checkFiles(fset, importPath, files, lookup)
+	return files, pkg, info, errs
+}
+
+func checkFiles(fset *token.FileSet, importPath string, files []*ast.File, lookup func(path string) (io.ReadCloser, error)) (*types.Package, *types.Info, []error) {
+	var errs []error
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	return pkg, info, errs
+}
+
+// ExportLookup runs `go list -export -deps` over the patterns and returns
+// an import-path → export-data lookup for TypeCheck/TypeCheckSource. It
+// lets callers type-check sources that exist only in memory (generated
+// query units) against the real compiled ABI packages.
+func ExportLookup(dir string, patterns ...string) (func(path string) (io.ReadCloser, error), error) {
+	args := append([]string{"list", "-e", "-export", "-json=ImportPath,Export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f := exports[path]
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}, nil
+}
+
+// listedPackage is the subset of `go list -export -json` output the
+// standalone loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	DepOnly    bool
+}
+
+// LoadResult is one target package ready for analysis.
+type LoadResult struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Load runs `go list -export -deps` over the patterns and type-checks
+// every in-module, non-dependency-only package.
+func Load(dir string, patterns []string) ([]*LoadResult, error) {
+	args := append([]string{"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module,DepOnly", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		cp := p
+		targets = append(targets, &cp)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f := exports[path]
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	var out []*LoadResult
+	for _, p := range targets {
+		fset := token.NewFileSet()
+		var names []string
+		for _, g := range p.GoFiles {
+			names = append(names, filepath.Join(p.Dir, g))
+		}
+		files, pkg, info, errs := TypeCheck(fset, p.ImportPath, names, lookup)
+		out = append(out, &LoadResult{
+			ImportPath: p.ImportPath,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+			TypeErrors: errs,
+		})
+	}
+	return out, nil
+}

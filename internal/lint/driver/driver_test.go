@@ -1,0 +1,76 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"hique/internal/lint/driver"
+	"hique/internal/lint/linttest"
+	"hique/internal/lint/lockorder"
+)
+
+// TestSuppression pins the //lint:allow contract end to end: the
+// reasoned allow removes its diagnostic, the bare allow suppresses but
+// is reported itself, and the unannotated violation survives.
+func TestSuppression(t *testing.T) {
+	diags := linttest.Analyze(t, "testdata/suppress", "hique", lockorder.Analyzer)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%v", len(diags), diags)
+	}
+	var gotBare, gotViolation bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "lintallow" && strings.Contains(d.Message, "without a reason"):
+			gotBare = true
+		case d.Analyzer == "lockorder" && strings.Contains(d.Message, "second table lock acquired") && d.Position.Line == 18:
+			gotViolation = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !gotBare || !gotViolation {
+		t.Fatalf("missing expected diagnostics (bare=%v violation=%v):\n%v", gotBare, gotViolation, diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := driver.ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, %v; want 4", len(all), err)
+	}
+	sel, err := driver.ByName("lockorder,genwf")
+	if err != nil || len(sel) != 2 || sel[0].Name != "lockorder" || sel[1].Name != "genwf" {
+		t.Fatalf("ByName selection = %v, %v", sel, err)
+	}
+	if _, err := driver.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}
+
+// TestLoadRepo smoke-tests the standalone loader against this package
+// itself: export data comes from `go list -export`, so the type-check
+// must resolve real imports.
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	res, err := driver.Load("", []string{"hique/internal/lint/driver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, r := range res {
+		if r.ImportPath == "hique/internal/lint/driver" {
+			found = true
+			if len(r.TypeErrors) > 0 {
+				t.Fatalf("type errors: %v", r.TypeErrors)
+			}
+			if r.Pkg == nil || len(r.Files) == 0 {
+				t.Fatal("loader returned an empty package")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("driver package not loaded")
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for //lint:allow handling: a reasoned allow silences the
+// diagnostic, a bare allow still silences but is itself reported, and
+// an unsuppressed violation surfaces normally.
+package hique
+
+import "hique/internal/catalog"
+
+func suppressedPair(a, b *catalog.TableEntry) {
+	a.Lock()
+	//lint:allow lockorder fixture documents an intentional out-of-order acquisition
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func unsuppressedPair(a, b *catalog.TableEntry) {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func bareAllowPair(a, b *catalog.TableEntry) {
+	a.Lock()
+	//lint:allow lockorder
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}

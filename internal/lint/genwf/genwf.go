@@ -1,0 +1,175 @@
+// Package genwf checks the well-formedness of hique's *generated*
+// fused/parallel query sources (codegen.EmitSource output). Malformed
+// codegen used to surface only at first execution; this analyzer makes
+// the generated-source contract checkable at test time, and enginetest
+// runs it (plus full go/types checking) over the emitted source for the
+// whole differential corpus.
+//
+// The contract for an emitted compilation unit:
+//
+//   - the package is named "query";
+//   - the only import is the runtime ABI, "hique/runtime";
+//   - a top-level entry function exists (`EvaluateQuery` for full
+//     emitted units, `Run` for single-pipeline units);
+//   - page lifecycles balance: every StartPage has a matching EndPage in
+//     the same function (the arena's page accounting depends on it);
+//   - column accessors (Int64At, Float64At, PutInt64, PutFloat64, ...)
+//     are never called with a negative constant column index;
+//   - generated code never calls panic directly (failures must flow
+//     through the runtime ABI so the engine's containment sees them).
+//
+// The analyzer is a no-op on packages that are not generated query units
+// (anything not named "query" that doesn't import hique/runtime), so it
+// can run over the whole repository harmlessly.
+package genwf
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strconv"
+
+	"hique/internal/lint/analysis"
+)
+
+const runtimeImport = "hique/runtime"
+
+// Analyzer is the genwf pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "genwf",
+	Doc:  "generated fused query sources obey the codegen contract",
+	Run:  run,
+}
+
+// accessors maps runtime column accessors to the argument position of
+// their column-index parameter.
+var accessors = map[string]int{
+	"Int64At":    2,
+	"Float64At":  2,
+	"BytesAt":    2,
+	"PutInt64":   2,
+	"PutFloat64": 2,
+	"PutBytes":   2,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if !isGeneratedUnit(f) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+// isGeneratedUnit recognizes an emitted query compilation unit: it
+// imports the runtime ABI or is named "query".
+func isGeneratedUnit(f *ast.File) bool {
+	if f.Name.Name == "query" {
+		return true
+	}
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == runtimeImport {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	if f.Name.Name != "query" {
+		pass.Reportf(f.Name.Pos(), "generated unit must be package query, got %q", f.Name.Name)
+	}
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != runtimeImport {
+			pass.Reportf(imp.Pos(), "generated unit may only import %q, got %s", runtimeImport, imp.Path.Value)
+		}
+	}
+
+	hasRun := false
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if (fd.Name.Name == "Run" || fd.Name.Name == "EvaluateQuery") && fd.Recv == nil {
+			hasRun = true
+		}
+		if fd.Body == nil {
+			continue
+		}
+		checkFuncBody(pass, fd)
+	}
+	if !hasRun {
+		pass.Reportf(f.Name.Pos(), "generated unit has no top-level Run or EvaluateQuery entry function")
+	}
+}
+
+func checkFuncBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	starts, ends := 0, 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		switch {
+		case name == "panic":
+			pass.Reportf(call.Pos(), "generated code must not call panic directly; route failures through the runtime ABI")
+		case name == "StartPage":
+			starts++
+		case name == "EndPage":
+			ends++
+		default:
+			if argIdx, ok := accessors[name]; ok && len(call.Args) > argIdx {
+				checkColumnIndex(pass, call, call.Args[argIdx])
+			}
+		}
+		return true
+	})
+	if starts != ends {
+		pass.Reportf(fd.Pos(), "unbalanced page lifecycle in %s: %d StartPage vs %d EndPage calls", fd.Name.Name, starts, ends)
+	}
+}
+
+// checkColumnIndex flags negative constant column indexes.
+func checkColumnIndex(pass *analysis.Pass, call *ast.CallExpr, arg ast.Expr) {
+	var val constant.Value
+	if pass.TypesInfo != nil {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+			val = tv.Value
+		}
+	}
+	if val == nil {
+		// Syntactic fallback: -<lit>.
+		if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.SUB {
+			if _, ok := ue.X.(*ast.BasicLit); ok {
+				pass.Reportf(call.Pos(), "negative constant column index in %s call", calleeName(call))
+			}
+		}
+		return
+	}
+	if val.Kind() == constant.Int {
+		if i, ok := constant.Int64Val(val); ok && i < 0 {
+			pass.Reportf(call.Pos(), "negative constant column index %d in %s call", i, calleeName(call))
+		}
+	}
+}
+
+// calleeName extracts the bare callee name (runtime.X → X, X → X).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		// Only count runtime-qualified (or any pkg-qualified) selector
+		// whose base is an identifier — method calls on locals have
+		// expression bases and are not ABI calls.
+		if _, ok := fn.X.(*ast.Ident); ok {
+			return fn.Sel.Name
+		}
+		return fn.Sel.Name + "." // method; never matches the ABI tables
+	}
+	return ""
+}

@@ -1,0 +1,20 @@
+package genwf_test
+
+import (
+	"testing"
+
+	"hique/internal/lint/genwf"
+	"hique/internal/lint/linttest"
+)
+
+func TestGenWellFormed(t *testing.T) {
+	linttest.Run(t, "testdata/goodunit", "hique/internal/codegen/query", genwf.Analyzer)
+}
+
+func TestGenViolations(t *testing.T) {
+	linttest.Run(t, "testdata/badunit", "hique/internal/codegen/query", genwf.Analyzer)
+}
+
+func TestNotQueryUnit(t *testing.T) {
+	linttest.Run(t, "testdata/notquery", "hique/internal/codegen/notquery", genwf.Analyzer)
+}

@@ -1,0 +1,21 @@
+// A malformed generated query unit: extra import, negative constant
+// column index, unbalanced page lifecycle, and a direct panic.
+package query
+
+import (
+	rt "hique/runtime"
+
+	"hique/internal/storage" // want "generated unit may only import"
+)
+
+func Run(t *rt.Table) {
+	rt.StartPage(t)
+	rt.PutInt64(t, 0, 0, rt.Int64At(t, 0, -1)) // want "negative constant column index -1"
+	rt.EndPage(t)
+}
+
+func spill(t *rt.Table) { // want "unbalanced page lifecycle in spill: 1 StartPage vs 0 EndPage"
+	rt.StartPage(t)
+	storage.NewPooledTable().Release()
+	panic("spill failed") // want "must not call panic directly"
+}

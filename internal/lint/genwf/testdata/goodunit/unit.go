@@ -1,0 +1,12 @@
+// A well-formed generated query unit: package query, runtime-only
+// import, top-level Run, balanced page lifecycle, non-negative constant
+// column indexes, no direct panic. Clean.
+package query
+
+import rt "hique/runtime"
+
+func Run(t *rt.Table) {
+	rt.StartPage(t)
+	rt.PutInt64(t, 0, 0, rt.Int64At(t, 0, 1))
+	rt.EndPage(t)
+}

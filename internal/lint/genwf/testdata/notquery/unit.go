@@ -1,0 +1,10 @@
+// A unit that imports the runtime ABI but is not package query and has
+// no Run entry point.
+package notquery // want "must be package query" "no top-level Run or EvaluateQuery entry function"
+
+import rt "hique/runtime"
+
+func Helper(t *rt.Table) {
+	rt.StartPage(t)
+	rt.EndPage(t)
+}

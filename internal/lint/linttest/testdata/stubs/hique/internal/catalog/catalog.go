@@ -1,0 +1,15 @@
+// Stub of hique/internal/catalog for analyzer fixtures: same import
+// path suffix and method set shape as the real package, no behavior.
+package catalog
+
+type TableEntry struct {
+	id int64
+}
+
+func (e *TableEntry) ID() int64   { return e.id }
+func (e *TableEntry) Lock()       {}
+func (e *TableEntry) Unlock()     {}
+func (e *TableEntry) RLock()      {}
+func (e *TableEntry) RUnlock()    {}
+func (e *TableEntry) NumRows() int { return 0 }
+func (e *TableEntry) Name() string { return "" }

@@ -1,0 +1,12 @@
+// Stub of hique/internal/core for analyzer fixtures.
+package core
+
+import "hique/internal/storage"
+
+type Staged struct {
+	T     *storage.Table
+	Owned bool
+}
+
+func (s *Staged) Release() {}
+func (s *Staged) Rows() int { return 0 }

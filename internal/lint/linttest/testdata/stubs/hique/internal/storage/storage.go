@@ -1,0 +1,11 @@
+// Stub of hique/internal/storage for analyzer fixtures.
+package storage
+
+type Table struct{}
+
+func NewPooledTable() *Table { return &Table{} }
+
+func (t *Table) Release()      {}
+func (t *Table) NumRows() int  { return 0 }
+func (t *Table) AppendRow()    {}
+func (t *Table) NumPages() int { return 0 }

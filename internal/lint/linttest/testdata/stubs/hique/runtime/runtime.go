@@ -1,0 +1,11 @@
+// Stub of the hique/runtime ABI for genwf fixtures.
+package runtime
+
+type Table struct{}
+
+func StartPage(t *Table)                          {}
+func EndPage(t *Table)                            {}
+func Int64At(t *Table, row, col int) int64        { return 0 }
+func Float64At(t *Table, row, col int) float64    { return 0 }
+func PutInt64(t *Table, row, col int, v int64)    {}
+func PutFloat64(t *Table, row, col int, v float64) {}

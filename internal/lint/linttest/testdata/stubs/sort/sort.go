@@ -1,0 +1,13 @@
+// Stub of the stdlib sort package: lockorder's hasSortBefore matches
+// sort.Sort*/slices.Sort* calls, and fixtures must compile offline
+// without gc export data for the real stdlib.
+package sort
+
+type Interface interface {
+	Len() int
+	Less(i, j int) bool
+	Swap(i, j int)
+}
+
+func Sort(data Interface)                        {}
+func Slice(x interface{}, less func(i, j int) bool) {}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hique/internal/lint/linttest"
+	"hique/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/serving", "hique", lockorder.Analyzer)
+}
+
+func TestLockOrderLayering(t *testing.T) {
+	linttest.Run(t, "testdata/layer", "hique/internal/other", lockorder.Analyzer)
+}

@@ -1,0 +1,12 @@
+// Fixture for lockorder rule 1: entry locks touched outside the hique
+// serving layer (import path hique/internal/other here).
+package other
+
+import "hique/internal/catalog"
+
+func touch(e *catalog.TableEntry) int {
+	e.RLock() // want "outside the hique serving layer"
+	n := e.NumRows()
+	e.RUnlock()
+	return n
+}

@@ -1,0 +1,105 @@
+// Fixture for the lockorder analyzer, type-checked against the linttest
+// stubs under import path "hique" (the serving layer, so rule 1 stays
+// quiet and the ordering rules are what fires).
+package hique
+
+import (
+	"sort"
+
+	"hique/internal/catalog"
+)
+
+// lockTables is the sanctioned ordered batch acquirer: sort by table ID,
+// then lock in a loop, handing the releases to the returned closure.
+// Must produce no diagnostics.
+func lockTables(entries []*catalog.TableEntry) func() {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID() < entries[j].ID() })
+	for _, e := range entries {
+		e.Lock()
+	}
+	return func() {
+		for i := len(entries) - 1; i >= 0; i-- {
+			entries[i].Unlock()
+		}
+	}
+}
+
+// rlockTables forgot the sort: the sanctioned name does not excuse an
+// unordered acquisition loop.
+func rlockTables(entries []*catalog.TableEntry) func() {
+	for _, e := range entries {
+		e.RLock() // want "lockTables acquires entry locks in a loop without sorting"
+	}
+	return func() {
+		for i := len(entries) - 1; i >= 0; i-- {
+			entries[i].RUnlock()
+		}
+	}
+}
+
+func badPair(a, b *catalog.TableEntry) {
+	a.Lock()
+	b.Lock() // want "second table lock acquired while one may be held"
+	b.Unlock()
+	a.Unlock()
+}
+
+// goodPair establishes the ascending-ID order explicitly — the warm
+// fast-path swap idiom. Must produce no diagnostics.
+func goodPair(a, b *catalog.TableEntry) {
+	if b.ID() < a.ID() {
+		a, b = b, a
+	}
+	a.Lock()
+	b.Lock()
+	defer b.Unlock()
+	defer a.Unlock()
+}
+
+func badLeak(a *catalog.TableEntry, cond bool) {
+	a.Lock()
+	if cond {
+		return // want "may still be held on this return path"
+	}
+	a.Unlock()
+}
+
+func helperAcquire(e *catalog.TableEntry) {
+	e.RLock()
+	e.RUnlock()
+}
+
+func badCallWhileHeld(a, b *catalog.TableEntry) {
+	a.Lock()
+	helperAcquire(b) // want `call to helperAcquire \(which acquires table locks\) while a table lock is held`
+	a.Unlock()
+}
+
+func badNested(a *catalog.TableEntry, entries []*catalog.TableEntry) {
+	a.Lock()
+	defer a.Unlock()
+	unlock := lockTables(entries) // want "lockTables called while a table lock is already held"
+	unlock()
+}
+
+func badDiscard(entries []*catalog.TableEntry) {
+	_ = lockTables(entries) // want "unlock function is discarded"
+}
+
+func badLoop(entries []*catalog.TableEntry) { // want `table lock \(e\) may still be held`
+	for _, e := range entries {
+		e.Lock() // want "table locks acquired in a loop" "second table lock acquired"
+	}
+}
+
+// scanAll releases within each iteration — a legal per-entry critical
+// section. Must produce no diagnostics.
+func scanAll(entries []*catalog.TableEntry) int {
+	n := 0
+	for _, e := range entries {
+		e.RLock()
+		n += e.NumRows()
+		e.RUnlock()
+	}
+	return n
+}

@@ -490,19 +490,13 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	names := s.db.Tables()
 	out := make([]tableInfo, 0, len(names))
 	for _, n := range names {
-		e, err := s.db.Catalog().Lookup(n)
+		// TableInfo reads under the DB's own ordered reader lock — entry
+		// locks belong to the serving layer (hique-vet: lockorder).
+		rows, cols, err := s.db.TableInfo(n)
 		if err != nil {
 			continue
 		}
-		e.RLock()
-		info := tableInfo{Name: n, Rows: e.Table.NumRows()}
-		sch := e.Table.Schema()
-		for i := 0; i < sch.NumColumns(); i++ {
-			c := sch.Column(i)
-			info.Columns = append(info.Columns, fmt.Sprintf("%s %s", c.Name, c.Kind))
-		}
-		e.RUnlock()
-		out = append(out, info)
+		out = append(out, tableInfo{Name: n, Rows: rows, Columns: cols})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
