@@ -1,0 +1,290 @@
+// Conformance suite: differential end-to-end checking of a live
+// hique-server against a locally built reference database, in the
+// spirit of cri-tools' critest (a conformance binary pointed at a live
+// endpoint, per-case pass/fail, non-zero exit on any failure).
+//
+// The reference is the in-process engine over the same TPC-H catalogue
+// the server seeds (-tpch <sf> hard-codes Seed 42, and so does this
+// suite), so every query has an independently computed expected answer:
+// the server must return the same columns, the same row count, and the
+// same cells in the same order. Integers, strings, and dates compare
+// exactly; floats tolerate 1e-9 relative drift so a server running
+// morsel-parallel aggregation (different summation order, last-ulp
+// differences) still conforms.
+//
+// The corpus is the TPC-H queries the repo supports (Q1, Q3, Q6, Q10 —
+// with their SF 0.01 golden row counts pinned) plus a feature matrix of
+// hand-written queries over the TPC-H schema: N-way joins, JOIN ... ON,
+// HAVING by alias and by aggregate text, BETWEEN, expression
+// projections, ORDER BY on aggregates, date arithmetic, parameters, and
+// EXPLAIN ANALYZE reachability.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hique"
+	"hique/internal/tpch"
+)
+
+// confCase is one conformance check: a query, optional parameters, and
+// an optional pinned row count (in addition to the differential check).
+type confCase struct {
+	name    string
+	sql     string
+	params  []any
+	pinRows int // -1 = no pin
+}
+
+// tpchGoldenRows pins the TPC-H result cardinalities at SF 0.01
+// (Seed 42): a differential pass with the wrong row count would mean
+// reference and server share a bug, so the counts are asserted
+// independently. Keep in sync with internal/tpch/tpch_test.go.
+var tpchGoldenRows = map[int]int{1: 4, 3: 10, 6: 1, 10: 20}
+
+// conformanceCorpus builds the suite: TPC-H first, then the feature
+// matrix.
+func conformanceCorpus(sf float64) []confCase {
+	var cases []confCase
+	for _, n := range tpch.QueryNumbers() {
+		q, err := tpch.Query(n)
+		if err != nil {
+			panic(err) // QueryNumbers and Query disagree: a programming error
+		}
+		pin := -1
+		if sf == 0.01 {
+			if rows, ok := tpchGoldenRows[n]; ok {
+				pin = rows
+			}
+		}
+		cases = append(cases, confCase{name: fmt.Sprintf("tpch-q%02d", n), sql: q, pinRows: pin})
+	}
+	matrix := []confCase{
+		{name: "point-filter", sql: "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem WHERE l_orderkey = 42 ORDER BY l_linenumber", pinRows: -1},
+		{name: "between-range", sql: "SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_extendedprice BETWEEN 20000.0 AND 21000.0 ORDER BY l_orderkey, l_extendedprice LIMIT 50", pinRows: -1},
+		{name: "group-agg", sql: "SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS q FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag", pinRows: -1},
+		{name: "having-alias", sql: "SELECT l_linenumber, COUNT(*) AS n FROM lineitem GROUP BY l_linenumber HAVING n > 100 ORDER BY l_linenumber", pinRows: -1},
+		{name: "having-aggregate", sql: "SELECT o_shippriority, SUM(o_totalprice) AS s FROM orders GROUP BY o_shippriority HAVING SUM(o_totalprice) > 0.0 ORDER BY s DESC", pinRows: -1},
+		{name: "having-between", sql: "SELECT l_linenumber, COUNT(*) AS n FROM lineitem GROUP BY l_linenumber HAVING n BETWEEN 1 AND 100000 ORDER BY l_linenumber", pinRows: -1},
+		{name: "expr-projection", sql: "SELECT l_orderkey, l_extendedprice * (1 - l_discount) AS net FROM lineitem WHERE l_orderkey < 50 ORDER BY l_orderkey, net", pinRows: -1},
+		{name: "join-two-way", sql: "SELECT o_orderkey, c_name FROM customer, orders WHERE c_custkey = o_custkey AND o_totalprice > 200000.0 ORDER BY o_orderkey LIMIT 100", pinRows: -1},
+		{name: "join-on-syntax", sql: "SELECT o_orderkey, c_acctbal FROM customer JOIN orders ON c_custkey = o_custkey WHERE c_acctbal < 0.0 ORDER BY o_orderkey LIMIT 100", pinRows: -1},
+		{name: "join-three-way-agg", sql: "SELECT n_name, COUNT(*) AS cnt FROM customer, orders, nation WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey GROUP BY n_name ORDER BY cnt DESC, n_name", pinRows: -1},
+		{name: "order-by-aggregate", sql: "SELECT l_returnflag, SUM(l_extendedprice) AS s FROM lineitem GROUP BY l_returnflag ORDER BY SUM(l_extendedprice) DESC", pinRows: -1},
+		{name: "date-arithmetic", sql: "SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - 90", pinRows: -1},
+		{name: "parameterized", sql: "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_orderkey = ? AND l_linenumber = ?", params: []any{17, 1}, pinRows: -1},
+	}
+	return append(cases, matrix...)
+}
+
+// runConformance executes the suite against the server at addr and a
+// fresh local reference at the given scale factor, printing one line
+// per case and returning an error if any case fails.
+func runConformance(addr string, sf float64) error {
+	fmt.Fprintf(os.Stderr, "conformance: building SF %g reference catalogue (seed 42)\n", sf)
+	ref := hique.Open(hique.WithCatalog(tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: 42})))
+	client := &http.Client{Timeout: 60 * time.Second}
+	if err := waitHealthy(client, addr, 30*time.Second); err != nil {
+		return err
+	}
+
+	failed := 0
+	cases := conformanceCorpus(sf)
+	for _, c := range cases {
+		start := time.Now()
+		err := checkCase(ref, client, addr, c)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if err != nil {
+			failed++
+			fmt.Printf("FAIL %-20s %v\n", c.name, err)
+			continue
+		}
+		fmt.Printf("PASS %-20s (%s)\n", c.name, elapsed)
+	}
+
+	// EXPLAIN ANALYZE must be reachable over the wire (stage table, not
+	// rows) — the observability half of the serving contract.
+	if err := checkAnalyze(client, addr); err != nil {
+		failed++
+		fmt.Printf("FAIL %-20s %v\n", "explain-analyze", err)
+	} else {
+		fmt.Printf("PASS %-20s\n", "explain-analyze")
+	}
+
+	total := len(cases) + 1
+	if failed > 0 {
+		return fmt.Errorf("conformance: %d/%d cases failed", failed, total)
+	}
+	fmt.Fprintf(os.Stderr, "conformance: %d/%d cases passed against %s\n", total, total, addr)
+	return nil
+}
+
+// waitHealthy polls GET /healthz until the server reports ready, so the
+// suite can start in CI the moment the server finishes recovery.
+func waitHealthy(client *http.Client, addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("conformance: server at %s not healthy after %s: %v", addr, budget, err)
+			}
+			return fmt.Errorf("conformance: server at %s not healthy after %s", addr, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// serverQuery posts one query and decodes the response with
+// json.Number cells, preserving the integer/float distinction the
+// differential comparison needs.
+func serverQuery(client *http.Client, addr, sqlText string, params []any) (columns []string, rows [][]any, err error) {
+	body, err := json.Marshal(map[string]any{"sql": sqlText, "params": params})
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := client.Post(addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = dec.Decode(&e)
+		return nil, nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	var out struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := dec.Decode(&out); err != nil {
+		return nil, nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return out.Columns, out.Rows, nil
+}
+
+// checkCase runs one query on both sides and compares.
+func checkCase(ref *hique.DB, client *http.Client, addr string, c confCase) error {
+	want, err := ref.Query(c.sql, c.params...)
+	if err != nil {
+		return fmt.Errorf("reference: %v", err)
+	}
+	if c.pinRows >= 0 && len(want.Rows) != c.pinRows {
+		return fmt.Errorf("reference returned %d rows, golden pin is %d", len(want.Rows), c.pinRows)
+	}
+	cols, rows, err := serverQuery(client, addr, c.sql, c.params)
+	if err != nil {
+		return err
+	}
+	if len(cols) != len(want.Columns) {
+		return fmt.Errorf("server columns %v, reference %v", cols, want.Columns)
+	}
+	for i := range cols {
+		if cols[i] != want.Columns[i] {
+			return fmt.Errorf("column %d: server %q, reference %q", i, cols[i], want.Columns[i])
+		}
+	}
+	if len(rows) != len(want.Rows) {
+		return fmt.Errorf("server returned %d rows, reference %d", len(rows), len(want.Rows))
+	}
+	for r := range rows {
+		if len(rows[r]) != len(want.Rows[r]) {
+			return fmt.Errorf("row %d: server has %d cells, reference %d", r, len(rows[r]), len(want.Rows[r]))
+		}
+		for col := range rows[r] {
+			if err := cellsEqual(want.Rows[r][col], rows[r][col]); err != nil {
+				return fmt.Errorf("row %d col %s: %v", r, cols[col], err)
+			}
+		}
+	}
+	return nil
+}
+
+// cellsEqual compares one reference cell (int64 / float64 / string from
+// hique.Result) against one server cell (json.Number / string). Floats
+// allow 1e-9 relative drift; everything else is exact.
+func cellsEqual(want, got any) error {
+	switch w := want.(type) {
+	case string:
+		g, ok := got.(string)
+		if !ok || g != w {
+			return fmt.Errorf("server %v (%T), reference %q", got, got, w)
+		}
+	case int64:
+		n, ok := got.(json.Number)
+		if !ok {
+			return fmt.Errorf("server %v (%T), reference %d", got, got, w)
+		}
+		g, err := n.Int64()
+		if err != nil || g != w {
+			return fmt.Errorf("server %s, reference %d", n, w)
+		}
+	case float64:
+		n, ok := got.(json.Number)
+		if !ok {
+			return fmt.Errorf("server %v (%T), reference %g", got, got, w)
+		}
+		g, err := n.Float64()
+		if err != nil {
+			return fmt.Errorf("server %s is not a float: %v", n, err)
+		}
+		diff := g - w
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := w
+		if scale < 0 {
+			scale = -scale
+		}
+		if diff > 1e-9*scale+1e-9 {
+			return fmt.Errorf("server %g, reference %g (diff %g)", g, w, diff)
+		}
+	default:
+		return fmt.Errorf("reference cell has unexpected type %T", want)
+	}
+	return nil
+}
+
+// checkAnalyze asserts EXPLAIN ANALYZE answers with a stage table.
+func checkAnalyze(client *http.Client, addr string) error {
+	body, _ := json.Marshal(map[string]any{
+		"sql": "EXPLAIN ANALYZE SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+	})
+	resp, err := client.Post(addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Engine string `json:"engine"`
+		Plan   string `json:"plan"`
+		Stages []any  `json:"stages"`
+		Rows   int    `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if out.Engine == "" || len(out.Stages) == 0 || !strings.Contains(out.Plan, "Aggregate:") {
+		return fmt.Errorf("response missing engine/stages/plan (engine=%q, %d stages)", out.Engine, len(out.Stages))
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+// Load suite: an open-loop HTTP load generator against a live
+// hique-server, the benchmark half of the critest/benchmark split. Open
+// loop means requests fire on a fixed schedule derived from the target
+// rate regardless of how fast responses come back — the arrival process
+// does not slow down when the server does, so queueing delay shows up
+// in the measured latencies instead of being hidden by a closed loop's
+// self-throttling (the coordinated-omission trap).
+//
+// Scenarios are JSON files mixing weighted query classes; without
+// -scenario a built-in TPC-H serving mix runs (point lookups dominating,
+// periodic analytical queries — the shape a query-serving deployment
+// actually sees). Results go to -json as QPS + latency percentiles, the
+// format committed as BENCH_load.json.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadQuery is one weighted query class in a scenario.
+type LoadQuery struct {
+	Name   string `json:"name"`
+	SQL    string `json:"sql"`
+	Params []any  `json:"params,omitempty"`
+	Weight int    `json:"weight"`
+}
+
+// Scenario is the on-disk load description. Rate and duration can be
+// overridden by the -rate and -duration flags.
+type Scenario struct {
+	Name     string        `json:"name"`
+	RateQPS  float64       `json:"rate_qps"`
+	Duration time.Duration `json:"-"`
+	// DurationMS is the JSON spelling of Duration.
+	DurationMS int64       `json:"duration_ms"`
+	Queries    []LoadQuery `json:"queries"`
+}
+
+// defaultScenario is the built-in TPC-H serving mix: mostly point
+// lookups with periodic analytical queries, over the catalogue
+// hique-server -tpch seeds.
+func defaultScenario() Scenario {
+	return Scenario{
+		Name:    "tpch-serving-mix",
+		RateQPS: 200,
+		Queries: []LoadQuery{
+			{Name: "point-lookup", Weight: 6,
+				SQL: "SELECT l_orderkey, l_quantity, l_extendedprice FROM lineitem WHERE l_orderkey = ? AND l_linenumber = 1", Params: []any{17}},
+			{Name: "range-scan", Weight: 2,
+				SQL: "SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_extendedprice BETWEEN 20000.0 AND 21000.0 ORDER BY l_orderkey LIMIT 50"},
+			{Name: "tpch-q6", Weight: 1,
+				SQL: "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"},
+			{Name: "group-agg", Weight: 1,
+				SQL: "SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS q FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag"},
+		},
+	}
+}
+
+// LatencySummary is the percentile block of a load report, in
+// microseconds.
+type LatencySummary struct {
+	P50Us  int64 `json:"p50_us"`
+	P90Us  int64 `json:"p90_us"`
+	P99Us  int64 `json:"p99_us"`
+	MaxUs  int64 `json:"max_us"`
+	MeanUs int64 `json:"mean_us"`
+}
+
+// QueryReport is the per-class slice of a load report.
+type QueryReport struct {
+	Name    string         `json:"name"`
+	Sent    int            `json:"sent"`
+	OK      int            `json:"ok"`
+	Errors  int            `json:"errors"`
+	Latency LatencySummary `json:"latency"`
+}
+
+// LoadReport is the -json output of the load suite (BENCH_load.json).
+type LoadReport struct {
+	Scenario    string         `json:"scenario"`
+	Addr        string         `json:"addr"`
+	TargetQPS   float64        `json:"target_qps"`
+	DurationS   float64        `json:"duration_s"`
+	Sent        int            `json:"sent"`
+	OK          int            `json:"ok"`
+	Errors      int            `json:"errors"`
+	AchievedQPS float64        `json:"achieved_qps"`
+	Latency     LatencySummary `json:"latency"`
+	PerQuery    []QueryReport  `json:"per_query"`
+}
+
+// loadSample is one completed request.
+type loadSample struct {
+	query   int
+	latency time.Duration
+	err     bool
+}
+
+// runLoad drives the scenario against addr and writes the report to
+// jsonOut ("-" or empty for stdout). Request errors do not fail the
+// run — they are load-test data — but an unreachable server does.
+func runLoad(addr, scenarioPath string, rate float64, duration time.Duration, jsonOut string) error {
+	sc := defaultScenario()
+	if scenarioPath != "" {
+		data, err := os.ReadFile(scenarioPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return fmt.Errorf("load: parsing scenario %s: %w", scenarioPath, err)
+		}
+		sc.Duration = time.Duration(sc.DurationMS) * time.Millisecond
+	}
+	if rate > 0 {
+		sc.RateQPS = rate
+	}
+	if duration > 0 {
+		sc.Duration = duration
+	}
+	if sc.Duration <= 0 {
+		sc.Duration = 10 * time.Second
+	}
+	if sc.RateQPS <= 0 || len(sc.Queries) == 0 {
+		return fmt.Errorf("load: scenario %q needs a positive rate and at least one query", sc.Name)
+	}
+	for i, q := range sc.Queries {
+		if q.Weight <= 0 {
+			sc.Queries[i].Weight = 1
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitHealthy(client, addr, 30*time.Second); err != nil {
+		return err
+	}
+
+	// Deterministic weighted schedule: expand the classes into one cycle
+	// (a class with weight w appears w times) and walk it round-robin.
+	var cycle []int
+	for i, q := range sc.Queries {
+		for w := 0; w < q.Weight; w++ {
+			cycle = append(cycle, i)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "load: scenario %q at %g qps for %s against %s\n",
+		sc.Name, sc.RateQPS, sc.Duration, addr)
+
+	interval := time.Duration(float64(time.Second) / sc.RateQPS)
+	samples := make(chan loadSample, 4096)
+	var collected []loadSample
+	done := make(chan struct{})
+	go func() {
+		for s := range samples {
+			collected = append(collected, s)
+		}
+		close(done)
+	}()
+
+	var wg sync.WaitGroup
+	sent := 0
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	for time.Since(start) < sc.Duration {
+		<-ticker.C
+		qi := cycle[sent%len(cycle)]
+		sent++
+		wg.Add(1)
+		go func(qi int) {
+			defer wg.Done()
+			q := sc.Queries[qi]
+			t0 := time.Now()
+			_, _, err := serverQuery(client, addr, q.SQL, q.Params)
+			samples <- loadSample{query: qi, latency: time.Since(t0), err: err != nil}
+		}(qi)
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(samples)
+	<-done
+
+	report := buildReport(sc, addr, sent, elapsed, collected)
+	fmt.Fprintf(os.Stderr, "load: %d sent, %d ok, %d errors, %.1f qps achieved, p50 %s p99 %s\n",
+		report.Sent, report.OK, report.Errors, report.AchievedQPS,
+		time.Duration(report.Latency.P50Us)*time.Microsecond,
+		time.Duration(report.Latency.P99Us)*time.Microsecond)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if jsonOut == "" || jsonOut == "-" {
+		os.Stdout.Write(data)
+		return nil
+	}
+	return os.WriteFile(jsonOut, data, 0o644)
+}
+
+// buildReport aggregates the samples into the committed JSON shape.
+func buildReport(sc Scenario, addr string, sent int, elapsed time.Duration, samples []loadSample) LoadReport {
+	report := LoadReport{
+		Scenario:  sc.Name,
+		Addr:      addr,
+		TargetQPS: sc.RateQPS,
+		DurationS: elapsed.Seconds(),
+		Sent:      sent,
+	}
+	var all []time.Duration
+	perQuery := make([][]time.Duration, len(sc.Queries))
+	perSent := make([]int, len(sc.Queries))
+	perErr := make([]int, len(sc.Queries))
+	for _, s := range samples {
+		perSent[s.query]++
+		if s.err {
+			report.Errors++
+			perErr[s.query]++
+			continue
+		}
+		report.OK++
+		all = append(all, s.latency)
+		perQuery[s.query] = append(perQuery[s.query], s.latency)
+	}
+	if elapsed > 0 {
+		report.AchievedQPS = float64(report.OK) / elapsed.Seconds()
+	}
+	report.Latency = summarise(all)
+	for i, q := range sc.Queries {
+		report.PerQuery = append(report.PerQuery, QueryReport{
+			Name:    q.Name,
+			Sent:    perSent[i],
+			OK:      perSent[i] - perErr[i],
+			Errors:  perErr[i],
+			Latency: summarise(perQuery[i]),
+		})
+	}
+	return report
+}
+
+// summarise sorts and extracts the percentile block.
+func summarise(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(lat)-1))
+		return lat[i].Microseconds()
+	}
+	var sum time.Duration
+	for _, l := range lat {
+		sum += l
+	}
+	return LatencySummary{
+		P50Us:  pct(0.50),
+		P90Us:  pct(0.90),
+		P99Us:  pct(0.99),
+		MaxUs:  lat[len(lat)-1].Microseconds(),
+		MeanUs: (sum / time.Duration(len(lat))).Microseconds(),
+	}
+}

@@ -27,6 +27,20 @@
 // runners, so the default slack is generous; tighten it on quiet
 // hardware). This is the CI perf gate: telemetry is always on, so a pass
 // means the serving path carries its metrics within the envelope.
+//
+// Two further suites target a LIVE server over HTTP (start one with
+// hique-server -tpch 0.01), modeled on cri-tools' critest/benchmark
+// split:
+//
+//	hique-bench -suite conformance -addr http://localhost:8080 -sf 0.01
+//	    differential end-to-end conformance: TPC-H (golden row counts at
+//	    SF 0.01) plus a feature-matrix corpus, every query answered by
+//	    both the server and an in-process reference build of the same
+//	    catalogue; one PASS/FAIL line per case, non-zero exit on failure.
+//	hique-bench -suite load -addr http://localhost:8080 -json BENCH_load.json
+//	    open-loop load generator: weighted query mix (built-in TPC-H
+//	    serving mix, or a -scenario JSON file) fired at -rate qps for
+//	    -duration, reporting achieved QPS and latency percentiles.
 package main
 
 import (
@@ -56,10 +70,27 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "microbenchmark scale relative to the paper's workloads (1.0 = paper size)")
 	sf := flag.Float64("sf", 0.1, "TPC-H scale factor (1.0 = paper size, ~6M lineitems)")
 	jsonOut := flag.String("json", "", "run the serving micro-benchmarks and write JSON results to this file (\"-\" for stdout)")
-	suite := flag.String("suite", "serving", "micro-benchmark suite for -json: serving (BENCH_serving.json) or parallel (BENCH_parallel.json, morsel-driven execution at 1/2/4/8 workers)")
+	suite := flag.String("suite", "serving", "suite to run: serving / parallel (micro-benchmarks for -json), conformance (differential end-to-end vs a live server at -addr), load (open-loop HTTP load generator)")
 	gate := flag.String("gate", "", "compare warm-path results against this BENCH_*.json snapshot and fail on regression")
 	gateSlack := flag.Float64("gate-slack", 2.0, "latency regression factor tolerated by -gate (allocs are gated exactly)")
+	addr := flag.String("addr", "http://localhost:8080", "live hique-server base URL for -suite conformance / load")
+	scenario := flag.String("scenario", "", "scenario JSON file for -suite load (empty = built-in TPC-H serving mix)")
+	rate := flag.Float64("rate", 0, "target request rate in qps for -suite load (0 = scenario default)")
+	duration := flag.Duration("duration", 0, "wall-clock run length for -suite load (0 = scenario default)")
 	flag.Parse()
+
+	switch *suite {
+	case "conformance":
+		if err := runConformance(*addr, *sf); err != nil {
+			fatal(err)
+		}
+		return
+	case "load":
+		if err := runLoad(*addr, *scenario, *rate, *duration, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *jsonOut != "" || *gate != "" {
 		var results []serving.MicroResult
@@ -74,7 +105,7 @@ func main() {
 			}
 			results = serving.Parallel()
 		default:
-			fatal(fmt.Errorf("unknown suite %q (serving, parallel)", *suite))
+			fatal(fmt.Errorf("unknown suite %q (serving, parallel, conformance, load)", *suite))
 		}
 		if *jsonOut != "" {
 			data, err := json.MarshalIndent(results, "", "  ")

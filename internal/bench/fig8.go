@@ -10,8 +10,9 @@ import (
 	"hique/internal/volcano"
 )
 
-// Fig8 reproduces the TPC-H comparison (Figures 8a–8c): Queries 1, 3 and
-// 10 across the four engine design points. The stand-ins (DESIGN.md):
+// Fig8 reproduces the TPC-H comparison (Figures 8a–8c): every supported
+// TPC-H query (tpch.QueryNumbers) across the four engine design points.
+// The stand-ins (DESIGN.md):
 //
 //	PostgreSQL -> generic iterator engine (NSM + interpreted Volcano)
 //	System X   -> optimized iterator engine (NSM + specialised iterators)
@@ -33,10 +34,14 @@ func Fig8(sf float64) Result {
 		"HIQUE (holistic)",
 	}
 
+	header := []string{"System"}
+	for _, n := range tpch.QueryNumbers() {
+		header = append(header, fmt.Sprintf("Q%d", n))
+	}
 	res := Result{
 		ID:     "Fig8",
-		Title:  fmt.Sprintf("TPC-H Queries 1, 3, 10 at SF %.2f (seconds)", sf),
-		Header: []string{"System", "Q1", "Q3", "Q10"},
+		Title:  fmt.Sprintf("TPC-H queries at SF %.2f (seconds)", sf),
+		Header: header,
 	}
 
 	// Warm the DSM engine's vertical decomposition outside timing: a

@@ -108,6 +108,13 @@ func Generate(p *plan.Plan, level OptLevel) (*CompiledQuery, error) {
 				q.Fused = true
 				break
 			}
+			// N-way left-deep chains: prefix joins through core's staged
+			// operators, the final join + tail in one fused loop.
+			if fc := newFusedChain(p); fc != nil {
+				q.run = fc.run
+				q.Fused = true
+				break
+			}
 		}
 		eng := core.NewEngine()
 		q.run = func(params []types.Datum) (*storage.Table, error) {

@@ -1,0 +1,182 @@
+// Chained-join fused pipelines: N-way left-deep plans (TPC-H Q3's
+// customer⋈orders⋈lineitem, Q10's four-way chain) extend the two-table
+// fused pipeline of fused_join.go. The prefix joins run through core's
+// staged operators — the exact stage/join algorithms the general walk
+// uses, so every intermediate is byte-identical to what that walk would
+// materialise — and the *final* join plus the whole aggregation, ORDER
+// BY, and LIMIT tail compiles into the single fused
+// probe→join→aggregate→emit loop, with the pipeline's left side staged
+// from the last intermediate instead of a base table. The expensive end
+// of an analytical chain (the final join usually sees the largest
+// inputs, and the tail folds the aggregation into its loop) is where
+// fusion pays; the prefix keeps the general algorithms and their
+// operator-at-a-time materialisation.
+//
+// Like every fused path this is an execution strategy, never a semantic
+// fork: results stay byte-identical to the general engines, row order
+// included. Shapes outside the chain decline gracefully (return nil)
+// and take the general walk: join teams (one join descriptor with more
+// than two inputs), bushy trees, parameterized plans (the prefix runs
+// through core's descriptors, which would need a bound copy), traced
+// executions (EXPLAIN ANALYZE observes per-operator stages), and any
+// final join or tail the two-table pipeline itself cannot claim.
+
+package codegen
+
+import (
+	"hique/internal/core"
+	"hique/internal/plan"
+	"hique/internal/storage"
+	"hique/internal/types"
+)
+
+// fusedChain is the compiled N-way pipeline: core-run prefix joins
+// feeding one fused final join + tail.
+type fusedChain struct {
+	p     *plan.Plan
+	final *fusedJoin
+}
+
+// newFusedChain compiles the chained pipeline, or returns nil when the
+// plan's shape needs the general operator walk.
+func newFusedChain(p *plan.Plan) *fusedChain {
+	k := len(p.Joins)
+	if k < 2 || len(p.Having) > 0 || p.Trace != nil || len(p.Params) > 0 {
+		return nil
+	}
+	// Left-deep chain: join 0 reads two base tables; join i>0 reads join
+	// i-1 on exactly one side and a base table on the other.
+	for i := range p.Joins {
+		j := p.Joins[i]
+		if len(j.Inputs) != 2 || len(j.Keys) != 2 {
+			return nil
+		}
+		chainFed := 0
+		for s := range j.Inputs {
+			in := j.Inputs[s].Input
+			if in.Base >= 0 {
+				continue
+			}
+			if in.Join != i-1 {
+				return nil
+			}
+			chainFed++
+		}
+		if (i == 0 && chainFed != 0) || (i > 0 && chainFed != 1) {
+			return nil
+		}
+	}
+	// The tail must consume the last join.
+	switch {
+	case p.Agg != nil:
+		if p.Agg.Input.Input.Join != k-1 {
+			return nil
+		}
+	case p.Final != nil:
+		if p.Final.Input.Join != k-1 {
+			return nil
+		}
+	default:
+		return nil
+	}
+	if !chainJoinEligible(p.Joins[k-1], k-1) {
+		return nil
+	}
+	f := compileFusedJoin(p, k-1, true)
+	if f == nil {
+		return nil
+	}
+	return &fusedChain{p: p, final: f}
+}
+
+// chainJoinEligible mirrors plan.Join.FusionEligible for the chain's
+// final join, where one input reads the previous join's output instead
+// of a base table: staging must match the algorithm and every staged
+// column must be a direct copy.
+func chainJoinEligible(j *plan.Join, ji int) bool {
+	if len(j.Inputs) != 2 || len(j.Keys) != 2 {
+		return false
+	}
+	for i := range j.Inputs {
+		st := &j.Inputs[i]
+		if st.Input.Base < 0 && st.Input.Join != ji-1 {
+			return false
+		}
+		switch j.Alg {
+		case plan.MergeJoin:
+			if st.Action != plan.StageSort {
+				return false
+			}
+		case plan.HybridJoin:
+			if st.Action != plan.StagePartitionCoarse || st.Partitions <= 0 {
+				return false
+			}
+		case plan.FinePartitionJoin:
+			if st.Action != plan.StagePartitionFine || len(st.FineValues) == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+		for k := range st.Cols {
+			if st.Cols[k].Source < 0 || st.Cols[k].Compute != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// run executes the chain: prefix joins through core's staged operators,
+// then the fused final pipeline over the last intermediate. The caller
+// owns the returned table and releases it after draining; the prefix
+// intermediates are plain (GC-managed) tables, exactly as core's walk
+// materialises them.
+func (c *fusedChain) run(params []types.Datum) (*storage.Table, error) {
+	p := c.p
+	if err := p.CheckArgs(params); err != nil {
+		return nil, err
+	}
+	if p.Limit == 0 {
+		return storage.NewPooledTable("result", c.final.outSchema), nil
+	}
+	last := len(p.Joins) - 1
+	joinOut := make([]*storage.Table, last)
+	resolve := func(ref plan.InputRef) *storage.Table {
+		if ref.Base >= 0 {
+			return p.Tables[ref.Base].Entry.Table
+		}
+		return joinOut[ref.Join]
+	}
+	for ji := 0; ji < last; ji++ {
+		j := p.Joins[ji]
+		staged := make([]*core.Staged, len(j.Inputs))
+		fail := func(err error) (*storage.Table, error) {
+			for _, s := range staged {
+				if s != nil {
+					s.Release()
+				}
+			}
+			return nil, err
+		}
+		for i := range j.Inputs {
+			st := &j.Inputs[i]
+			in, err := core.ApplyIndexScan(p, st, resolve(st.Input))
+			if err != nil {
+				return fail(err)
+			}
+			if staged[i], err = core.RunStage(st, in); err != nil {
+				return fail(err)
+			}
+		}
+		out, err := core.RunJoin(j, staged)
+		for _, s := range staged {
+			s.Release()
+		}
+		if err != nil {
+			return nil, err
+		}
+		joinOut[ji] = out
+	}
+	return c.final.runWith(params, joinOut[last-1])
+}

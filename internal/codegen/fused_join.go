@@ -46,7 +46,11 @@ type copyRange struct{ srcOff, dstOff, size int }
 // index probe, or ordered index traversal), the residual predicates, the
 // staging projection, and the key/partition geometry.
 type fusedSide struct {
-	base    int // index into Plan.Tables
+	base int // index into Plan.Tables; -1 for a chain-fed side
+	// chain marks a side staged from the previous join's materialised
+	// output (fusedChain's final pipeline) instead of a base table; the
+	// table arrives through the execution scratch.
+	chain   bool
 	preds   []fusedPred
 	project func(src, dst []byte)
 	schema  *types.Schema
@@ -333,6 +337,10 @@ type joinScratch struct {
 	lastPtr [2]*byte
 	lastG   [2]int32
 
+	// chainIn feeds a chain-fed side (fusedSide.chain): the previous
+	// join's materialised output, set per execution by fusedChain.run.
+	chainIn *storage.Table
+
 	// par is the morsel-phase state for parallel executions (staging
 	// scans and the partition-wise join loop reuse it sequentially);
 	// chunkMaps holds each partition chunk's map-aggregation accumulator
@@ -353,17 +361,40 @@ func newFusedJoin(p *plan.Plan) *fusedJoin {
 	if len(p.Tables) != 2 || len(p.Joins) != 1 {
 		return nil
 	}
-	j := p.Joins[0]
-	if !j.FusionEligible() {
+	// HAVING filters between aggregation and the sort; the fused pipeline
+	// has no slot for it, so the general walk (which applies it) executes.
+	if len(p.Having) > 0 {
 		return nil
 	}
+	if !p.Joins[0].FusionEligible() {
+		return nil
+	}
+	return compileFusedJoin(p, 0, false)
+}
+
+// compileFusedJoin compiles join ji and the plan tail into the fused
+// two-input pipeline. The caller has already vetted the structural shape:
+// newFusedJoin via Join.FusionEligible for the base-table case, and
+// newFusedChain via chainJoinEligible when chained is set — there the
+// side reading the previous join's output stages from a materialised
+// intermediate supplied at run time, and the whole pipeline stays serial.
+func compileFusedJoin(p *plan.Plan, ji int, chained bool) *fusedJoin {
+	j := p.Joins[ji]
 	f := &fusedJoin{p: p, alg: j.Alg, limit: p.Limit, traced: p.Trace != nil}
 	for i := 0; i < 2; i++ {
 		st := &j.Inputs[i]
 		s := &f.sides[i]
 		s.base = st.Input.Base
-		entry := p.Tables[s.base].Entry
-		in := entry.Table.Schema()
+		var in *types.Schema
+		if s.base >= 0 {
+			in = p.Tables[s.base].Entry.Table.Schema()
+		} else {
+			s.chain = true
+			in = p.Joins[st.Input.Join].Schema
+			if st.IndexScan != nil {
+				return nil // index probes only reach base tables
+			}
+		}
 		preds, ok := compileFusedPreds(in, st.Filters)
 		if !ok {
 			return nil
@@ -389,7 +420,8 @@ func newFusedJoin(p *plan.Plan) *fusedJoin {
 			// side, the ordered leaf traversal replaces the sort: tuples
 			// arrive in exactly the order the sort would establish
 			// (uniqueness means no ties, so no permutation ambiguity).
-			if len(st.Filters) == 0 && st.IndexScan == nil {
+			if !s.chain && len(st.Filters) == 0 && st.IndexScan == nil {
+				entry := p.Tables[s.base].Entry
 				kc := st.Cols[s.key].Source
 				name := in.Column(kc).Name
 				stats := &entry.Stats
@@ -432,7 +464,7 @@ func newFusedJoin(p *plan.Plan) *fusedJoin {
 	switch {
 	case p.Agg != nil:
 		f.tailCopy, f.tailDirect = makeTailCopy(j, p.Agg.Input.Cols, p.Agg.Input.Schema)
-		fa := newFusedAgg(p.Agg, j, f.tailDirect)
+		fa := newFusedAgg(p.Agg, j, ji, f.tailDirect)
 		if fa == nil {
 			return nil
 		}
@@ -440,7 +472,7 @@ func newFusedJoin(p *plan.Plan) *fusedJoin {
 		f.outSchema = p.Agg.Schema
 	case p.Final != nil:
 		st := p.Final
-		if st.Input.Base >= 0 || st.Input.Join != 0 ||
+		if st.Input.Base >= 0 || st.Input.Join != ji ||
 			st.Action != plan.StageNone || len(st.Filters) != 0 || st.IndexScan != nil {
 			return nil
 		}
@@ -466,12 +498,12 @@ func newFusedJoin(p *plan.Plan) *fusedJoin {
 	for i := 0; i < 2; i++ {
 		s := &f.sides[i]
 		s.par = 1
-		if s.idx == nil && s.orderedCol == "" {
+		if !chained && s.idx == nil && s.orderedCol == "" {
 			s.par = parallelWorkers(p, p.Tables[s.base].Entry.Stats.Rows)
 		}
 	}
 	f.parJoin = 1
-	if (f.alg == plan.HybridJoin || f.alg == plan.FinePartitionJoin) &&
+	if !chained && (f.alg == plan.HybridJoin || f.alg == plan.FinePartitionJoin) &&
 		(f.agg == nil || f.agg.mapped) {
 		est := f.sides[0].estRows
 		if f.sides[1].estRows > est {
@@ -506,12 +538,12 @@ func projectableCols(cols []plan.OutputColumn) bool {
 // column is a plain copy of a join input column, which lets map
 // aggregation bind its directory lookups and updates to the staged side
 // tuples directly.
-func newFusedAgg(a *plan.Agg, j *plan.Join, tailDirect bool) *fusedAgg {
+func newFusedAgg(a *plan.Agg, j *plan.Join, ji int, tailDirect bool) *fusedAgg {
 	if !a.FusionEligible() {
 		return nil
 	}
 	st := &a.Input
-	if st.Input.Base >= 0 || st.Input.Join != 0 || len(st.Filters) != 0 || st.IndexScan != nil {
+	if st.Input.Base >= 0 || st.Input.Join != ji || len(st.Filters) != 0 || st.IndexScan != nil {
 		return nil
 	}
 	if !projectableCols(st.Cols) {
@@ -700,7 +732,10 @@ func (fa *fusedAgg) compileMapUpdates(a *plan.Agg, schema *types.Schema, at func
 			if isFloat {
 				fn = func(m *mapState, base int, t []byte) { m.sumF[base+idx] += types.GetFloat(t, off); m.cnt[base+idx]++ }
 			} else {
-				fn = func(m *mapState, base int, t []byte) { m.sumF[base+idx] += float64(types.GetInt(t, off)); m.cnt[base+idx]++ }
+				fn = func(m *mapState, base int, t []byte) {
+					m.sumF[base+idx] += float64(types.GetInt(t, off))
+					m.cnt[base+idx]++
+				}
 			}
 		case sql.AggCount:
 			fn = func(m *mapState, base int, t []byte) { m.cnt[base+idx]++ }
@@ -820,6 +855,13 @@ func (fa *fusedAgg) emitGroup(st *aggState, out *storage.Table) {
 // table draws its pages from the storage arena; the caller owns it and
 // releases it after draining.
 func (f *fusedJoin) run(params []types.Datum) (*storage.Table, error) {
+	return f.runWith(params, nil)
+}
+
+// runWith is run with an optional chain input: the previous join's
+// materialised output feeding the pipeline's chain-fed side (nil for the
+// plain two-table pipeline).
+func (f *fusedJoin) runWith(params []types.Datum, chainIn *storage.Table) (*storage.Table, error) {
 	if err := f.p.CheckArgs(params); err != nil {
 		return nil, err
 	}
@@ -840,7 +882,9 @@ func (f *fusedJoin) run(params []types.Datum) (*storage.Table, error) {
 		}
 	}()
 	sc := joinScratchPool.Get().(*joinScratch)
+	sc.chainIn = chainIn
 	f.exec(sc, params, out)
+	sc.chainIn = nil
 	joinScratchPool.Put(sc)
 
 	if f.sortCmp != nil {
@@ -1349,8 +1393,6 @@ func (f *fusedJoin) mergeJoin(sc *joinScratch, in0, in1 [][]byte, out *storage.T
 // tuples are already in key order (the ordered index traversal).
 func (f *fusedJoin) stageSide(sc *joinScratch, i int, params []types.Datum, par *bool) bool {
 	s := &f.sides[i]
-	entry := f.p.Tables[s.base].Entry
-	t := entry.Table
 	sc.arena[i] = sc.arena[i][:0]
 	sc.partIdx[i] = sc.partIdx[i][:0]
 	sc.rows[i] = 0
@@ -1358,6 +1400,14 @@ func (f *fusedJoin) stageSide(sc *joinScratch, i int, params []types.Datum, par 
 		sc.arena[i] = make([]byte, 0, want)
 	}
 
+	if s.chain {
+		// Chain-fed side: the previous join's materialised output; no
+		// indexes exist over it, so it always stages by serial scan.
+		f.scanSide(sc, i, sc.chainIn, params)
+		return false
+	}
+	entry := f.p.Tables[s.base].Entry
+	t := entry.Table
 	if s.idx != nil {
 		if tree := entry.Index(s.idx.Column); tree != nil {
 			f.probeSide(sc, i, tree, t, params)

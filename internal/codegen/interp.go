@@ -119,6 +119,23 @@ func runO0(p *plan.Plan) (*storage.Table, error) {
 		return nil, fmt.Errorf("codegen: empty plan")
 	}
 
+	if len(p.Having) > 0 {
+		kept := rows.rows[:0:0]
+		for _, r := range rows.rows {
+			ok := true
+			for _, h := range p.Having {
+				if !h.Op.Holds(types.Compare(r[h.Col], h.Val)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows.rows = kept
+	}
+
 	if p.Sort != nil {
 		if tr != nil {
 			t0 = time.Now()

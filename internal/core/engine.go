@@ -6,6 +6,7 @@ import (
 
 	"hique/internal/plan"
 	"hique/internal/storage"
+	"hique/internal/types"
 )
 
 // Engine is the holistic query engine: it walks the optimizer's operator
@@ -140,7 +141,33 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 		return nil, fmt.Errorf("core: plan has neither aggregation nor final projection")
 	}
 
+	result, resultOwned = applyHaving(p, result, resultOwned)
 	return finishResult(p, result, resultOwned), nil
+}
+
+// applyHaving filters aggregated groups against the plan's HAVING
+// conjunction, between aggregation and the final sort, exactly where the
+// other engines apply it. The filtered copy draws from the arena; the
+// replaced result is released when this execution owned it.
+func applyHaving(p *plan.Plan, result *storage.Table, owned bool) (*storage.Table, bool) {
+	if len(p.Having) == 0 {
+		return result, owned
+	}
+	s := result.Schema()
+	out := storage.NewPooledTable("result", s)
+	result.Scan(func(t []byte) bool {
+		for _, h := range p.Having {
+			if !h.Op.Holds(types.Compare(s.GetDatum(t, h.Col), h.Val)) {
+				return true
+			}
+		}
+		out.Append(t)
+		return true
+	})
+	if owned {
+		result.Release()
+	}
+	return out, true
 }
 
 // finishResult applies the shared final-ordering and LIMIT tail: sort

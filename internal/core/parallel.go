@@ -123,6 +123,7 @@ func (e *ParallelEngine) Execute(p *plan.Plan) (*storage.Table, error) {
 		return nil, fmt.Errorf("core: plan has neither aggregation nor final projection")
 	}
 
+	result, resultOwned = applyHaving(p, result, resultOwned)
 	return finishResult(p, result, resultOwned), nil
 }
 

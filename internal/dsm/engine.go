@@ -88,6 +88,36 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 			tr.Observe(plan.TraceStageSort, n, n, time.Since(t0))
 		}
 	}
+	// HAVING filters the order vector: sortOrder is stable, so filtering
+	// after the sort keeps exactly the rows (and row order) that filtering
+	// before it would have produced, and LIMIT below truncates the
+	// surviving groups only.
+	if len(p.Having) > 0 {
+		kept := order[:0:0]
+		for _, r := range order {
+			ok := true
+			for _, h := range p.Having {
+				col := result.cols[h.Col]
+				var c int
+				switch col.kind {
+				case types.Float:
+					c = compareFloat(col.fls[r], h.Val.F)
+				case types.String:
+					c = compareString(col.strs[r], h.Val.S)
+				default:
+					c = compareInt(col.ints[r], h.Val.I)
+				}
+				if !h.Op.Holds(c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		order = kept
+	}
 	if p.Limit >= 0 && len(order) > p.Limit {
 		order = order[:p.Limit]
 	}

@@ -51,7 +51,9 @@ func engines() []engine {
 		volcano.NewGeneric(),
 		volcano.NewOptimized(),
 		dsm.NewEngine(),
-		core.NewParallelEngine(3),
+		core.NewParallelEngine(1),
+		core.NewParallelEngine(2),
+		core.NewParallelEngine(8),
 	}
 }
 
@@ -124,6 +126,28 @@ var corpus = []string{
 	// Three-way join team on a shared key class.
 	"SELECT id, bucket, weight FROM ev, dm, xt WHERE ev.k = dm.k2 AND dm.k2 = xt.k3 ORDER BY id, weight LIMIT 500",
 	"SELECT bucket, SUM(weight) AS w FROM ev, dm, xt WHERE ev.k = dm.k2 AND dm.k2 = xt.k3 GROUP BY bucket ORDER BY w DESC",
+	// N-way chain on distinct key classes (no join team possible): the
+	// planner must order the binary joins off catalogue estimates.
+	"SELECT id, weight FROM ev, dm, xt WHERE ev.k = dm.k2 AND xt.k3 = dm.bucket ORDER BY id, weight LIMIT 400",
+	"SELECT bucket, COUNT(*) AS n FROM ev, dm, xt WHERE ev.k = dm.k2 AND xt.k3 = dm.bucket GROUP BY bucket ORDER BY bucket",
+	// Explicit JOIN ... ON syntax desugars to the comma form.
+	"SELECT id, bucket FROM ev JOIN dm ON ev.k = dm.k2 WHERE grp < 6 ORDER BY id",
+	"SELECT id, bucket, weight FROM ev INNER JOIN dm ON ev.k = dm.k2 JOIN xt ON dm.k2 = xt.k3 ORDER BY id, weight LIMIT 200",
+	// BETWEEN desugars into a pair of range predicates.
+	"SELECT id FROM ev WHERE price BETWEEN 20.0 AND 30.0 ORDER BY id",
+	"SELECT id FROM ev WHERE day BETWEEN 10050 AND 10100 AND grp BETWEEN 2 AND 5",
+	// HAVING: post-aggregation filters resolved by alias or by the
+	// rendered aggregate expression.
+	"SELECT grp, COUNT(*) AS n FROM ev GROUP BY grp HAVING n > 300 ORDER BY grp",
+	"SELECT tag, SUM(price) AS total FROM ev GROUP BY tag HAVING SUM(price) > 1000.0 ORDER BY total DESC",
+	"SELECT grp, COUNT(*) AS n FROM ev GROUP BY grp HAVING n BETWEEN 100 AND 400 ORDER BY grp",
+	"SELECT bucket, COUNT(*) AS n FROM ev, dm WHERE ev.k = dm.k2 GROUP BY bucket HAVING n >= 10 AND bucket < 9 ORDER BY bucket",
+	// ORDER BY an aggregate expression rather than its alias.
+	"SELECT tag, SUM(price) AS total FROM ev GROUP BY tag ORDER BY SUM(price) DESC",
+	// Group-less aggregation behind range predicates (the Q6 shape).
+	"SELECT SUM(price * price) AS s FROM ev WHERE day >= 10010 AND day < 10200 AND price BETWEEN 10.0 AND 70.0",
+	// Integer arithmetic in projections.
+	"SELECT id, grp + 1 AS g1, id - grp AS d FROM ev WHERE id < 500 ORDER BY id",
 }
 
 // canonical renders a result as a sorted multiset of row strings.

@@ -72,6 +72,9 @@ func BuildWithOptions(stmt *sql.SelectStmt, cat *catalog.Catalog, opts Options) 
 	if err := b.planOutput(); err != nil {
 		return nil, err
 	}
+	if err := b.planHaving(); err != nil {
+		return nil, err
+	}
 	if err := b.planSort(); err != nil {
 		return nil, err
 	}
@@ -272,6 +275,85 @@ func isConstOperand(e sql.Expr) bool {
 	return isLiteral(e)
 }
 
+// constOperand resolves a filter's comparison operand — a '?' placeholder
+// passes through, and arithmetic over literals folds to a single literal,
+// so predicates like l_shipdate <= DATE '1998-12-01' - 90 bake to a plain
+// constant at plan time. Returns nil when the operand is not constant.
+func constOperand(e sql.Expr) sql.Expr {
+	if _, ok := e.(*sql.Param); ok {
+		return e
+	}
+	return foldConst(e)
+}
+
+// foldConst evaluates an arithmetic expression over literals to a single
+// literal, mirroring ArithExpr's promotion rules: the result is Float when
+// either side is Float or the operator is division, integer otherwise.
+// DATE literals participate as their day numbers (ColExpr of Date kind
+// behaves the same way under ArithExpr), so the folded integer coerces
+// against Date columns through literalDatum exactly as a DateLit would.
+// Returns nil when the expression is not constant.
+func foldConst(e sql.Expr) sql.Expr {
+	switch v := e.(type) {
+	case *sql.IntLit, *sql.FloatLit, *sql.StringLit, *sql.DateLit:
+		return e
+	case *sql.BinaryExpr:
+		l, r := foldConst(v.Left), foldConst(v.Right)
+		if l == nil || r == nil {
+			return nil
+		}
+		li, lf, lFloat, ok := litNum(l)
+		if !ok {
+			return nil
+		}
+		ri, rf, rFloat, ok := litNum(r)
+		if !ok {
+			return nil
+		}
+		if lFloat || rFloat || v.Op == sql.OpDiv {
+			var f float64
+			switch v.Op {
+			case sql.OpAdd:
+				f = lf + rf
+			case sql.OpSub:
+				f = lf - rf
+			case sql.OpMul:
+				f = lf * rf
+			case sql.OpDiv:
+				if rf == 0 {
+					return nil
+				}
+				f = lf / rf
+			}
+			return &sql.FloatLit{Value: f}
+		}
+		var n int64
+		switch v.Op {
+		case sql.OpAdd:
+			n = li + ri
+		case sql.OpSub:
+			n = li - ri
+		case sql.OpMul:
+			n = li * ri
+		}
+		return &sql.IntLit{Value: n}
+	}
+	return nil
+}
+
+// litNum decodes a numeric literal as both integer and float views.
+func litNum(e sql.Expr) (i int64, f float64, isFloat, ok bool) {
+	switch v := e.(type) {
+	case *sql.IntLit:
+		return v.Value, float64(v.Value), false, true
+	case *sql.FloatLit:
+		return 0, v.Value, true, true
+	case *sql.DateLit:
+		return v.Days, float64(v.Days), false, true
+	}
+	return 0, 0, false, false
+}
+
 // classifyPredicates splits WHERE conjuncts into per-table selections and
 // equi-join edges, and computes join-key equivalence classes.
 func (b *builder) classifyPredicates() error {
@@ -301,12 +383,20 @@ func (b *builder) classifyPredicates() error {
 				return fmt.Errorf("plan: join key kind mismatch in %s", p)
 			}
 			b.edges = append(b.edges, joinEdge{lt, lc, rt, rc})
-		case lIsCol && isConstOperand(p.Right):
-			if err := b.addFilter(lCol, p.Op, p.Right); err != nil {
+		case lIsCol:
+			operand := constOperand(p.Right)
+			if operand == nil {
+				return fmt.Errorf("plan: unsupported predicate %s", p)
+			}
+			if err := b.addFilter(lCol, p.Op, operand); err != nil {
 				return err
 			}
-		case rIsCol && isConstOperand(p.Left):
-			if err := b.addFilter(rCol, p.Op.Flip(), p.Left); err != nil {
+		case rIsCol:
+			operand := constOperand(p.Left)
+			if operand == nil {
+				return fmt.Errorf("plan: unsupported predicate %s", p)
+			}
+			if err := b.addFilter(rCol, p.Op.Flip(), operand); err != nil {
 				return err
 			}
 		default:

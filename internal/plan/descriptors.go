@@ -341,6 +341,21 @@ func (a *Agg) FusionEligible() bool {
 	return false
 }
 
+// HavingFilter is one HAVING conjunct, resolved against the aggregated
+// result schema: result column Col compared against the baked constant
+// Val. Engines apply the conjunction after aggregation and before the
+// final sort; the comparison delegates to CmpOp.Holds over types.Compare,
+// so every engine filters groups identically.
+type HavingFilter struct {
+	Col int
+	Op  sql.CmpOp
+	Val types.Datum
+}
+
+func (h HavingFilter) String() string {
+	return fmt.Sprintf("col%d %s %v", h.Col, h.Op, h.Val)
+}
+
 // SortKey is one ORDER BY key over the final result schema.
 type SortKey struct {
 	Col  int
@@ -381,6 +396,11 @@ type Plan struct {
 
 	// Agg is the aggregation operator, if the query aggregates.
 	Agg *Agg
+
+	// Having filters aggregated groups (conjunction over the result
+	// schema), applied after Agg and before Sort/Limit. Always empty when
+	// Agg is nil.
+	Having []HavingFilter
 
 	// Final is the select-shaped projection stage for queries without
 	// aggregation (reads the last join's output or the single base
@@ -445,6 +465,13 @@ func (p *Plan) Explain() string {
 		fmt.Fprintf(&b, "Aggregate: %s groups=%d aggs=%d (est %.0f groups)\n",
 			p.Agg.Alg, len(p.Agg.GroupCols), len(p.Agg.Aggs), p.Agg.EstGroups)
 		fmt.Fprintf(&b, "  input: %s stage=%s\n", p.Agg.Input.Input, p.Agg.Input.Action)
+	}
+	if len(p.Having) > 0 {
+		parts := make([]string, len(p.Having))
+		for i, h := range p.Having {
+			parts[i] = h.String()
+		}
+		fmt.Fprintf(&b, "Having: %s\n", strings.Join(parts, " AND "))
 	}
 	if p.Final != nil {
 		fmt.Fprintf(&b, "Project: %s -> %d cols\n", p.Final.Input, len(p.Final.Cols))

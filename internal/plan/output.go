@@ -381,42 +381,94 @@ func (b *builder) configureAggStaging(agg *Agg, st *Stage) {
 	}
 }
 
-// planSort resolves ORDER BY items against the result schema.
+// planSort resolves ORDER BY items against the result schema: column
+// references match output aliases and schema names; any other expression
+// (an aggregate or arithmetic over the select list) matches the select
+// item with identical rendered text, so ORDER BY SUM(x * y) DESC keys on
+// the aggregate's result column.
 func (b *builder) planSort() error {
 	if len(b.stmt.OrderBy) == 0 {
 		return nil
 	}
-	schema := b.plan.ResultSchema()
 	s := &Sort{}
 	for i := range b.stmt.OrderBy {
 		item := &b.stmt.OrderBy[i]
-		col, ok := item.Expr.(*sql.ColRef)
-		if !ok {
-			return fmt.Errorf("plan: ORDER BY supports column references only, found %s", item.Expr)
-		}
-		idx := -1
-		// Match output names (aliases) first.
-		for j, n := range b.plan.OutputNames {
-			if n == col.Column && col.Table == "" {
-				idx = j
-				break
-			}
-		}
+		idx := b.resolveResultColumn(item.Expr)
 		if idx < 0 {
-			// Fall back to schema column names (qualified or not).
-			for j := 0; j < schema.NumColumns(); j++ {
-				n := schema.Column(j).Name
-				if n == col.Column || strings.HasSuffix(n, "."+col.Column) {
-					idx = j
-					break
-				}
-			}
-		}
-		if idx < 0 {
-			return fmt.Errorf("plan: ORDER BY column %s not in result", col)
+			return fmt.Errorf("plan: ORDER BY key %s not in result", item.Expr)
 		}
 		s.Keys = append(s.Keys, SortKey{Col: idx, Desc: item.Desc})
 	}
 	b.plan.Sort = s
+	return nil
+}
+
+// resolveResultColumn maps an expression to the result column it names: a
+// bare identifier matches a select alias first, then a result schema
+// column name (qualified or not); any other expression matches a select
+// item with identical rendered text (SUM(x) in HAVING or ORDER BY finds
+// SUM(x) in the select list — result column j is select item j in both
+// the aggregate and projection paths). Returns -1 when nothing matches.
+func (b *builder) resolveResultColumn(e sql.Expr) int {
+	if col, ok := e.(*sql.ColRef); ok {
+		if col.Table == "" {
+			for j, n := range b.plan.OutputNames {
+				if n == col.Column {
+					return j
+				}
+			}
+		}
+		schema := b.plan.ResultSchema()
+		for j := 0; j < schema.NumColumns(); j++ {
+			n := schema.Column(j).Name
+			if n == col.Column || strings.HasSuffix(n, "."+col.Column) {
+				return j
+			}
+		}
+		return -1
+	}
+	want := strings.ToLower(e.String())
+	for j := range b.stmt.Select {
+		if strings.ToLower(b.stmt.Select[j].Expr.String()) == want {
+			return j
+		}
+	}
+	return -1
+}
+
+// planHaving resolves HAVING conjuncts against the aggregated result
+// schema: one side must name a select output (by alias or by matching
+// expression text), the other must fold to a constant. The planner bakes
+// each conjunct as a HavingFilter the engines apply between aggregation
+// and the final sort.
+func (b *builder) planHaving() error {
+	if len(b.stmt.Having) == 0 {
+		return nil
+	}
+	if b.plan.Agg == nil {
+		return fmt.Errorf("plan: HAVING requires an aggregated query")
+	}
+	schema := b.plan.ResultSchema()
+	for i := range b.stmt.Having {
+		pr := &b.stmt.Having[i]
+		idx, op := -1, pr.Op
+		var operand sql.Expr
+		if j := b.resolveResultColumn(pr.Left); j >= 0 {
+			idx, operand = j, foldConst(pr.Right)
+		} else if j := b.resolveResultColumn(pr.Right); j >= 0 {
+			idx, op, operand = j, pr.Op.Flip(), foldConst(pr.Left)
+		}
+		if idx < 0 {
+			return fmt.Errorf("plan: HAVING condition %s does not reference a select output", pr)
+		}
+		if operand == nil {
+			return fmt.Errorf("plan: HAVING comparison value in %s must be a constant", pr)
+		}
+		d, err := literalDatum(operand, schema.Column(idx).Kind)
+		if err != nil {
+			return err
+		}
+		b.plan.Having = append(b.plan.Having, HavingFilter{Col: idx, Op: op, Val: d})
+	}
 	return nil
 }

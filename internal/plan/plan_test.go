@@ -325,6 +325,132 @@ func TestExplainIsReadable(t *testing.T) {
 	}
 }
 
+// baseInputs collects the Plan.Tables indexes a join reads directly.
+func baseInputs(j *Join) map[int]bool {
+	m := map[int]bool{}
+	for i := range j.Inputs {
+		if b := j.Inputs[i].Input.Base; b >= 0 {
+			m[b] = true
+		}
+	}
+	return m
+}
+
+// TestJoinOrderFollowsEstimates pins the greedy left-deep ordering of
+// planBinaryJoins against the catalogue estimates: the starting pair is
+// the one minimising estimated output, and each later join extends the
+// chain with the cheapest connected table. Table indexes follow FROM
+// order: big=0, fact=1, dim=2.
+func TestJoinOrderFollowsEstimates(t *testing.T) {
+	cat := testCatalog(t)
+
+	// big.x = 5 cuts big to ~200 rows, making big⋈fact (~100 rows) far
+	// cheaper than fact⋈dim (~100k rows): the chain must start there and
+	// bring dim in last.
+	p := buildPlan(t, cat,
+		"SELECT label FROM big, fact, dim WHERE big.fk = fact.fk AND fact.dim_id = dim.dim_id AND big.x = 5")
+	if len(p.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2 (fk and dim_id are distinct key classes)", len(p.Joins))
+	}
+	first := baseInputs(p.Joins[0])
+	if !first[0] || !first[1] {
+		t.Errorf("join[0] reads tables %v, want {big, fact} (filtered big starts the chain)", first)
+	}
+	second := baseInputs(p.Joins[1])
+	if !second[2] || len(second) != 1 {
+		t.Errorf("join[1] reads base tables %v, want only dim", second)
+	}
+	found := false
+	for i := range p.Joins[1].Inputs {
+		if p.Joins[1].Inputs[i].Input.Join == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("join[1] does not consume join[0]: plan is not a left-deep chain")
+	}
+
+	// Flip the selectivity: dim.label = 'L7' makes fact⋈dim the cheap
+	// pair, so the order must reverse.
+	p = buildPlan(t, cat,
+		"SELECT big.x FROM big, fact, dim WHERE big.fk = fact.fk AND fact.dim_id = dim.dim_id AND dim.label = 'L7'")
+	if len(p.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(p.Joins))
+	}
+	first = baseInputs(p.Joins[0])
+	if !first[1] || !first[2] {
+		t.Errorf("join[0] reads tables %v, want {fact, dim} (filtered dim starts the chain)", first)
+	}
+	second = baseInputs(p.Joins[1])
+	if !second[0] || len(second) != 1 {
+		t.Errorf("join[1] reads base tables %v, want only big", second)
+	}
+}
+
+// TestExplainShowsJoinOrderAndHaving locks the Explain rendering the
+// join-order tests (and EXPLAIN users) rely on: one Join line per binary
+// join in execution order, and the HAVING conjunction between the
+// aggregation and the sort lines.
+func TestExplainShowsJoinOrderAndHaving(t *testing.T) {
+	cat := testCatalog(t)
+	p := buildPlan(t, cat,
+		"SELECT grp, COUNT(*) AS n FROM big, fact, dim WHERE big.fk = fact.fk AND fact.dim_id = dim.dim_id AND big.x = 5 GROUP BY grp HAVING n > 3 ORDER BY grp")
+	out := p.Explain()
+	for _, want := range []string{"Join[0]", "Join[1]", "Having: ", "Aggregate:", "Sort:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "Join[0]") > strings.Index(out, "Join[1]") {
+		t.Errorf("Explain lists joins out of execution order:\n%s", out)
+	}
+	if !(strings.Index(out, "Aggregate:") < strings.Index(out, "Having: ") &&
+		strings.Index(out, "Having: ") < strings.Index(out, "Sort:")) {
+		t.Errorf("Explain does not place Having between Aggregate and Sort:\n%s", out)
+	}
+}
+
+// TestHavingPlanning pins the HAVING lowering: conjuncts resolve to
+// result columns by alias or rendered aggregate text, constants fold,
+// and the error cases stay typed plan errors.
+func TestHavingPlanning(t *testing.T) {
+	cat := testCatalog(t)
+	p := buildPlan(t, cat, "SELECT grp, COUNT(*) AS n FROM fact GROUP BY grp HAVING n > 2 + 1")
+	if len(p.Having) != 1 {
+		t.Fatalf("having = %v", p.Having)
+	}
+	h := p.Having[0]
+	if h.Col != 1 || h.Op != sql.CmpGt || h.Val.I != 3 {
+		t.Errorf("having filter = %+v (folded constant expected)", h)
+	}
+
+	p = buildPlan(t, cat, "SELECT grp, SUM(val) AS s FROM fact GROUP BY grp HAVING SUM(val) > 10.5")
+	if len(p.Having) != 1 || p.Having[0].Col != 1 {
+		t.Fatalf("aggregate-text resolution failed: %v", p.Having)
+	}
+
+	// Flipped operand order: constant on the left.
+	p = buildPlan(t, cat, "SELECT grp, COUNT(*) AS n FROM fact GROUP BY grp HAVING 5 < n")
+	if len(p.Having) != 1 || p.Having[0].Op != sql.CmpGt || p.Having[0].Val.I != 5 {
+		t.Fatalf("flipped having = %v", p.Having)
+	}
+
+	bad := []string{
+		"SELECT grp FROM fact HAVING grp > 1",                           // no aggregation
+		"SELECT grp, COUNT(*) AS n FROM fact GROUP BY grp HAVING x > 1", // not a select output
+		"SELECT grp, COUNT(*) AS n FROM fact GROUP BY grp HAVING n > ?", // parameter
+	}
+	for _, q := range bad {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse(%q): %v", q, err)
+		}
+		if _, err := Build(stmt, cat); err == nil {
+			t.Errorf("Build(%q) should fail", q)
+		}
+	}
+}
+
 func TestEvalExpr(t *testing.T) {
 	s := types.NewSchema(types.Col("a", types.Int), types.Col("b", types.Float))
 	tuple := s.EncodeRow(types.IntDatum(10), types.FloatDatum(2.5))

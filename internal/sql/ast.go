@@ -246,6 +246,11 @@ type SelectStmt struct {
 	From    []TableRef
 	Where   []Predicate // implicit conjunction
 	GroupBy []ColRef
+	// Having filters aggregated groups: each conjunct compares a select
+	// output (named by alias or by its rendered expression text) against a
+	// constant. BETWEEN desugars into its two bounding conjuncts at parse
+	// time, exactly as in WHERE.
+	Having  []Predicate
 	OrderBy []OrderItem
 	Limit   int // -1 = no limit
 	// NumParams counts the '?' placeholders in the statement; execution
@@ -286,6 +291,15 @@ func (s *SelectStmt) String() string {
 				b.WriteString(", ")
 			}
 			b.WriteString(s.GroupBy[i].String())
+		}
+	}
+	if len(s.Having) > 0 {
+		b.WriteString(" HAVING ")
+		for i := range s.Having {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(s.Having[i].String())
 		}
 	}
 	if len(s.OrderBy) > 0 {

@@ -353,11 +353,11 @@ func (p *parser) parseWhere() ([]Predicate, error) {
 	}
 	var preds []Predicate
 	for {
-		pred, err := p.parsePredicate()
+		conds, err := p.parseCond()
 		if err != nil {
 			return nil, err
 		}
-		preds = append(preds, *pred)
+		preds = append(preds, conds...)
 		if !p.keyword("and") {
 			break
 		}

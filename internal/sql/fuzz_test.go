@@ -1,6 +1,9 @@
 package sql
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzNormalize checks the lexer-level rewrites the plan cache keys on:
 //
@@ -80,6 +83,74 @@ func FuzzNormalize(f *testing.F) {
 			}
 			if ss.NumParams != len(lifted) {
 				t.Fatalf("shape %q parses to %d params, lift reported %d", shape, ss.NumParams, len(lifted))
+			}
+		}
+	})
+}
+
+// FuzzParseStmt checks the parser itself: no input panics, and for any
+// statement that parses, rendering it with String and re-parsing reaches
+// a fixed point. The printed form is the normal form — JOIN ... ON
+// desugars to comma-FROM conjuncts, BETWEEN to a range pair — so
+// print(parse(q)) must equal print(parse(print(parse(q)))). Seeds cover
+// the full grammar: TPC-H Q1/Q3/Q6/Q10 shapes (N-way joins, expression
+// aggregates, date arithmetic, BETWEEN, HAVING), explicit JOIN syntax,
+// ORDER BY on aggregate expressions, and DML.
+func FuzzParseStmt(f *testing.F) {
+	seeds := []string{
+		// TPC-H shapes.
+		`SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+		   SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+		   AVG(l_discount) AS avg_disc, COUNT(*) AS count_order
+		 FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - 90
+		 GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+		`SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, o_orderdate, o_shippriority
+		 FROM customer, orders, lineitem
+		 WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+		   AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15'
+		 GROUP BY l_orderkey, o_orderdate, o_shippriority ORDER BY revenue DESC, o_orderdate LIMIT 10`,
+		`SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem
+		 WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+		   AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`,
+		// Explicit JOIN ... ON (desugars to comma-FROM + WHERE).
+		"SELECT a.x, b.y FROM a JOIN b ON a.k = b.k WHERE a.x > 3 ORDER BY a.x",
+		"SELECT a.x FROM a INNER JOIN b ON a.k = b.k JOIN c ON b.j = c.j LIMIT 7",
+		// HAVING by alias, by aggregate text, with BETWEEN.
+		"SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING n > 3 ORDER BY g",
+		"SELECT g, SUM(v) AS s FROM t GROUP BY g HAVING SUM(v) > 10.5 AND g <> 2",
+		"SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING n BETWEEN 2 AND 9",
+		// ORDER BY an aggregate expression.
+		"SELECT g, SUM(v) FROM t GROUP BY g ORDER BY SUM(v) DESC",
+		// Parameters keep their textual order through the desugar.
+		"SELECT a.x FROM a JOIN b ON a.k = b.k WHERE a.x > ? AND b.y = ?",
+		// DML.
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+		"UPDATE t SET v = 9 WHERE g BETWEEN 1 AND 4",
+		"DELETE FROM t WHERE v < 0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		st1, err := ParseStmt(q) // must not panic on any input
+		if err != nil {
+			return
+		}
+		r1 := st1.String()
+		st2, err := ParseStmt(r1)
+		if err != nil {
+			t.Fatalf("statement prints %q but it does not re-parse: %v", r1, err)
+		}
+		if r2 := st2.String(); r1 != r2 {
+			t.Fatalf("print/re-parse is not a fixed point:\n 1: %q\n 2: %q", r1, r2)
+		}
+		if s1, ok := st1.(*SelectStmt); ok {
+			s2 := st2.(*SelectStmt)
+			if s1.NumParams != s2.NumParams {
+				t.Fatalf("re-parse changed arity for %q: %d vs %d", r1, s1.NumParams, s2.NumParams)
+			}
+			if strings.Contains(strings.ToUpper(r1), " BETWEEN ") {
+				t.Fatalf("printed form %q retains BETWEEN; it must render the desugared range pair", r1)
 			}
 		}
 	})

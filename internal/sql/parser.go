@@ -88,7 +88,8 @@ var reserved = map[string]bool{
 	"select": true, "from": true, "where": true, "group": true, "order": true,
 	"by": true, "limit": true, "and": true, "as": true, "asc": true,
 	"desc": true, "sum": true, "count": true, "avg": true, "min": true,
-	"max": true, "date": true,
+	"max": true, "date": true, "join": true, "inner": true, "on": true,
+	"having": true, "between": true,
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
@@ -111,22 +112,55 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	if err := p.expectKeyword("from"); err != nil {
 		return nil, err
 	}
+	// Explicit [INNER] JOIN ... ON syntax desugars at parse time into the
+	// comma-list FROM plus WHERE conjuncts the planner already understands;
+	// ON predicates precede WHERE predicates so '?' placeholders keep their
+	// textual order. SelectStmt.String() renders the desugared form, so
+	// print → re-parse is a fixed point.
+	var onPreds []Predicate
 	for {
 		ref, err := p.parseTableRef()
 		if err != nil {
 			return nil, err
 		}
 		stmt.From = append(stmt.From, *ref)
+		for {
+			if p.keyword("inner") {
+				if err := p.expectKeyword("join"); err != nil {
+					return nil, err
+				}
+			} else if !p.keyword("join") {
+				break
+			}
+			jref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, *jref)
+			if err := p.expectKeyword("on"); err != nil {
+				return nil, err
+			}
+			for {
+				conds, err := p.parseCond()
+				if err != nil {
+					return nil, err
+				}
+				onPreds = append(onPreds, conds...)
+				if !p.keyword("and") {
+					break
+				}
+			}
+		}
 		if !p.symbol(",") {
 			break
 		}
 	}
 
-	var err2 error
-	stmt.Where, err2 = p.parseWhere()
+	where, err2 := p.parseWhere()
 	if err2 != nil {
 		return nil, err2
 	}
+	stmt.Where = append(onPreds, where...)
 
 	if p.keyword("group") {
 		if err := p.expectKeyword("by"); err != nil {
@@ -144,16 +178,29 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 
+	if p.keyword("having") {
+		for {
+			conds, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Having = append(stmt.Having, conds...)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+
 	if p.keyword("order") {
 		if err := p.expectKeyword("by"); err != nil {
 			return nil, err
 		}
 		for {
-			col, err := p.parseColRef()
+			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}
-			item := OrderItem{Expr: col}
+			item := OrderItem{Expr: e}
 			if p.keyword("desc") {
 				item.Desc = true
 			} else {
@@ -226,10 +273,33 @@ func (p *parser) parseTableRef() (*TableRef, error) {
 	return ref, nil
 }
 
-func (p *parser) parsePredicate() (*Predicate, error) {
+// parseCond parses one condition of a WHERE/ON/HAVING conjunction: a
+// comparison predicate, or a BETWEEN range which desugars into its two
+// bounding conjuncts (lo <= x AND x <= hi rendered as x >= lo AND
+// x <= hi), so downstream layers see only simple predicates.
+func (p *parser) parseCond() ([]Predicate, error) {
 	left, err := p.parseExpr()
 	if err != nil {
 		return nil, err
+	}
+	if p.keyword("between") {
+		// parseExpr stops at the AND keyword (an identifier, not an
+		// arithmetic symbol), so the low bound parses cleanly.
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return []Predicate{
+			{Op: CmpGe, Left: left, Right: lo},
+			{Op: CmpLe, Left: left, Right: hi},
+		}, nil
 	}
 	t := p.next()
 	if t.Kind != TokSymbol {
@@ -256,7 +326,7 @@ func (p *parser) parsePredicate() (*Predicate, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Predicate{Op: op, Left: left, Right: right}, nil
+	return []Predicate{{Op: op, Left: left, Right: right}}, nil
 }
 
 // Expression grammar:

@@ -1,6 +1,9 @@
 package tpch
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Q1 is TPC-H Query 1 (pricing summary report): an aggregation over almost
 // the whole lineitem table producing four groups. The paper's headline
@@ -16,7 +19,7 @@ const Q1 = `SELECT l_returnflag, l_linestatus,
   AVG(l_discount) AS avg_disc,
   COUNT(*) AS count_order
 FROM lineitem
-WHERE l_shipdate <= DATE '1998-09-02'
+WHERE l_shipdate <= DATE '1998-12-01' - 90
 GROUP BY l_returnflag, l_linestatus
 ORDER BY l_returnflag, l_linestatus`
 
@@ -51,19 +54,36 @@ GROUP BY c_custkey, c_name, c_acctbal, n_name, c_address, c_phone
 ORDER BY revenue DESC
 LIMIT 20`
 
-// Query returns the SQL text of a benchmark query by number.
+// Q6 is TPC-H Query 6 (forecasting revenue change): a group-less
+// aggregation over lineitem behind a date range, a BETWEEN on the
+// discount, and a quantity cutoff — the canonical scan-dominated query.
+const Q6 = `SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`
+
+// ErrUnsupported marks a TPC-H query number outside the supported set;
+// test with errors.Is.
+var ErrUnsupported = errors.New("tpch: unsupported query")
+
+// Query returns the SQL text of a benchmark query by number. Numbers
+// outside the supported set return an error wrapping ErrUnsupported.
 func Query(n int) (string, error) {
 	switch n {
 	case 1:
 		return Q1, nil
 	case 3:
 		return Q3, nil
+	case 6:
+		return Q6, nil
 	case 10:
 		return Q10, nil
 	default:
-		return "", fmt.Errorf("tpch: query %d is not part of the paper's evaluation (1, 3, 10)", n)
+		return "", fmt.Errorf("%w: query %d is outside the evaluated set (1, 3, 6, 10)", ErrUnsupported, n)
 	}
 }
 
 // QueryNumbers lists the evaluated TPC-H queries.
-func QueryNumbers() []int { return []int{1, 3, 10} }
+func QueryNumbers() []int { return []int{1, 3, 6, 10} }

@@ -1,11 +1,13 @@
 package tpch
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"testing"
 
+	"hique/internal/codegen"
 	"hique/internal/core"
 	"hique/internal/dsm"
 	"hique/internal/plan"
@@ -205,6 +207,169 @@ func TestQueriesAgreeAcrossEngines(t *testing.T) {
 				if a[i] != b[i] {
 					t.Errorf("Q%d: multiset differs between %s and %s at %d:\n  %s\n  %s",
 						n, refName, e.Name(), i, a[i], b[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestQueryUnsupportedNumbersReturnTypedError(t *testing.T) {
+	for _, n := range []int{0, 2, 5, 22, -1} {
+		_, err := Query(n)
+		if err == nil {
+			t.Fatalf("Query(%d) should fail", n)
+		}
+		if !errors.Is(err, ErrUnsupported) {
+			t.Errorf("Query(%d) error %v does not wrap ErrUnsupported", n, err)
+		}
+	}
+	for _, n := range QueryNumbers() {
+		if _, err := Query(n); err != nil {
+			t.Errorf("Query(%d): %v", n, err)
+		}
+	}
+}
+
+// codegenEngine adapts a codegen optimisation level to the engine surface.
+type codegenEngine struct{ level codegen.OptLevel }
+
+func (c codegenEngine) Name() string { return "codegen" + c.level.String() }
+
+func (c codegenEngine) Execute(p *plan.Plan) (*storage.Table, error) {
+	q, err := codegen.Generate(p, c.level)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run()
+}
+
+func datumRows(t *storage.Table) [][]types.Datum {
+	s := t.Schema()
+	var rows [][]types.Datum
+	t.Scan(func(tp []byte) bool {
+		row := make([]types.Datum, s.NumColumns())
+		for i := range row {
+			row[i] = s.GetDatum(tp, i)
+		}
+		rows = append(rows, row)
+		return true
+	})
+	return rows
+}
+
+func rowsApproxEqual(a, b []types.Datum) bool {
+	for i := range a {
+		if a[i].Kind == types.Float && b[i].Kind == types.Float {
+			diff := a[i].F - b[i].F
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := a[i].F
+			if scale < 0 {
+				scale = -scale
+			}
+			if diff > 1e-9*scale+1e-9 {
+				return false
+			}
+			continue
+		}
+		if types.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTPCHGoldenResultsAcrossEngines pins Q1/Q3/Q6/Q10 at SF 0.01 with
+// Seed 42 — the exact catalogue hique-server's -tpch flag loads, so the
+// conformance suite's goldens and these agree — and asserts byte-identical
+// results across every engine, including the parallel engine at 1, 2, and
+// 8 workers.
+func TestTPCHGoldenResultsAcrossEngines(t *testing.T) {
+	cat := Generate(Config{ScaleFactor: 0.01, Seed: 42})
+	type engine interface {
+		Name() string
+		Execute(p *plan.Plan) (*storage.Table, error)
+	}
+	type variant struct {
+		e engine
+		// Parallel partial aggregation accumulates floats in worker order,
+		// so sums can differ from the serial engines in the last ulp; those
+		// variants compare with a tight relative tolerance instead of
+		// byte-for-byte.
+		approx bool
+	}
+	variants := []variant{
+		{core.NewEngine(), false},
+		{codegenEngine{level: codegen.OptO0}, false},
+		{codegenEngine{level: codegen.OptO2}, false},
+		{volcano.NewGeneric(), false},
+		{volcano.NewOptimized(), false},
+		{dsm.NewEngine(), false},
+		{core.NewParallelEngine(1), false},
+		{core.NewParallelEngine(2), true},
+		{core.NewParallelEngine(8), true},
+	}
+	golden := map[int]struct {
+		rows  int
+		first string
+	}{
+		1:  {4, "A|F|405755.0000|385365653.0000|366301290.5700|380955699.6240|25.4344|24156.3125|0.0495|15953"},
+		3:  {10, "1921|192593.9220|date(9196)|0"},
+		6:  {1, "826509.6720"},
+		10: {20, "1257|Customer#000001257|319568.6150|7193.1596|IRAN|addr-1257-95407|20-812-717-8599"},
+	}
+	for _, n := range QueryNumbers() {
+		q, _ := Query(n)
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("Q%d parse: %v", n, err)
+		}
+		p, err := plan.Build(stmt, cat)
+		if err != nil {
+			t.Fatalf("Q%d plan: %v", n, err)
+		}
+		var ref []string
+		var refDatums [][]types.Datum
+		var refName string
+		for _, v := range variants {
+			out, err := v.e.Execute(p)
+			if err != nil {
+				t.Fatalf("Q%d on %s: %v", n, v.e.Name(), err)
+			}
+			rows := canonical(out)
+			if ref == nil {
+				ref, refName = rows, v.e.Name()
+				refDatums = datumRows(out)
+				g := golden[n]
+				if len(rows) != g.rows {
+					t.Errorf("Q%d: %d rows, golden %d", n, len(rows), g.rows)
+				}
+				if len(rows) > 0 && rows[0] != g.first {
+					t.Errorf("Q%d first row drifted from golden:\n  got  %s\n  want %s", n, rows[0], g.first)
+				}
+				continue
+			}
+			if len(rows) != len(ref) {
+				t.Errorf("Q%d: %s returned %d rows, %s returned %d", n, v.e.Name(), len(rows), refName, len(ref))
+				continue
+			}
+			if v.approx {
+				got := datumRows(out)
+				for i := range refDatums {
+					if !rowsApproxEqual(refDatums[i], got[i]) {
+						t.Errorf("Q%d: row %d differs (beyond float tolerance) between %s and %s:\n  %s\n  %s",
+							n, i, refName, v.e.Name(), ref[i], rows[i])
+						break
+					}
+				}
+				continue
+			}
+			for i := range ref {
+				if rows[i] != ref[i] {
+					t.Errorf("Q%d: row %d differs between %s and %s:\n  %s\n  %s",
+						n, i, refName, v.e.Name(), ref[i], rows[i])
 					break
 				}
 			}

@@ -81,6 +81,23 @@ func (e *Engine) Execute(p *plan.Plan) (*storage.Table, error) {
 		return nil, fmt.Errorf("volcano: empty plan")
 	}
 
+	if len(p.Having) > 0 {
+		kept := result[:0:0]
+		for _, r := range result {
+			ok := true
+			for _, h := range p.Having {
+				if !h.Op.Holds(types.Compare(r[h.Col], h.Val)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		result = kept
+	}
+
 	if p.Sort != nil {
 		if tr != nil {
 			t0 = time.Now()
